@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test bench vet figs cluster fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figs:
+	$(GO) run ./cmd/hicfigs -outdir results
+
+cluster:
+	$(GO) run ./cmd/hiccluster -hosts 200
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzSeqWindow -fuzztime 30s ./internal/transport/
+	$(GO) test -fuzz FuzzHistogram -fuzztime 30s ./internal/metrics/
+
+cover:
+	$(GO) test -short -cover ./internal/...
+
+clean:
+	rm -rf results

@@ -1,0 +1,87 @@
+// Command hiccap decodes a packet capture written by hicsim -capture
+// (the wire format) and prints either a per-packet listing or a summary.
+//
+//	hicsim -capture run.cap ...
+//	hiccap -summary run.cap
+//	hiccap run.cap | head
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"hic/internal/wire"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print per-flow summary instead of a listing")
+	limit := flag.Int("n", 0, "stop after N packets (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hiccap [-summary] [-n N] <capture-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hiccap: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	r := wire.NewReader(bufio.NewReader(f))
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	type flowStats struct {
+		packets int
+		bytes   uint64
+	}
+	flows := map[uint32]*flowStats{}
+	total := 0
+
+	for {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hiccap: record %d: %v\n", total, err)
+			os.Exit(1)
+		}
+		total++
+		if *summary {
+			fs := flows[p.Flow]
+			if fs == nil {
+				fs = &flowStats{}
+				flows[p.Flow] = fs
+			}
+			fs.packets++
+			fs.bytes += uint64(p.PayloadBytes)
+		} else {
+			fmt.Fprintf(out, "%12d ns  %-7s flow=%#08x queue=%-3d seq=%-8d payload=%d\n",
+				p.NICArrival, p.Kind, p.Flow, p.Queue, p.Seq, p.PayloadBytes)
+		}
+		if *limit > 0 && total >= *limit {
+			break
+		}
+	}
+
+	if *summary {
+		ids := make([]uint32, 0, len(flows))
+		for f := range flows {
+			ids = append(ids, f)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fmt.Fprintf(out, "%-12s %10s %14s\n", "flow", "packets", "payload_bytes")
+		for _, id := range ids {
+			fs := flows[id]
+			fmt.Fprintf(out, "%#-12x %10d %14d\n", id, fs.packets, fs.bytes)
+		}
+		fmt.Fprintf(out, "\ntotal: %d packets, %d flows\n", total, len(flows))
+	}
+}

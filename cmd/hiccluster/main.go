@@ -1,0 +1,47 @@
+// Command hiccluster regenerates Figure 1: the fleet-wide scatter of
+// access-link utilization versus host drop rate across many simulated
+// hosts with randomized workload mixes.
+//
+//	hiccluster -hosts 200
+//	hiccluster -hosts 300 -csv > fig1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hic/internal/cluster"
+	"hic/internal/sim"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 200, "simulated hosts in the fleet")
+	windows := flag.Int("windows", 1, "measurement bins per host (10-minute-bin analogue)")
+	seed := flag.Uint64("seed", 1, "fleet seed")
+	measureMS := flag.Int("measure-ms", 12, "per-host measurement window (ms)")
+	csv := flag.Bool("csv", false, "emit per-host CSV instead of the scatter")
+	flag.Parse()
+
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = *hosts
+	cfg.WindowsPerHost = *windows
+	cfg.Seed = *seed
+	cfg.Measure = sim.Duration(*measureMS) * sim.Millisecond
+
+	points, err := cluster.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(cluster.CSV(points))
+		return
+	}
+	fmt.Print(cluster.Scatter(points, 72, 20))
+	s := cluster.Summarize(points)
+	fmt.Printf("\nhosts=%d  mean utilization=%.2f  dropping=%d  dropping-below-60%%-util=%d\n",
+		s.Hosts, s.MeanUtilization, s.DroppingHosts, s.LowUtilDropping)
+	fmt.Printf("utilization–drop correlation (Pearson): %.2f\n", s.Pearson)
+	fmt.Println("\npaper claims: correlation positive; drops present even at low utilization.")
+}

@@ -1,0 +1,87 @@
+// Command hicfigs regenerates the paper's figures (3–6) and the §4
+// extension ablations as tables, CSV, and ASCII plots.
+//
+// Usage:
+//
+//	hicfigs                  # run every experiment
+//	hicfigs -fig 3           # one experiment (3,4,5,6,target,buffer,ats,cxl,mba,subrtt,cc)
+//	hicfigs -fig 6 -csv      # emit CSV instead of a table
+//	hicfigs -quick           # shrunken sweeps for a fast smoke run
+//	hicfigs -outdir results  # also write <outdir>/<id>.csv per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hic/internal/experiments"
+	"hic/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id: all or a comma list of "+strings.Join(experiments.Order, ", "))
+	quick := flag.Bool("quick", false, "shrunken sweeps and windows")
+	csv := flag.Bool("csv", false, "print CSV instead of aligned tables")
+	plot := flag.Bool("plot", true, "print ASCII plots under each table")
+	seed := flag.Uint64("seed", 1, "base seed")
+	replicates := flag.Int("replicates", 1, "runs per point with derived seeds (fig3 cells become mean±ci95)")
+	measureMS := flag.Int("measure-ms", 0, "override measurement window (ms)")
+	outdir := flag.String("outdir", "", "also write per-experiment CSV files here")
+	flag.Parse()
+
+	opt := experiments.Options{
+		Seed:       *seed,
+		Quick:      *quick,
+		Replicates: *replicates,
+	}
+	if *measureMS > 0 {
+		opt.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = experiments.Order
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			if _, ok := experiments.Registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "hicfigs: unknown experiment %q (known: %s)\n",
+					id, strings.Join(experiments.Order, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		t, err := experiments.Registry[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicfigs: experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSVString())
+		} else {
+			fmt.Println(t.Render())
+			if *plot {
+				if p := t.PlotString(); p != "" {
+					fmt.Println(p)
+				}
+			}
+		}
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "hicfigs: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outdir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSVString()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "hicfigs: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}

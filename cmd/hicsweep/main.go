@@ -1,0 +1,74 @@
+// Command hicsweep runs a declarative parameter sweep from a JSON spec.
+//
+// Example spec (sweep the fig3 and fig6 axes jointly):
+//
+//	{
+//	  "base": {"Seed": 1, "Threads": 12, "Senders": 40,
+//	           "RxRegionBytes": 12582912, "IOMMU": true,
+//	           "Hugepages": true, "CC": "swift"},
+//	  "axes": [
+//	    {"param": "threads", "values": [8, 12, 16]},
+//	    {"param": "antagonists", "values": [0, 8, 15]}
+//	  ]
+//	}
+//
+//	hicsweep -spec sweep.json
+//	hicsweep -spec sweep.json -csv > grid.csv
+//	hicsweep -params           # list sweepable parameters
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hic/internal/sim"
+	"hic/internal/sweep"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON sweep specification")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	listParams := flag.Bool("params", false, "list sweepable parameter names and exit")
+	measureMS := flag.Int("measure-ms", 0, "override measurement window (ms)")
+	warmupMS := flag.Int("warmup-ms", 0, "override warmup window (ms)")
+	flag.Parse()
+
+	if *listParams {
+		fmt.Println(strings.Join(sweep.KnownParams(), "\n"))
+		return
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: hicsweep -spec <file.json> [-csv]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+		os.Exit(1)
+	}
+	var spec sweep.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "hicsweep: parsing %s: %v\n", *specPath, err)
+		os.Exit(1)
+	}
+	if *measureMS > 0 {
+		spec.Base.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	}
+	if *warmupMS > 0 {
+		spec.Base.Warmup = sim.Duration(*warmupMS) * sim.Millisecond
+	}
+
+	rows, err := sweep.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(sweep.CSV(spec, rows))
+	} else {
+		fmt.Print(sweep.Table(spec, rows))
+	}
+}

@@ -1,0 +1,3 @@
+module hic
+
+go 1.22

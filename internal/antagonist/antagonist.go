@@ -1,0 +1,79 @@
+// Package antagonist models the STREAM benchmark instances the paper uses
+// to contend the memory bus (§3.2): one instance per physical core, each
+// offering a fixed read+write byte rate to the memory controller. The
+// controller, not this package, decides how much of that demand is
+// achieved once the bus saturates — reproducing the sublinear scaling the
+// paper observes beyond ~6 cores.
+package antagonist
+
+import (
+	"fmt"
+
+	"hic/internal/mem"
+)
+
+// Config describes the STREAM-like antagonist.
+type Config struct {
+	// PerCoreBandwidth is the offered memory traffic per core in
+	// bytes/second. Skylake-era STREAM sustains ~9.5 GB/s per core
+	// once several instances run (saturating the node around 10 cores).
+	PerCoreBandwidth float64
+	// ReadFraction splits the traffic into reads vs writes; the paper's
+	// machine does ~65 GB/s reads and ~25 GB/s writes at saturation.
+	ReadFraction float64
+}
+
+// DefaultConfig returns the calibrated Skylake-like antagonist.
+func DefaultConfig() Config {
+	return Config{
+		PerCoreBandwidth: 9.5e9,
+		ReadFraction:     0.72,
+	}
+}
+
+func (c Config) validate() error {
+	if c.PerCoreBandwidth <= 0 {
+		return fmt.Errorf("antagonist: PerCoreBandwidth must be positive")
+	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		return fmt.Errorf("antagonist: ReadFraction outside [0,1]")
+	}
+	return nil
+}
+
+// Stream is a set of antagonist cores contending the memory bus.
+type Stream struct {
+	memory *mem.Controller
+	cfg    Config
+	cores  int
+}
+
+// New constructs an antagonist with zero active cores.
+func New(memory *mem.Controller, cfg Config) (*Stream, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if memory == nil {
+		return nil, fmt.Errorf("antagonist: memory controller is required")
+	}
+	return &Stream{memory: memory, cfg: cfg}, nil
+}
+
+// SetCores activates n antagonist cores (0 disables the antagonist).
+func (s *Stream) SetCores(n int) {
+	if n < 0 {
+		panic("antagonist: negative core count")
+	}
+	s.cores = n
+	total := float64(n) * s.cfg.PerCoreBandwidth
+	s.memory.SetCPUDemand("antagonist.read", total*s.cfg.ReadFraction)
+	s.memory.SetCPUDemand("antagonist.write", total*(1-s.cfg.ReadFraction))
+}
+
+// Cores returns the active core count.
+func (s *Stream) Cores() int { return s.cores }
+
+// OfferedBandwidth returns the total offered traffic in bytes/second.
+func (s *Stream) OfferedBandwidth() float64 {
+	return float64(s.cores) * s.cfg.PerCoreBandwidth
+}

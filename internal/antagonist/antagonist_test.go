@@ -1,0 +1,87 @@
+package antagonist
+
+import (
+	"testing"
+
+	"hic/internal/mem"
+	"hic/internal/metrics"
+	"hic/internal/sim"
+)
+
+func newStream(t *testing.T) (*sim.Engine, *mem.Controller, *Stream) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	mc, err := mem.New(e, metrics.NewRegistry(), mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(mc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, mc, s
+}
+
+func TestConfigValidation(t *testing.T) {
+	mcEngine := sim.NewEngine(1)
+	mc, _ := mem.New(mcEngine, metrics.NewRegistry(), mem.DefaultConfig())
+	if _, err := New(mc, Config{PerCoreBandwidth: 0, ReadFraction: 0.5}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := New(mc, Config{PerCoreBandwidth: 1e9, ReadFraction: 1.5}); err == nil {
+		t.Error("bad read fraction accepted")
+	}
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil memory controller accepted")
+	}
+}
+
+func TestDemandScalesWithCores(t *testing.T) {
+	_, mc, s := newStream(t)
+	s.SetCores(4)
+	if s.Cores() != 4 {
+		t.Errorf("Cores = %d", s.Cores())
+	}
+	want := 4 * DefaultConfig().PerCoreBandwidth
+	if got := mc.CPUOffered(); got != want {
+		t.Errorf("offered = %v, want %v", got, want)
+	}
+	if s.OfferedBandwidth() != want {
+		t.Errorf("OfferedBandwidth = %v", s.OfferedBandwidth())
+	}
+	s.SetCores(0)
+	if mc.CPUOffered() != 0 {
+		t.Error("demand not cleared at zero cores")
+	}
+}
+
+func TestAchievedBandwidthSaturates(t *testing.T) {
+	e, mc, s := newStream(t)
+	// Few cores: linear. Many cores: capped near the STREAM ceiling.
+	s.SetCores(2)
+	e.Run(e.Now().Add(50 * sim.Microsecond))
+	low := mc.CPUAchieved()
+	s.SetCores(15)
+	e.Run(e.Now().Add(50 * sim.Microsecond))
+	high := mc.CPUAchieved()
+	if low != 2*DefaultConfig().PerCoreBandwidth {
+		t.Errorf("2-core achieved %v, want linear %v", low, 2*DefaultConfig().PerCoreBandwidth)
+	}
+	// Paper: STREAM saturates around ~90 GB/s per NUMA node.
+	if high < 80e9 || high > 95e9 {
+		t.Errorf("15-core achieved %v, want ≈90 GB/s (saturated)", high)
+	}
+	if high >= s.OfferedBandwidth() {
+		t.Error("15 cores should be demand-capped (sublinear scaling)")
+	}
+}
+
+func TestNegativeCoresPanics(t *testing.T) {
+	_, _, s := newStream(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cores did not panic")
+		}
+	}()
+	s.SetCores(-1)
+}

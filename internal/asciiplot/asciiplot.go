@@ -1,0 +1,153 @@
+// Package asciiplot renders experiment output for terminals: aligned
+// tables, CSV, and ASCII line plots. It keeps the cmd/ tools free of any
+// external plotting dependency — every figure the harness regenerates is
+// printable.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FormatTable renders rows under the given column headers, aligned.
+func FormatTable(columns []string, rows [][]string) string {
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(cell))
+			}
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the same data as comma-separated values. Cells containing
+// commas or quotes are quoted.
+func CSV(columns []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(columns)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one named line in a plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// LinePlot renders series against shared x labels as an ASCII chart of
+// the given height. NaN values are skipped (gaps).
+func LinePlot(title string, xlabels []string, series []Series, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if n == 0 || math.IsInf(lo, 1) {
+		return title + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	marks := []byte("*o+x#@%&")
+	grid := make([][]byte, height)
+	colW := 6
+	width := n * colW
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for xi, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			col := xi*colW + colW/2
+			if row >= 0 && row < height && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		yval := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.1f |%s\n", yval, string(row))
+	}
+	b.WriteString("         +" + strings.Repeat("-", width) + "\n")
+	b.WriteString("          ")
+	for _, xl := range xlabels {
+		if len(xl) > colW-1 {
+			xl = xl[:colW-1]
+		}
+		b.WriteString(fmt.Sprintf("%-*s", colW, xl))
+	}
+	b.WriteByte('\n')
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name))
+	}
+	b.WriteString("          " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFormatTableAlignment(t *testing.T) {
+	out := FormatTable([]string{"a", "long_header"}, [][]string{
+		{"1", "2"},
+		{"100", "20000"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header, rule, 2 rows)", len(lines))
+	}
+	// All lines equal width (right-aligned columns).
+	if len(lines[0]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing rule line:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	out := CSV([]string{"x", "note"}, [][]string{
+		{"1", `plain`},
+		{"2", `has,comma`},
+		{"3", `has"quote`},
+	})
+	want := "x,note\n1,plain\n2,\"has,comma\"\n3,\"has\"\"quote\"\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestLinePlotBasics(t *testing.T) {
+	out := LinePlot("title", []string{"1", "2", "3"}, []Series{
+		{Name: "up", Values: []float64{1, 2, 3}},
+		{Name: "down", Values: []float64{3, 2, 1}},
+	}, 6)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// The middle point overlaps between series (later series wins the
+	// cell), so "up" shows at least its two non-overlapping points plus
+	// the legend mark.
+	if strings.Count(out, "*") < 2+1 {
+		t.Errorf("missing data points:\n%s", out)
+	}
+}
+
+func TestLinePlotHandlesNaNAndEmpty(t *testing.T) {
+	out := LinePlot("gaps", []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{math.NaN(), 5}},
+	}, 5)
+	if !strings.Contains(out, "s") {
+		t.Errorf("plot with NaN broke:\n%s", out)
+	}
+	empty := LinePlot("none", nil, nil, 5)
+	if !strings.Contains(empty, "no data") {
+		t.Errorf("empty plot = %q", empty)
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	out := LinePlot("flat", []string{"a"}, []Series{{Name: "s", Values: []float64{7}}}, 5)
+	if !strings.Contains(out, "7.0") {
+		t.Errorf("constant series axis broken:\n%s", out)
+	}
+}

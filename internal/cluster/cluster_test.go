@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"hic/internal/sim"
+)
+
+func quickFleet(t *testing.T, hosts int) []Point {
+	t.Helper()
+	cfg := Config{Hosts: hosts, Seed: 1, Warmup: 3 * sim.Millisecond, Measure: 5 * sim.Millisecond}
+	points, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Hosts: 0}); err == nil {
+		t.Error("zero hosts accepted")
+	}
+}
+
+func TestFleetReproducesFig1Claims(t *testing.T) {
+	const fleet = 32
+	points := quickFleet(t, fleet)
+	if len(points) != fleet {
+		t.Fatalf("points = %d", len(points))
+	}
+	s := Summarize(points)
+	if s.Pearson <= 0 {
+		t.Errorf("utilization–drop correlation = %v, want positive (paper claim 1)", s.Pearson)
+	}
+	if s.DroppingHosts == 0 {
+		t.Error("no host dropped; the fleet mix must include congested hosts")
+	}
+	for _, p := range points {
+		if p.Utilization < 0 || p.Utilization > 1.05 {
+			t.Errorf("host %d utilization %v out of range", p.Host, p.Utilization)
+		}
+		if p.DropRate < 0 || p.DropRate > 1 {
+			t.Errorf("host %d drop rate %v out of range", p.Host, p.DropRate)
+		}
+	}
+}
+
+func TestMultiWindowFleet(t *testing.T) {
+	cfg := Config{Hosts: 6, WindowsPerHost: 3, Seed: 1,
+		Warmup: 2 * sim.Millisecond, Measure: 3 * sim.Millisecond}
+	points, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 18 {
+		t.Fatalf("points = %d, want hosts×windows = 18", len(points))
+	}
+	perHost := map[int]int{}
+	for _, p := range points {
+		perHost[p.Host]++
+		if p.Window < 0 || p.Window >= 3 {
+			t.Errorf("window index %d out of range", p.Window)
+		}
+	}
+	for h, n := range perHost {
+		if n != 3 {
+			t.Errorf("host %d contributed %d windows", h, n)
+		}
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := quickFleet(t, 8)
+	b := quickFleet(t, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fleet not reproducible at host %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSummarizeMath(t *testing.T) {
+	points := []Point{
+		{Utilization: 0.1, DropRate: 0},
+		{Utilization: 0.5, DropRate: 0.01},
+		{Utilization: 0.9, DropRate: 0.03},
+	}
+	s := Summarize(points)
+	if s.Hosts != 3 || s.DroppingHosts != 2 || s.LowUtilDropping != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Pearson < 0.9 {
+		t.Errorf("Pearson = %v for a monotone set, want ≈1", s.Pearson)
+	}
+	if s.MaxDropRate != 0.03 {
+		t.Errorf("MaxDropRate = %v", s.MaxDropRate)
+	}
+	if Summarize(nil).Hosts != 0 {
+		t.Error("empty summarize broken")
+	}
+}
+
+func TestScatterAndCSV(t *testing.T) {
+	points := []Point{
+		{Host: 1, Utilization: 0.2, DropRate: 0, Threads: 4, Senders: 10},
+		{Host: 0, Utilization: 0.9, DropRate: 0.05, Threads: 12, Senders: 40},
+	}
+	sc := Scatter(points, 40, 10)
+	if !strings.Contains(sc, "*") {
+		t.Errorf("scatter missing points:\n%s", sc)
+	}
+	csv := CSV(points)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	// Sorted by host id, window column present.
+	if !strings.HasPrefix(lines[1], "0,0,") || !strings.HasPrefix(lines[2], "1,0,") {
+		t.Errorf("CSV not sorted by host:\n%s", csv)
+	}
+}

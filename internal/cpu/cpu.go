@@ -1,0 +1,220 @@
+// Package cpu models the receiver cores that run the network stack: each
+// Rx queue is pinned to one core (as in the paper's setup, one receiver
+// thread per dedicated core in the NIC-local NUMA node), packets queue
+// per core and are processed at a calibrated per-packet + per-byte cost —
+// one core sustains ≈11.5 Gbps of application throughput, giving the
+// paper's linear CPU-bottlenecked region up to 8 cores ≈ 92 Gbps.
+//
+// Processing a packet also copies payload from stack buffers to
+// application buffers; the resulting memory-read traffic is registered
+// with the memory controller as fluid CPU demand (the ~3.3 GB/s read
+// bandwidth the paper measures at full throughput).
+package cpu
+
+import (
+	"fmt"
+
+	"hic/internal/mem"
+	"hic/internal/metrics"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+// Config sizes the receive-processing pool.
+type Config struct {
+	// Cores is the number of receiver threads/cores.
+	Cores int
+	// PerPacketCost is the fixed software cost per packet.
+	PerPacketCost sim.Duration
+	// PerByteCostNs is the per-payload-byte software cost in nanoseconds.
+	PerByteCostNs float64
+	// CopyReadFraction is how much of the payload is re-read from memory
+	// when copying to application buffers (cache hits cover the rest).
+	CopyReadFraction float64
+	// CopyWriteFraction is payload written back to memory by the copy.
+	CopyWriteFraction float64
+	// DemandEpoch is the period at which copy traffic is folded into the
+	// memory controller's fluid demand.
+	DemandEpoch sim.Duration
+}
+
+// DefaultConfig returns the calibrated per-core cost: with a 4 KB MTU one
+// core sustains ≈11.5 Gbps of application throughput.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:             cores,
+		PerPacketCost:     400 * sim.Nanosecond,
+		PerByteCostNs:     0.6,
+		CopyReadFraction:  0.28,
+		CopyWriteFraction: 0,
+		DemandEpoch:       20 * sim.Microsecond,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("cpu: Cores must be positive")
+	}
+	if c.PerPacketCost < 0 || c.PerByteCostNs < 0 {
+		return fmt.Errorf("cpu: negative processing cost")
+	}
+	if c.CopyReadFraction < 0 || c.CopyWriteFraction < 0 {
+		return fmt.Errorf("cpu: negative copy fraction")
+	}
+	if c.DemandEpoch <= 0 {
+		return fmt.Errorf("cpu: DemandEpoch must be positive")
+	}
+	return nil
+}
+
+// Pool is the set of receiver cores.
+type Pool struct {
+	engine *sim.Engine
+	memory *mem.Controller
+	cfg    Config
+	done   func(*pkt.Packet)
+
+	queues [][]*pkt.Packet
+	busy   []bool
+	active int // cores currently allocated to packet processing
+
+	epochPayload uint64 // payload bytes processed in the current epoch
+
+	processed *metrics.Counter
+	payload   *metrics.Counter
+	queueGa   *metrics.Gauge
+	procDelay *metrics.Histogram // ns, delivery → processing complete
+}
+
+// New constructs the pool. done is invoked when a packet has been fully
+// processed (the application-visible delivery point).
+func New(engine *sim.Engine, reg *metrics.Registry, memory *mem.Controller,
+	cfg Config, done func(*pkt.Packet)) (*Pool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if done == nil {
+		return nil, fmt.Errorf("cpu: done callback is required")
+	}
+	p := &Pool{
+		engine:    engine,
+		memory:    memory,
+		cfg:       cfg,
+		done:      done,
+		queues:    make([][]*pkt.Packet, cfg.Cores),
+		busy:      make([]bool, cfg.Cores),
+		active:    cfg.Cores,
+		processed: reg.Counter("cpu.packets"),
+		payload:   reg.Counter("cpu.payload.bytes"),
+		queueGa:   reg.Gauge("cpu.queue.packets"),
+		procDelay: reg.Histogram("cpu.processing.delay.ns"),
+	}
+	engine.Every(cfg.DemandEpoch, p.updateDemand)
+	return p, nil
+}
+
+// Cores returns the number of cores in the pool.
+func (p *Pool) Cores() int { return p.cfg.Cores }
+
+// ActiveCores returns how many cores are currently allocated.
+func (p *Pool) ActiveCores() int { return p.active }
+
+// SetActiveCores reallocates processing cores at run time — the dynamic
+// core-scaling remedy for host *software* congestion that §4 credits
+// state-of-the-art stacks with (and contrasts against interconnect
+// congestion, which more cores make worse). Queued packets on
+// deactivated cores migrate to the remaining ones.
+func (p *Pool) SetActiveCores(n int) {
+	if n < 1 || n > p.cfg.Cores {
+		panic(fmt.Sprintf("cpu: SetActiveCores(%d) outside [1,%d]", n, p.cfg.Cores))
+	}
+	old := p.active
+	p.active = n
+	if n >= old {
+		// Newly activated cores pick work up on the next Enqueue; no
+		// migration needed.
+		return
+	}
+	for core := n; core < old; core++ {
+		for _, packet := range p.queues[core] {
+			target := packet.Queue % p.active
+			p.queues[target] = append(p.queues[target], packet)
+			p.run(target)
+		}
+		p.queues[core] = nil
+	}
+}
+
+// PerCoreRate returns the application throughput one core sustains for
+// the given payload size — the slope of the CPU-bottlenecked region.
+func (p *Pool) PerCoreRate(payloadBytes int) sim.BitsPerSecond {
+	cost := p.packetCost(payloadBytes)
+	if cost <= 0 {
+		return sim.Gbps(1e6)
+	}
+	return sim.BitsPerSecond(float64(payloadBytes*8) / cost.Seconds())
+}
+
+// packetCost is the software service time for one packet.
+func (p *Pool) packetCost(payloadBytes int) sim.Duration {
+	return p.cfg.PerPacketCost + sim.Duration(p.cfg.PerByteCostNs*float64(payloadBytes))
+}
+
+// Enqueue hands a DMA-completed packet to its core's run queue.
+func (p *Pool) Enqueue(packet *pkt.Packet) {
+	core := packet.Queue % p.active
+	p.queues[core] = append(p.queues[core], packet)
+	p.queueGa.Add(1)
+	p.run(core)
+}
+
+func (p *Pool) run(core int) {
+	if p.busy[core] || len(p.queues[core]) == 0 {
+		return
+	}
+	p.busy[core] = true
+	packet := p.queues[core][0]
+	p.queues[core] = p.queues[core][1:]
+	p.queueGa.Add(-1)
+	cost := p.packetCost(packet.PayloadBytes)
+	start := p.engine.Now()
+	p.engine.After(cost, func() {
+		p.busy[core] = false
+		p.processed.Inc()
+		p.payload.Add(uint64(packet.PayloadBytes))
+		p.epochPayload += uint64(packet.PayloadBytes)
+		p.procDelay.Observe(float64(p.engine.Now().Sub(start)))
+		// Host delay as the congestion control sees it: NIC arrival to
+		// application-visible delivery, including this core's queue.
+		packet.Delivered = p.engine.Now()
+		packet.EchoHostDelay = packet.Delivered.Sub(packet.NICArrival)
+		p.done(packet)
+		p.run(core)
+	})
+}
+
+// updateDemand folds the copy traffic of the last epoch into the memory
+// controller's fluid CPU demand.
+func (p *Pool) updateDemand() {
+	rate := float64(p.epochPayload) / p.cfg.DemandEpoch.Seconds()
+	p.epochPayload = 0
+	if p.memory != nil {
+		p.memory.SetCPUDemand("cpu.copy.read", rate*p.cfg.CopyReadFraction)
+		p.memory.SetCPUDemand("cpu.copy.write", rate*p.cfg.CopyWriteFraction)
+	}
+}
+
+// QueuedPackets returns the total packets waiting across all cores.
+func (p *Pool) QueuedPackets() int {
+	total := 0
+	for _, q := range p.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// Processed returns the number of packets fully processed.
+func (p *Pool) Processed() uint64 { return p.processed.Value() }
+
+// PayloadBytes returns the total payload processed.
+func (p *Pool) PayloadBytes() uint64 { return p.payload.Value() }

@@ -1,0 +1,234 @@
+package cpu
+
+import (
+	"testing"
+
+	"hic/internal/mem"
+	"hic/internal/metrics"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+func newPool(t *testing.T, cfg Config) (*sim.Engine, *mem.Controller, *Pool, *[]*pkt.Packet) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	mc, err := mem.New(e, metrics.NewRegistry(), mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []*pkt.Packet
+	p, err := New(e, metrics.NewRegistry(), mc, cfg, func(pk *pkt.Packet) { done = append(done, pk) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, mc, p, &done
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.PerPacketCost = -1 },
+		func(c *Config) { c.PerByteCostNs = -1 },
+		func(c *Config) { c.CopyReadFraction = -1 },
+		func(c *Config) { c.DemandEpoch = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(4)
+		mutate(&cfg)
+		e := sim.NewEngine(1)
+		if _, err := New(e, metrics.NewRegistry(), nil, cfg, func(*pkt.Packet) {}); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPerCoreRateCalibration(t *testing.T) {
+	_, _, p, _ := newPool(t, DefaultConfig(1))
+	// The paper's linear region: one core ≈ 11.5 Gbps at 4 KB MTU.
+	rate := p.PerCoreRate(4096).Gbps()
+	if rate < 11 || rate > 12 {
+		t.Errorf("per-core rate = %.2f Gbps, want ≈11.5", rate)
+	}
+}
+
+func TestProcessingStampsHostDelay(t *testing.T) {
+	e, _, p, done := newPool(t, DefaultConfig(2))
+	packet := pkt.NewData(1, 0, 0, 0, 4096)
+	packet.NICArrival = e.Now()
+	p.Enqueue(packet)
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*done) != 1 {
+		t.Fatalf("processed %d packets, want 1", len(*done))
+	}
+	if packet.EchoHostDelay <= 0 {
+		t.Error("host delay not stamped after processing")
+	}
+	if packet.Delivered == 0 {
+		t.Error("delivery time not stamped")
+	}
+}
+
+func TestCoresProcessInParallel(t *testing.T) {
+	e, _, p, done := newPool(t, DefaultConfig(4))
+	for i := 0; i < 4; i++ {
+		pk := pkt.NewData(uint64(i), uint32(i), i, 0, 4096)
+		pk.NICArrival = e.Now()
+		p.Enqueue(pk)
+	}
+	e.Run(e.Now().Add(sim.Millisecond))
+	// All four packets on distinct cores finish at the same time.
+	first := (*done)[0].Delivered
+	for _, pk := range *done {
+		if pk.Delivered != first {
+			t.Errorf("packet on its own core finished at %v, want %v", pk.Delivered, first)
+		}
+	}
+}
+
+func TestSameQueueSerializes(t *testing.T) {
+	e, _, p, done := newPool(t, DefaultConfig(4))
+	for i := 0; i < 3; i++ {
+		pk := pkt.NewData(uint64(i), 0, 0, 0, 4096)
+		pk.NICArrival = e.Now()
+		p.Enqueue(pk)
+	}
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*done) != 3 {
+		t.Fatalf("processed %d/3", len(*done))
+	}
+	for i := 1; i < 3; i++ {
+		if (*done)[i].Delivered <= (*done)[i-1].Delivered {
+			t.Error("same-core packets did not serialize")
+		}
+	}
+	if p.QueuedPackets() != 0 {
+		t.Errorf("QueuedPackets = %d after drain", p.QueuedPackets())
+	}
+}
+
+func TestThroughputMatchesCoreCount(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		cfg := DefaultConfig(cores)
+		e, _, p, _ := newPool(t, cfg)
+		// Saturate: 4 packets per core queued at all times.
+		injected := 0
+		var top func()
+		top = func() {
+			for p.QueuedPackets() < cores*4 {
+				pk := pkt.NewData(uint64(injected), uint32(injected), injected%cores, 0, 4096)
+				pk.NICArrival = e.Now()
+				p.Enqueue(pk)
+				injected++
+			}
+			e.After(2*sim.Microsecond, top)
+		}
+		top()
+		horizon := 2 * sim.Millisecond
+		e.Run(e.Now().Add(horizon))
+		gbps := float64(p.PayloadBytes()*8) / horizon.Seconds() / 1e9
+		want := float64(cores) * p.PerCoreRate(4096).Gbps()
+		if gbps < 0.95*want || gbps > 1.05*want {
+			t.Errorf("cores=%d: throughput %.1f Gbps, want ≈%.1f", cores, gbps, want)
+		}
+	}
+}
+
+func TestCopyDemandRegistered(t *testing.T) {
+	e, mc, p, _ := newPool(t, DefaultConfig(2))
+	for i := 0; i < 200; i++ {
+		pk := pkt.NewData(uint64(i), uint32(i%2), i%2, 0, 4096)
+		pk.NICArrival = e.Now()
+		p.Enqueue(pk)
+	}
+	e.Run(e.Now().Add(300 * sim.Microsecond))
+	if mc.CPUOffered() == 0 {
+		t.Error("copy traffic not registered as memory demand")
+	}
+	// Rough magnitude: 2 cores × 11.5 Gbps × 0.28 read fraction ≈ 0.8 GB/s.
+	if got := mc.CPUOffered(); got > 3e9 {
+		t.Errorf("copy demand %v implausibly high", got)
+	}
+}
+
+func BenchmarkEnqueueProcess(b *testing.B) {
+	e := sim.NewEngine(1)
+	p, err := New(e, metrics.NewRegistry(), nil, DefaultConfig(8), func(*pkt.Packet) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pk := pkt.NewData(uint64(i), uint32(i%8), i%8, 0, 4096)
+		pk.NICArrival = e.Now()
+		p.Enqueue(pk)
+		if i%1024 == 0 {
+			e.Run(e.Now().Add(10 * sim.Millisecond))
+		}
+	}
+	// Drain the queued work with a bounded horizon: the pool's demand
+	// ticker never stops, so Drain() would loop forever.
+	e.Run(e.Now().Add(100 * sim.Millisecond))
+}
+
+func TestSetActiveCores(t *testing.T) {
+	e, _, p, done := newPool(t, DefaultConfig(8))
+	if p.ActiveCores() != 8 {
+		t.Fatalf("initial active = %d", p.ActiveCores())
+	}
+	p.SetActiveCores(2)
+	for i := 0; i < 16; i++ {
+		pk := pkt.NewData(uint64(i), uint32(i), i%8, 0, 4096)
+		pk.NICArrival = e.Now()
+		p.Enqueue(pk)
+	}
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*done) != 16 {
+		t.Fatalf("processed %d/16 with 2 active cores", len(*done))
+	}
+	// Scale back up: still drains.
+	p.SetActiveCores(8)
+	for i := 16; i < 32; i++ {
+		pk := pkt.NewData(uint64(i), uint32(i), i%8, 0, 4096)
+		pk.NICArrival = e.Now()
+		p.Enqueue(pk)
+	}
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*done) != 32 {
+		t.Fatalf("processed %d/32 after scaling up", len(*done))
+	}
+}
+
+func TestSetActiveCoresMigratesQueuedWork(t *testing.T) {
+	e, _, p, done := newPool(t, DefaultConfig(8))
+	// Queue work on high cores, then deactivate them before it runs.
+	for i := 0; i < 8; i++ {
+		pk := pkt.NewData(uint64(i), uint32(i), i, 0, 4096)
+		pk.NICArrival = e.Now()
+		p.Enqueue(pk)
+		pk2 := pkt.NewData(uint64(100+i), uint32(i), i, 0, 4096)
+		pk2.NICArrival = e.Now()
+		p.Enqueue(pk2)
+	}
+	p.SetActiveCores(1)
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*done) != 16 {
+		t.Fatalf("stranded packets after core deactivation: %d/16", len(*done))
+	}
+	if p.QueuedPackets() != 0 {
+		t.Errorf("QueuedPackets = %d after drain", p.QueuedPackets())
+	}
+}
+
+func TestSetActiveCoresValidation(t *testing.T) {
+	_, _, p, _ := newPool(t, DefaultConfig(4))
+	for _, n := range []int{0, 5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetActiveCores(%d) did not panic", n)
+				}
+			}()
+			p.SetActiveCores(n)
+		}()
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+// cell parses a table cell as float; empty cells return ok=false.
+func cell(t *testing.T, tab *Table, row int, col string) (float64, bool) {
+	t.Helper()
+	ci := -1
+	for i, c := range tab.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("%s: no column %q in %v", tab.ID, col, tab.Columns)
+	}
+	s := tab.Rows[row][ci]
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell %q not numeric: %v", tab.ID, s, err)
+	}
+	return v, true
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	tab, err := Fig3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// CPU-bound at 2 cores: ON == OFF, both far below the ceiling.
+	on2, _ := cell(t, tab, 0, "on_gbps")
+	off2, _ := cell(t, tab, 0, "off_gbps")
+	if on2 < 15 || on2 > 30 || off2 < 15 || off2 > 30 {
+		t.Errorf("2-core throughputs = %v/%v, want ≈23", on2, off2)
+	}
+	// Interconnect-bound at 12 cores: ON below OFF, misses nonzero.
+	on12, _ := cell(t, tab, 2, "on_gbps")
+	off12, _ := cell(t, tab, 2, "off_gbps")
+	m12, _ := cell(t, tab, 2, "on_misses_per_pkt")
+	if on12 >= off12 {
+		t.Errorf("12-core: ON %v not below OFF %v", on12, off12)
+	}
+	if m12 <= 0 {
+		t.Error("12-core: no IOTLB misses")
+	}
+	// The modeled column only appears for cores ≥ 10.
+	if _, ok := cell(t, tab, 0, "modeled_gbps"); ok {
+		t.Error("modeled value present in the CPU-bound regime")
+	}
+	if mv, ok := cell(t, tab, 2, "modeled_gbps"); !ok || mv < 60 || mv > 95 {
+		t.Errorf("modeled at 12 cores = %v (ok=%v)", mv, ok)
+	}
+	if !strings.Contains(tab.Render(), "fig3") {
+		t.Error("Render missing experiment id")
+	}
+	if tab.PlotString() == "" {
+		t.Error("missing plot")
+	}
+}
+
+func TestFig4QuickShape(t *testing.T) {
+	tab, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tab.Rows) - 1
+	huge, _ := cell(t, tab, last, "huge_gbps")
+	small, _ := cell(t, tab, last, "4k_gbps")
+	if small >= huge {
+		t.Errorf("4K pages (%v) not slower than hugepages (%v) at 12 cores", small, huge)
+	}
+	mh, _ := cell(t, tab, last, "huge_misses_per_pkt")
+	ms, _ := cell(t, tab, last, "4k_misses_per_pkt")
+	if ms <= mh {
+		t.Errorf("4K misses (%v) not above hugepage misses (%v)", ms, mh)
+	}
+	// 4K pages already miss at 2 cores (3072 pages ≫ 128 entries).
+	ms2, _ := cell(t, tab, 0, "4k_misses_per_pkt")
+	if ms2 <= 0.5 {
+		t.Errorf("2-core 4K misses = %v, want substantial", ms2)
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	tab, err := Fig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger regions mean more IOTLB pressure: misses grow 4MB → 16MB.
+	m4, _ := cell(t, tab, 0, "on_misses_per_pkt")
+	m16, _ := cell(t, tab, len(tab.Rows)-1, "on_misses_per_pkt")
+	if m16 <= m4 {
+		t.Errorf("misses did not grow with region size: %v -> %v", m4, m16)
+	}
+	g4, _ := cell(t, tab, 0, "on_gbps")
+	g16, _ := cell(t, tab, len(tab.Rows)-1, "on_gbps")
+	if g16 >= g4 {
+		t.Errorf("throughput did not degrade with region size: %v -> %v", g4, g16)
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	tab, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory bandwidth grows with antagonist cores; NIC throughput falls.
+	bw0, _ := cell(t, tab, 0, "off_membw_gbps")
+	bwN, _ := cell(t, tab, len(tab.Rows)-1, "off_membw_gbps")
+	if bwN <= bw0 {
+		t.Errorf("memory bandwidth did not grow: %v -> %v", bw0, bwN)
+	}
+	g0, _ := cell(t, tab, 0, "off_gbps")
+	gN, _ := cell(t, tab, len(tab.Rows)-1, "off_gbps")
+	if gN >= g0-5 {
+		t.Errorf("no throughput collapse under antagonism: %v -> %v", g0, gN)
+	}
+	// The IOMMU-off case must also degrade (the paper's key point: this
+	// happens with no IOMMU contention at all).
+	on0, _ := cell(t, tab, 0, "on_gbps")
+	onN, _ := cell(t, tab, len(tab.Rows)-1, "on_gbps")
+	if onN >= on0 {
+		t.Errorf("IOMMU-on case did not degrade: %v -> %v", on0, onN)
+	}
+}
+
+func TestExtensionsRunQuick(t *testing.T) {
+	for _, id := range []string{"target", "buffer", "ats", "cxl", "mba", "subrtt", "cc"} {
+		tab, err := Registry[id](quick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		if tab.CSVString() == "" {
+			t.Errorf("%s: empty CSV", id)
+		}
+	}
+}
+
+func TestExtATSRecoversThroughput(t *testing.T) {
+	tab, err := ExtATS(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large device TLB should recover throughput vs none.
+	none, _ := cell(t, tab, 0, "gbps")
+	big, _ := cell(t, tab, len(tab.Rows)-1, "gbps")
+	if big <= none {
+		t.Errorf("device TLB did not help: %v -> %v", none, big)
+	}
+	mNone, _ := cell(t, tab, 0, "misses_per_pkt")
+	mBig, _ := cell(t, tab, len(tab.Rows)-1, "misses_per_pkt")
+	if mBig >= mNone {
+		t.Errorf("device TLB did not cut misses: %v -> %v", mNone, mBig)
+	}
+}
+
+func TestExtMBAProtectsNIC(t *testing.T) {
+	tab, err := ExtMBA(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, _ := cell(t, tab, 0, "gbps")
+	reserved, _ := cell(t, tab, len(tab.Rows)-1, "gbps")
+	if reserved <= none {
+		t.Errorf("bandwidth reservation did not help under antagonism: %v -> %v", none, reserved)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Errorf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Errorf("missing registry entry %q", id)
+		}
+	}
+}

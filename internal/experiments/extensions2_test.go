@@ -1,0 +1,85 @@
+package experiments
+
+import "testing"
+
+func TestExtStrictModeWorse(t *testing.T) {
+	tab, err := ExtStrictMode(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 12 cores, strict mode must be no faster than loose and must
+	// show at least the same miss rate (every DMA cold-misses).
+	last := len(tab.Rows) - 1
+	loose, _ := cell(t, tab, last, "loose_gbps")
+	strict, _ := cell(t, tab, last, "strict_gbps")
+	if strict > loose {
+		t.Errorf("strict mode (%v) beat loose mode (%v)", strict, loose)
+	}
+	ml, _ := cell(t, tab, last, "loose_misses_per_pkt")
+	ms, _ := cell(t, tab, last, "strict_misses_per_pkt")
+	if ms <= ml {
+		t.Errorf("strict misses (%v) not above loose (%v)", ms, ml)
+	}
+}
+
+func TestExtTailLatencyGrowsWithAntagonism(t *testing.T) {
+	tab, err := ExtTailLatency(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99idle, _ := cell(t, tab, 0, "read_p99_us")
+	p99noisy, _ := cell(t, tab, len(tab.Rows)-1, "read_p99_us")
+	if p99noisy <= p99idle {
+		t.Errorf("read p99 did not inflate under antagonism: %v -> %v µs", p99idle, p99noisy)
+	}
+	// The paper's claim: hundreds of microseconds of tail latency.
+	if p99noisy < 100 {
+		t.Errorf("antagonized read p99 = %v µs, want ≥100 (paper: hundreds of µs)", p99noisy)
+	}
+}
+
+func TestExtIsolationVictimSuffers(t *testing.T) {
+	tab, err := ExtIsolation(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, _ := cell(t, tab, 0, "drop_pct")
+	shared, _ := cell(t, tab, 1, "drop_pct")
+	if alone > 0.01 {
+		t.Errorf("victim alone drops %v%%, want ≈0", alone)
+	}
+	if shared <= alone {
+		t.Errorf("congested scenario drop %v%% not above victim-alone %v%%", shared, alone)
+	}
+}
+
+func TestExtSawtoothProducesSeries(t *testing.T) {
+	tab, err := ExtSawtooth(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("sawtooth rows = %d", len(tab.Rows))
+	}
+	// Throughput must be nonzero in every bin and vary over time
+	// (the sawtooth), at least a little.
+	min, max := 1e18, 0.0
+	for i := range tab.Rows {
+		g, _ := cell(t, tab, i, "gbps")
+		if g <= 0 {
+			t.Fatalf("bin %d throughput %v", i, g)
+		}
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	if max == min {
+		t.Error("throughput perfectly flat; expected oscillation")
+	}
+	if tab.PlotString() == "" {
+		t.Error("missing plot")
+	}
+}

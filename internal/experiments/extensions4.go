@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"hic/internal/core"
+)
+
+// ExtSenderSide makes footnote 1 runnable: the sender-side TX path has
+// NIC→CPU backpressure, so contending the *senders'* memory buses delays
+// packets but never drops them — while the same contention at the
+// *receiver* collapses throughput and (in the blind zone) drops packets.
+// Host congestion is a receive-side phenomenon.
+func ExtSenderSide(o Options) (*Table, error) {
+	type scenario struct {
+		name string
+		mut  func(*core.Params)
+	}
+	scs := []scenario{
+		{"baseline (no host model contended)", func(p *core.Params) {
+			p.SenderHostModel = true
+		}},
+		{"senders' memory contended", func(p *core.Params) {
+			p.SenderHostModel = true
+			p.SenderAntagonistCores = 12
+		}},
+		{"receiver's memory contended", func(p *core.Params) {
+			p.SenderHostModel = true
+			p.AntagonistCores = 12
+		}},
+	}
+	if o.Quick {
+		scs = scs[:2]
+	}
+	const threads = 8 // CPU-headroom regime: differences are interconnect-only
+	var ps []core.Params
+	for _, sc := range scs {
+		p := o.params(threads)
+		p.Senders = 16 // keep the per-sender host count manageable
+		sc.mut(&p)
+		ps = append(ps, p)
+	}
+	rs, err := core.RunMany(ps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ext-sender",
+		Title:   "Sender-side vs receiver-side memory contention (footnote 1)",
+		Columns: []string{"scenario", "gbps", "drop_pct", "retransmits"},
+	}
+	for i, sc := range scs {
+		r := rs[i]
+		t.Rows = append(t.Rows, []string{
+			sc.name, f1(r.AppThroughputGbps), f2(r.DropRatePct),
+			f1(float64(r.Retransmits)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"testing"
+
+	"hic/internal/metrics"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+func newNet(t *testing.T, cfg Config, senders int) (*sim.Engine, *Network, *[]*pkt.Packet, *[]int) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	var rx []*pkt.Packet
+	var acks []int
+	n, err := New(e, metrics.NewRegistry(), senders, cfg,
+		func(p *pkt.Packet) { rx = append(rx, p) },
+		func(s int, p *pkt.Packet) { acks = append(acks, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, n, &rx, &acks
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SenderLinkRate = 0 },
+		func(c *Config) { c.AccessLinkRate = 0 },
+		func(c *Config) { c.PropagationDelay = -1 },
+		func(c *Config) { c.SwitchBufferBytes = 0 },
+		func(c *Config) { c.ECNThresholdBytes = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(sim.NewEngine(1), metrics.NewRegistry(), 1, cfg,
+			func(*pkt.Packet) {}, func(int, *pkt.Packet) {}); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(sim.NewEngine(1), metrics.NewRegistry(), 0, DefaultConfig(),
+		func(*pkt.Packet) {}, func(int, *pkt.Packet) {}); err == nil {
+		t.Error("zero senders accepted")
+	}
+}
+
+func TestEndToEndDelay(t *testing.T) {
+	e, n, rx, _ := newNet(t, DefaultConfig(), 2)
+	p := pkt.NewData(1, 0, 0, 0, 4096)
+	n.SendToReceiver(0, p)
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*rx) != 1 {
+		t.Fatalf("delivered %d, want 1", len(*rx))
+	}
+	// One-way: 4452B serialization twice (~356ns each) + 5µs propagation.
+	if p.EchoFabric < 5*sim.Microsecond || p.EchoFabric > 7*sim.Microsecond {
+		t.Errorf("fabric delay = %v, want ≈5.7µs", p.EchoFabric)
+	}
+}
+
+func TestAccessLinkCapsAggregateRate(t *testing.T) {
+	e, n, rx, _ := newNet(t, DefaultConfig(), 10)
+	// 10 senders × 100 Gbps egress into one 100 Gbps access link.
+	const per = 100
+	for s := 0; s < 10; s++ {
+		for i := 0; i < per; i++ {
+			n.SendToReceiver(s, pkt.NewData(uint64(s*per+i), uint32(s), 0, uint64(i), 4096))
+		}
+	}
+	e.Run(e.Now().Add(100 * sim.Millisecond))
+	if len(*rx) != 10*per {
+		t.Fatalf("delivered %d/%d (switch drops=%d)", len(*rx), 10*per, n.SwitchDrops())
+	}
+	last := (*rx)[len(*rx)-1]
+	wireBits := float64(10*per*last.WireBytes) * 8
+	gbps := wireBits / float64(last.SentAt.Add(last.EchoFabric)) // ≈ total time
+	if gbps > 101 {
+		t.Errorf("aggregate rate %.1f Gbps exceeds access link", gbps)
+	}
+	if gbps < 90 {
+		t.Errorf("aggregate rate %.1f Gbps far below a saturated access link", gbps)
+	}
+}
+
+func TestSwitchTailDrop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SwitchBufferBytes = 10000
+	e, n, rx, _ := newNet(t, cfg, 4)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 20; i++ {
+			n.SendToReceiver(s, pkt.NewData(uint64(s*20+i), uint32(s), 0, uint64(i), 4096))
+		}
+	}
+	e.Run(e.Now().Add(10 * sim.Millisecond))
+	if n.SwitchDrops() == 0 {
+		t.Error("overloaded shallow switch buffer did not drop")
+	}
+	if len(*rx)+int(n.SwitchDrops()) != 80 {
+		t.Errorf("delivered %d + dropped %d != 80", len(*rx), n.SwitchDrops())
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ECNThresholdBytes = 9000
+	e, n, rx, _ := newNet(t, cfg, 4)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 10; i++ {
+			n.SendToReceiver(s, pkt.NewData(uint64(s*10+i), uint32(s), 0, uint64(i), 4096))
+		}
+	}
+	e.Run(e.Now().Add(10 * sim.Millisecond))
+	marked := 0
+	for _, p := range *rx {
+		if p.ECN {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Error("no ECN marks despite queue exceeding threshold")
+	}
+	unmarked := len(*rx) - marked
+	if unmarked == 0 {
+		t.Error("every packet marked; first arrivals should see an empty queue")
+	}
+}
+
+func TestAckPath(t *testing.T) {
+	e, n, _, acks := newNet(t, DefaultConfig(), 3)
+	data := pkt.NewData(1, 2, 0, 7, 4096)
+	ack := pkt.NewAck(2, data)
+	sent := e.Now()
+	n.SendToSender(2, ack)
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*acks) != 1 || (*acks)[0] != 2 {
+		t.Fatalf("acks = %v, want [2]", *acks)
+	}
+	elapsed := e.Now().Sub(sent)
+	_ = elapsed // delivery time checked via engine horizon; presence is the contract
+}
+
+func TestOutOfRangeSenderPanics(t *testing.T) {
+	_, n, _, _ := newNet(t, DefaultConfig(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range sender did not panic")
+		}
+	}()
+	n.SendToReceiver(5, pkt.NewData(1, 0, 0, 0, 4096))
+}

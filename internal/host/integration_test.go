@@ -1,0 +1,286 @@
+package host
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"hic/internal/iommu"
+	"hic/internal/pcie"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+	"hic/internal/wire"
+)
+
+// These integration tests assert end-to-end invariants of the assembled
+// testbed — conservation laws and paper-shape properties that no single
+// module can check alone.
+
+func TestPacketConservation(t *testing.T) {
+	cfg := swiftConfig(4)
+	cfg.Senders = 8
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	tb.Engine.Run(tb.Engine.Now().Add(10 * sim.Millisecond))
+
+	sent := tb.Registry.Counter("transport.sent.packets").Value()
+	ns := tb.NIC.Stats()
+	arrived := ns.RxPackets + ns.Drops
+	inFabric := sent - arrived
+	// Everything sent either reached the NIC, dropped there, or is still
+	// in flight inside the fabric (bounded by the BDP + switch buffer).
+	if arrived > sent {
+		t.Fatalf("NIC saw %d packets but only %d were sent", arrived, sent)
+	}
+	if inFabric > 3000 {
+		t.Errorf("%d packets unaccounted for (sent=%d arrived=%d)", inFabric, sent, arrived)
+	}
+	// Everything the NIC delivered was processed or is queued at cores.
+	delivered := ns.RxPackets
+	processed := tb.CPU.Processed()
+	queued := uint64(tb.CPU.QueuedPackets())
+	inDMA := delivered - processed - queued
+	if processed+queued > delivered {
+		t.Fatalf("CPU handled %d+%d packets but NIC admitted %d", processed, queued, delivered)
+	}
+	if inDMA > 64 {
+		t.Errorf("%d packets stuck between NIC admission and CPU", inDMA)
+	}
+}
+
+func TestCreditConservationEndToEnd(t *testing.T) {
+	cfg := swiftConfig(8)
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	tb.Engine.Run(tb.Engine.Now().Add(10 * sim.Millisecond))
+	// Stop the senders and drain.
+	for _, c := range tb.Conns {
+		c.SetActive(false)
+	}
+	tb.Engine.Run(tb.Engine.Now().Add(5 * sim.Millisecond))
+	if got, want := tb.Link.CreditsAvailable(), pcie.DefaultConfig().CreditBytes; got != want {
+		t.Errorf("credits after drain = %d, want full pool %d", got, want)
+	}
+	if tb.NIC.BufferUsed() != 0 {
+		t.Errorf("NIC buffer not drained: %d bytes", tb.NIC.BufferUsed())
+	}
+	if tb.CPU.QueuedPackets() != 0 {
+		t.Errorf("CPU queues not drained: %d packets", tb.CPU.QueuedPackets())
+	}
+}
+
+func TestGoodputNeverExceedsArrivals(t *testing.T) {
+	cfg := swiftConfig(12)
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Run(5*sim.Millisecond, 10*sim.Millisecond)
+	// Packets DMA-complete before the measurement boundary may reach the
+	// application just after it; allow that in-flight skew.
+	slack := uint64(256 * cfg.Transport.MTU)
+	if res.Goodput > tb.NIC.Stats().RxPayloadBytes+slack {
+		t.Errorf("goodput %d exceeds NIC payload %d", res.Goodput, tb.NIC.Stats().RxPayloadBytes)
+	}
+	// Each flow may complete one read whose earlier packets landed
+	// before the measurement boundary, so allow one read of slack per
+	// connection.
+	flows := uint64(cfg.Senders * cfg.ReceiverThreads)
+	if res.Reads > res.Goodput/uint64(cfg.Transport.ReadSize)+flows {
+		t.Errorf("reads %d exceed goodput/16KB + flows", res.Reads)
+	}
+}
+
+func TestHostDelayRespectsSwiftTargetWhenVisible(t *testing.T) {
+	// Below the blind threshold (heavy antagonism pushes service down),
+	// Swift must keep the p50 host delay near its 100µs target.
+	cfg := swiftConfig(12)
+	cfg.AntagonistCores = 12
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Run(15*sim.Millisecond, 15*sim.Millisecond)
+	if res.AppThroughputGbps > 75 {
+		t.Skip("antagonism did not push the host below the blind threshold")
+	}
+	if res.HostDelayP50 > 130*sim.Microsecond {
+		t.Errorf("p50 host delay %v far above the 100µs target", res.HostDelayP50)
+	}
+	if res.DropRatePct > 1 {
+		t.Errorf("drop rate %v%% with CC active, want ≈0", res.DropRatePct)
+	}
+}
+
+func TestBlindZoneDropsDespiteSwift(t *testing.T) {
+	// The §3.1 centerpiece: at 10–12 threads the IOMMU bottleneck sits
+	// above 81 Gbps, the NIC buffer drains under the 100µs target, and
+	// Swift never sees the congestion — steady-state drops follow.
+	cfg := swiftConfig(10)
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Run(15*sim.Millisecond, 15*sim.Millisecond)
+	if res.AppThroughputGbps < 81 {
+		t.Skipf("operating point below the blind threshold (%.1f)", res.AppThroughputGbps)
+	}
+	if res.Drops == 0 {
+		t.Error("no drops in the congestion-control blind zone")
+	}
+}
+
+func TestMissesPerPacketKneeAtEightThreads(t *testing.T) {
+	// The IOTLB working set (16 entries/thread) crosses 128 entries just
+	// above 8 threads: misses per packet must be ≈0 at 8 and clearly
+	// positive at 12.
+	run := func(threads int) float64 {
+		cfg := swiftConfig(threads)
+		tb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Run(8*sim.Millisecond, 10*sim.Millisecond).IOTLBMissesPerPacket
+	}
+	at8 := run(8)
+	at12 := run(12)
+	if at8 > 0.1 {
+		t.Errorf("misses/packet at 8 threads = %v, want ≈0 (below the knee)", at8)
+	}
+	if at12 < 0.5 {
+		t.Errorf("misses/packet at 12 threads = %v, want ≫0 (above the knee)", at12)
+	}
+}
+
+func TestFourKPagesWorseThanHugepages(t *testing.T) {
+	run := func(huge bool) Results {
+		cfg := swiftConfig(12)
+		cfg.Hugepages = huge
+		tb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Run(8*sim.Millisecond, 10*sim.Millisecond)
+	}
+	hp := run(true)
+	small := run(false)
+	if small.AppThroughputGbps >= hp.AppThroughputGbps {
+		t.Errorf("4K pages (%.1f) not slower than hugepages (%.1f)",
+			small.AppThroughputGbps, hp.AppThroughputGbps)
+	}
+	if small.IOTLBMissesPerPacket <= hp.IOTLBMissesPerPacket {
+		t.Errorf("4K misses (%v) not above hugepage misses (%v)",
+			small.IOTLBMissesPerPacket, hp.IOTLBMissesPerPacket)
+	}
+}
+
+func TestEnableTraceRecordsSeries(t *testing.T) {
+	cfg := swiftConfig(4)
+	cfg.Senders = 8
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tb.EnableTrace(100 * sim.Microsecond)
+	tb.Run(2*sim.Millisecond, 3*sim.Millisecond)
+	if rec.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	names := rec.Names()
+	want := map[string]bool{"goodput_gbps": true, "nic_buffer_kb": true, "cwnd_sum_pkts": true}
+	found := 0
+	for _, n := range names {
+		if want[n] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("trace series = %v, missing expected probes", names)
+	}
+	// Goodput must be positive once warmed up.
+	s := rec.Series("goodput_gbps")
+	if s[len(s)-1].Value <= 0 {
+		t.Error("traced goodput never positive")
+	}
+}
+
+func TestNoFabricDropsInHostExperiments(t *testing.T) {
+	// The paper's congestion is entirely at the host; the fabric is
+	// provisioned so the switch never drops in any standard scenario.
+	for _, threads := range []int{4, 12, 16} {
+		cfg := swiftConfig(threads)
+		tb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := tb.Run(5*sim.Millisecond, 8*sim.Millisecond)
+		if res.SwitchDrops != 0 {
+			t.Errorf("threads=%d: %d switch drops (fabric must not bottleneck)",
+				threads, res.SwitchDrops)
+		}
+	}
+}
+
+func TestStrictModeEndToEnd(t *testing.T) {
+	loose := swiftConfig(8)
+	strict := swiftConfig(8)
+	strict.IOMMU.Mode = iommu.StrictMode
+	tbL, err := New(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbS, err := New(strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := tbL.Run(8*sim.Millisecond, 10*sim.Millisecond)
+	rs := tbS.Run(8*sim.Millisecond, 10*sim.Millisecond)
+	if rs.AppThroughputGbps > rl.AppThroughputGbps {
+		t.Errorf("strict mode (%.1f) beat loose mode (%.1f)",
+			rs.AppThroughputGbps, rl.AppThroughputGbps)
+	}
+	if tbS.Registry.Counter("iommu.strict.maps").Value() == 0 {
+		t.Error("strict mode performed no per-DMA maps")
+	}
+}
+
+func TestEnableCaptureRecordsArrivals(t *testing.T) {
+	cfg := swiftConfig(2)
+	cfg.Senders = 4
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cw := tb.EnableCapture(&buf)
+	tb.Run(sim.Millisecond, 2*sim.Millisecond)
+	if cw.Count() == 0 {
+		t.Fatal("capture recorded nothing")
+	}
+	// Every record decodes and is a data packet for a valid queue.
+	r := wire.NewReader(&buf)
+	n := 0
+	for {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		if p.Kind != pkt.Data || p.Queue < 0 || p.Queue >= cfg.ReceiverThreads {
+			t.Fatalf("bad captured packet: %+v", p)
+		}
+		n++
+	}
+	if n != cw.Count() {
+		t.Errorf("decoded %d records, writer reports %d", n, cw.Count())
+	}
+}

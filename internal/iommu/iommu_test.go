@@ -1,0 +1,447 @@
+package iommu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hic/internal/mem"
+	"hic/internal/metrics"
+	"hic/internal/sim"
+)
+
+func newIOMMU(t testing.TB, cfg Config) (*sim.Engine, *IOMMU) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	mc, err := mem.New(e, metrics.NewRegistry(), mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(e, mc, metrics.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, u
+}
+
+// translate runs a Translate call to completion and returns the result.
+func translate(e *sim.Engine, u *IOMMU, iova uint64, size int) TranslationResult {
+	var res TranslationResult
+	gotIt := false
+	u.Translate(iova, size, func(r TranslationResult) { res = r; gotIt = true })
+	e.Run(e.Now().Add(10 * sim.Millisecond))
+	if !gotIt {
+		panic("translation never completed")
+	}
+	return res
+}
+
+func TestPageSize(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page2M.Bytes() != 2<<20 {
+		t.Error("page byte sizes wrong")
+	}
+	if Page4K.WalkLevels() != 4 || Page2M.WalkLevels() != 3 {
+		t.Error("walk levels wrong")
+	}
+	if Page4K.String() != "4K" || Page2M.String() != "2M" {
+		t.Error("String() wrong")
+	}
+}
+
+func TestDisabledIOMMUTranslatesInstantly(t *testing.T) {
+	e, u := newIOMMU(t, Config{Enabled: false})
+	if u.Enabled() {
+		t.Fatal("Enabled() true for disabled config")
+	}
+	start := e.Now()
+	var res TranslationResult
+	u.Translate(0xdead000, 4096, func(r TranslationResult) { res = r })
+	if e.Now() != start {
+		t.Error("disabled translation consumed simulated time")
+	}
+	if res.Misses != 0 || res.Fault != nil {
+		t.Errorf("disabled translation result = %+v", res)
+	}
+}
+
+func TestUnmappedAddressFaults(t *testing.T) {
+	e, u := newIOMMU(t, DefaultConfig())
+	res := translate(e, u, 0x100000, 4096)
+	if res.Fault == nil {
+		t.Error("unmapped DMA did not fault")
+	}
+	if u.Stats().Faults != 1 {
+		t.Errorf("fault counter = %d", u.Stats().Faults)
+	}
+}
+
+func TestMapRegionValidation(t *testing.T) {
+	_, u := newIOMMU(t, DefaultConfig())
+	if err := u.MapRegion(0, 0, Page4K); err == nil {
+		t.Error("empty region accepted")
+	}
+	if err := u.MapRegion(123, 4096, Page4K); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if err := u.MapRegion(1<<21, 1<<21, Page2M); err != nil {
+		t.Errorf("valid 2M region rejected: %v", err)
+	}
+	if err := u.MapRegion(1<<21, 4096, Page4K); err == nil {
+		t.Error("overlapping region accepted")
+	}
+	if u.MappedPages() != 1 {
+		t.Errorf("MappedPages = %d, want 1", u.MappedPages())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	e, u := newIOMMU(t, DefaultConfig())
+	if err := u.MapRegion(0, 1<<20, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	r1 := translate(e, u, 0x1000, 64)
+	if r1.Misses != 1 {
+		t.Errorf("cold access misses = %d, want 1", r1.Misses)
+	}
+	if r1.WalkAccesses < 1 || r1.WalkAccesses > 4 {
+		t.Errorf("cold walk accesses = %d, want 1..4", r1.WalkAccesses)
+	}
+	r2 := translate(e, u, 0x1040, 64) // same page
+	if r2.Misses != 0 {
+		t.Errorf("warm access misses = %d, want 0", r2.Misses)
+	}
+	st := u.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Translations != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDMASpanningPages(t *testing.T) {
+	e, u := newIOMMU(t, DefaultConfig())
+	if err := u.MapRegion(0, 1<<20, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// 4KB DMA starting mid-page touches two 4K pages.
+	res := translate(e, u, 0x800, 4096)
+	if res.Pages != 2 {
+		t.Errorf("Pages = %d, want 2", res.Pages)
+	}
+	if res.Misses != 2 {
+		t.Errorf("Misses = %d, want 2 (both cold)", res.Misses)
+	}
+	// Same DMA within one 2M hugepage touches one page.
+	if err := u.MapRegion(1<<21, 1<<21, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	res = translate(e, u, (1<<21)+0x800, 4096)
+	if res.Pages != 1 {
+		t.Errorf("hugepage Pages = %d, want 1", res.Pages)
+	}
+}
+
+func TestHugepageWalkShorterThan4K(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PWCEntriesPerLevel = 0 // disable PWC to expose raw walk lengths
+	e, u := newIOMMU(t, cfg)
+	if err := u.MapRegion(0, 1<<20, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.MapRegion(1<<30, 1<<21, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	r4k := translate(e, u, 0, 64)
+	r2m := translate(e, u, 1<<30, 64)
+	if r4k.WalkAccesses != 4 {
+		t.Errorf("4K walk = %d reads, want 4", r4k.WalkAccesses)
+	}
+	if r2m.WalkAccesses != 3 {
+		t.Errorf("2M walk = %d reads, want 3", r2m.WalkAccesses)
+	}
+}
+
+func TestPWCReducesWalkReads(t *testing.T) {
+	e, u := newIOMMU(t, DefaultConfig())
+	if err := u.MapRegion(0, 64<<20, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// First walk in a 2MB neighbourhood: full cost. Second walk to a
+	// different 4K page nearby: upper levels cached, leaf read only.
+	r1 := translate(e, u, 0, 64)
+	r2 := translate(e, u, 0x5000, 64)
+	if r2.WalkAccesses >= r1.WalkAccesses {
+		t.Errorf("PWC did not reduce walk reads: first=%d second=%d",
+			r1.WalkAccesses, r2.WalkAccesses)
+	}
+	if r2.WalkAccesses != 1 {
+		t.Errorf("neighbour walk reads = %d, want 1 (leaf only)", r2.WalkAccesses)
+	}
+}
+
+func TestIOTLBCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig() // 128 entries
+	e, u := newIOMMU(t, cfg)
+	if err := u.MapRegion(0, 4<<20, Page4K); err != nil { // 1024 pages
+		t.Fatal(err)
+	}
+	// Touch 512 distinct pages: far beyond capacity.
+	for i := 0; i < 512; i++ {
+		translate(e, u, uint64(i)*4096, 64)
+	}
+	st := u.Stats()
+	if st.Misses != 512 {
+		t.Errorf("cold scan misses = %d, want 512", st.Misses)
+	}
+	// Re-scan: with a 128-entry cache and a 512-page cyclic scan, LRU
+	// guarantees misses again.
+	for i := 0; i < 512; i++ {
+		translate(e, u, uint64(i)*4096, 64)
+	}
+	st = u.Stats()
+	if st.Misses != 1024 {
+		t.Errorf("re-scan misses = %d, want 1024 (LRU thrash)", st.Misses)
+	}
+}
+
+func TestWorkingSetWithinTLBHasNoSteadyMisses(t *testing.T) {
+	e, u := newIOMMU(t, DefaultConfig())
+	if err := u.MapRegion(0, 64*4096, Page4K); err != nil { // 64 pages < 128 entries
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 64; i++ {
+			translate(e, u, uint64(i)*4096, 64)
+		}
+	}
+	st := u.Stats()
+	// All misses must be cold (some conflict misses are tolerable with
+	// 8-way sets; allow a small margin).
+	if st.Misses > 80 {
+		t.Errorf("steady-state misses = %d for a 64-page working set (want ≈64 cold)", st.Misses)
+	}
+}
+
+func TestDeviceTLBBypassesIOTLB(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeviceTLBEntries = 1024
+	e, u := newIOMMU(t, cfg)
+	if err := u.MapRegion(0, 4<<20, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// Scan 512 pages twice. With a 1024-entry device TLB, the second
+	// scan hits on-device and the IOTLB sees no new traffic.
+	for i := 0; i < 512; i++ {
+		translate(e, u, uint64(i)*4096, 64)
+	}
+	missesAfterCold := u.Stats().Misses
+	for i := 0; i < 512; i++ {
+		translate(e, u, uint64(i)*4096, 64)
+	}
+	st := u.Stats()
+	// The 8-way device TLB hashes 512 keys into 128 sets; a few sets
+	// overflow their ways, so allow bounded conflict misses while the
+	// bulk of the rescan must hit on-device.
+	grown := st.Misses - missesAfterCold
+	if grown > 512/2 {
+		t.Errorf("misses grew by %d on rescan despite device TLB", grown)
+	}
+	if st.DeviceHits < 256 {
+		t.Errorf("device hits = %d, want the majority of 512", st.DeviceHits)
+	}
+}
+
+func TestUnmapInvalidatesTranslations(t *testing.T) {
+	e, u := newIOMMU(t, DefaultConfig())
+	if err := u.MapRegion(0, 1<<20, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	translate(e, u, 0, 64)
+	if err := u.UnmapRegion(0); err != nil {
+		t.Fatal(err)
+	}
+	if u.MappedPages() != 0 {
+		t.Errorf("MappedPages after unmap = %d", u.MappedPages())
+	}
+	res := translate(e, u, 0, 64)
+	if res.Fault == nil {
+		t.Error("access to unmapped region did not fault")
+	}
+	if err := u.UnmapRegion(0x999000); err == nil {
+		t.Error("unmapping unknown region did not error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	mc, _ := mem.New(e, metrics.NewRegistry(), mem.DefaultConfig())
+	bad := []Config{
+		{Enabled: true, TLBEntries: 0, TLBWays: 1, WalkEntryBytes: 64},
+		{Enabled: true, TLBEntries: 128, TLBWays: 0, WalkEntryBytes: 64},
+		{Enabled: true, TLBEntries: 128, TLBWays: 7, WalkEntryBytes: 64}, // 7 ∤ 128
+		{Enabled: true, TLBEntries: 128, TLBWays: 8, WalkEntryBytes: 0},
+		{Enabled: true, TLBEntries: 128, TLBWays: 8, WalkEntryBytes: 64, PWCEntriesPerLevel: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(e, mc, metrics.NewRegistry(), cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// Disabled config needs no cache parameters.
+	if _, err := New(e, mc, metrics.NewRegistry(), Config{Enabled: false}); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+}
+
+func TestWalkLatencyFeelsMemoryLoad(t *testing.T) {
+	e := sim.NewEngine(1)
+	mc, err := mem.New(e, metrics.NewRegistry(), mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PWCEntriesPerLevel = 0
+	u, err := New(e, mc, metrics.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.MapRegion(0, 64<<20, Page4K); err != nil {
+		t.Fatal(err)
+	}
+
+	timeWalk := func(iova uint64) sim.Duration {
+		start := e.Now()
+		var end sim.Time
+		u.Translate(iova, 64, func(TranslationResult) { end = e.Now() })
+		e.Run(e.Now().Add(10 * sim.Millisecond))
+		return end.Sub(start)
+	}
+	idle := timeWalk(0)
+	mc.SetCPUDemand("antagonist", 150e9)
+	e.Run(e.Now().Add(100 * sim.Microsecond))
+	loaded := timeWalk(8 << 20)
+	// The walk's fixed per-step cost dominates; the memory component
+	// still has to inflate visibly.
+	if loaded < idle+sim.Duration(3*float64(mem.DefaultConfig().BaseLatency)*3) {
+		t.Errorf("loaded walk %v not ≫ idle walk %v", loaded, idle)
+	}
+}
+
+// Property: LRU TLB lookup-after-insert always hits, and occupancy never
+// exceeds capacity.
+func TestTLBProperties(t *testing.T) {
+	f := func(keys []uint16) bool {
+		c := newTLB(128, 8)
+		for _, k := range keys {
+			key := tlbKey(k)
+			c.insert(key)
+			if !c.lookup(key) {
+				return false
+			}
+		}
+		total := 0
+		for _, s := range c.sets {
+			if len(s) > c.ways {
+				return false
+			}
+			total += len(s)
+		}
+		return total <= 128
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with any sequence of accesses to a mapped region, miss count
+// never exceeds translation count and stats stay consistent.
+func TestStatsConsistencyProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e, u := newIOMMU(t, DefaultConfig())
+		if err := u.MapRegion(0, 1<<28, Page4K); err != nil {
+			return false
+		}
+		for _, off := range offsets {
+			translate(e, u, uint64(off)*4096, 64)
+		}
+		st := u.Stats()
+		return st.Translations == uint64(len(offsets)) &&
+			st.Hits+st.Misses == st.Translations &&
+			st.WalkReads >= st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTranslateHit(b *testing.B) {
+	e, u := newIOMMU(b, DefaultConfig())
+	if err := u.MapRegion(0, 1<<20, Page4K); err != nil {
+		b.Fatal(err)
+	}
+	translate(e, u, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Translate(0, 64, func(TranslationResult) {})
+		if i%1024 == 0 {
+			e.Run(e.Now().Add(sim.Millisecond))
+		}
+	}
+	// Bounded horizon: the memory controller's epoch ticker never
+	// stops, so Drain() would loop forever.
+	e.Run(e.Now().Add(100 * sim.Millisecond))
+}
+
+func TestStrictModeColdMissesEveryDMA(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = StrictMode
+	e, u := newIOMMU(t, cfg)
+	// Strict mode needs no pre-registered regions: each DMA maps its own
+	// transient window.
+	r1 := translate(e, u, 0xabc000, 4096)
+	r2 := translate(e, u, 0xabc000, 4096) // same address: still cold
+	if r1.Fault != nil || r2.Fault != nil {
+		t.Fatalf("strict-mode faults: %v %v", r1.Fault, r2.Fault)
+	}
+	if r1.Misses == 0 || r2.Misses != r1.Misses {
+		t.Errorf("strict mode should cold-miss every DMA: %d then %d", r1.Misses, r2.Misses)
+	}
+	if u.Stats().Misses != uint64(r1.Misses+r2.Misses) {
+		t.Errorf("stats misses = %d", u.Stats().Misses)
+	}
+}
+
+func TestStrictModePaysMapLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = StrictMode
+	e, u := newIOMMU(t, cfg)
+	start := e.Now()
+	var end sim.Time
+	u.Translate(0x1000, 64, func(TranslationResult) { end = e.Now() })
+	e.Run(e.Now().Add(sim.Millisecond))
+	if end.Sub(start) < cfg.StrictMapLatency {
+		t.Errorf("strict DMA took %v, want ≥ map latency %v", end.Sub(start), cfg.StrictMapLatency)
+	}
+}
+
+func TestStrictModeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = StrictMode
+	cfg.StrictMapLatency = 0
+	e := sim.NewEngine(1)
+	mc, _ := mem.New(e, metrics.NewRegistry(), mem.DefaultConfig())
+	if _, err := New(e, mc, metrics.NewRegistry(), cfg); err == nil {
+		t.Error("strict mode with zero map latency accepted")
+	}
+	if LooseMode.String() != "loose" || StrictMode.String() != "strict" {
+		t.Error("MapMode.String wrong")
+	}
+}
+
+func TestStrictModeSpanningPages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = StrictMode
+	e, u := newIOMMU(t, cfg)
+	// 4KB DMA at a half-page offset: two 4K windows, two cold misses.
+	r := translate(e, u, 0x800, 4096)
+	if r.Pages != 2 || r.Misses != 2 {
+		t.Errorf("strict spanning DMA: pages=%d misses=%d, want 2/2", r.Pages, r.Misses)
+	}
+}

@@ -1,0 +1,276 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"hic/internal/metrics"
+	"hic/internal/sim"
+)
+
+// This file implements a request-level DRAM model — channels, banks,
+// row buffers, and an FR-FCFS-style scheduler — used to validate the
+// fluid load–latency curve the packet path runs on. Simulating every
+// 64-byte line of an 11.8 GB/s DMA stream would cost hundreds of
+// millions of events per experiment point, so the Controller above uses
+// the fluid approximation; DRAMSim here exists to show (in tests and
+// benchmarks) that the approximation's shape — flat, knee, overload
+// growth — matches a faithful bank-level simulation.
+
+// DRAMConfig describes the bank-level model. Defaults approximate one
+// DDR4-2400 NUMA node: 6 channels × 16 banks, ~19.2 GB/s per channel.
+type DRAMConfig struct {
+	// Channels and BanksPerChannel set the parallelism.
+	Channels, BanksPerChannel int
+	// LineBytes is the access granularity (one cache line).
+	LineBytes int
+	// TBurstNs is the data-bus occupancy per line transfer on a channel,
+	// in (fractional) nanoseconds — 64 B at 19.2 GB/s is 3.33 ns, below
+	// the integer clock granularity.
+	TBurstNs float64
+	// TCAS is the column access latency (row already open).
+	TCAS sim.Duration
+	// TRCD is the row activation latency (row closed).
+	TRCD sim.Duration
+	// TRP is the precharge latency (row conflict: close then open).
+	TRP sim.Duration
+	// RowBytes is the row-buffer span; accesses within the same row hit
+	// the open row.
+	RowBytes int
+	// QueueLimit bounds the per-channel request queue (back-pressure).
+	QueueLimit int
+}
+
+// DefaultDRAMConfig returns the DDR4-2400-like configuration.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Channels:        6,
+		BanksPerChannel: 16,
+		LineBytes:       64,
+		// 64 B burst at 19.2 GB/s per channel = 3.33 ns of bus time.
+		TBurstNs:   64.0 * 1e9 / 19.2e9,
+		TCAS:       14 * sim.Nanosecond,
+		TRCD:       14 * sim.Nanosecond,
+		TRP:        14 * sim.Nanosecond,
+		RowBytes:   8192,
+		QueueLimit: 256,
+	}
+}
+
+func (c DRAMConfig) validate() error {
+	if c.Channels <= 0 || c.BanksPerChannel <= 0 {
+		return fmt.Errorf("dram: channels and banks must be positive")
+	}
+	if c.LineBytes <= 0 || c.RowBytes < c.LineBytes {
+		return fmt.Errorf("dram: bad line/row sizes")
+	}
+	if c.TBurstNs <= 0 || c.TCAS <= 0 || c.TRCD <= 0 || c.TRP <= 0 {
+		return fmt.Errorf("dram: timing parameters must be positive")
+	}
+	if c.QueueLimit <= 0 {
+		return fmt.Errorf("dram: QueueLimit must be positive")
+	}
+	return nil
+}
+
+// PeakBandwidth returns the aggregate data-bus bandwidth.
+func (c DRAMConfig) PeakBandwidth() sim.BitsPerSecond {
+	perChannel := float64(c.LineBytes) * 8 * 1e9 / c.TBurstNs
+	return sim.BitsPerSecond(perChannel * float64(c.Channels))
+}
+
+type dramRequest struct {
+	addr uint64
+	done func()
+	at   sim.Time
+}
+
+type dramBank struct {
+	openRow   int64 // -1 = closed
+	readyAt   sim.Time
+	queue     []dramRequest
+	servicing bool
+}
+
+// DRAMSim is the bank-level simulator. Addresses interleave across
+// channels at line granularity (as real controllers do) and map to banks
+// by row.
+type DRAMSim struct {
+	engine *sim.Engine
+	cfg    DRAMConfig
+	banks  [][]*dramBank // [channel][bank]
+	busNs  []float64     // per-channel data-bus availability, fractional ns
+
+	served   *metrics.Counter
+	rowHits  *metrics.Counter
+	rowMiss  *metrics.Counter
+	rejected *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// NewDRAMSim constructs the bank-level model.
+func NewDRAMSim(engine *sim.Engine, reg *metrics.Registry, cfg DRAMConfig) (*DRAMSim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &DRAMSim{
+		engine:   engine,
+		cfg:      cfg,
+		busNs:    make([]float64, cfg.Channels),
+		served:   reg.Counter("dram.requests"),
+		rowHits:  reg.Counter("dram.row.hits"),
+		rowMiss:  reg.Counter("dram.row.misses"),
+		rejected: reg.Counter("dram.rejected"),
+		latency:  reg.Histogram("dram.latency.ns"),
+	}
+	d.banks = make([][]*dramBank, cfg.Channels)
+	for ch := range d.banks {
+		d.banks[ch] = make([]*dramBank, cfg.BanksPerChannel)
+		for b := range d.banks[ch] {
+			d.banks[ch][b] = &dramBank{openRow: -1}
+		}
+	}
+	return d, nil
+}
+
+// route maps an address to (channel, bank, row).
+func (d *DRAMSim) route(addr uint64) (ch, bank int, row int64) {
+	line := addr / uint64(d.cfg.LineBytes)
+	ch = int(line % uint64(d.cfg.Channels))
+	rowGlobal := addr / uint64(d.cfg.RowBytes)
+	bank = int(rowGlobal % uint64(d.cfg.BanksPerChannel))
+	row = int64(rowGlobal / uint64(d.cfg.BanksPerChannel))
+	return ch, bank, row
+}
+
+// Access requests one line at addr; done fires at completion. It reports
+// false (and drops the request) if the bank queue is full — callers see
+// back-pressure instead of unbounded queueing.
+func (d *DRAMSim) Access(addr uint64, done func()) bool {
+	ch, bankIdx, _ := d.route(addr)
+	bank := d.banks[ch][bankIdx]
+	if len(bank.queue) >= d.cfg.QueueLimit {
+		d.rejected.Inc()
+		return false
+	}
+	bank.queue = append(bank.queue, dramRequest{addr: addr, done: done, at: d.engine.Now()})
+	d.service(ch, bankIdx)
+	return true
+}
+
+// service runs one bank's queue, FCFS within the bank (bank-level
+// parallelism gives the FR-FCFS flavour: independent banks progress
+// concurrently while the shared channel bus serializes bursts).
+func (d *DRAMSim) service(ch, bankIdx int) {
+	bank := d.banks[ch][bankIdx]
+	if bank.servicing || len(bank.queue) == 0 {
+		return
+	}
+	bank.servicing = true
+	req := bank.queue[0]
+	bank.queue = bank.queue[1:]
+
+	_, _, row := d.route(req.addr)
+	now := d.engine.Now()
+	start := bank.readyAt
+	if start < now {
+		start = now
+	}
+
+	var access sim.Duration
+	switch {
+	case bank.openRow == row:
+		access = d.cfg.TCAS
+		d.rowHits.Inc()
+	case bank.openRow < 0:
+		access = d.cfg.TRCD + d.cfg.TCAS
+		d.rowMiss.Inc()
+	default:
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		d.rowMiss.Inc()
+	}
+	bank.openRow = row
+
+	// The data burst needs the channel bus after the bank access. Bus
+	// occupancy accumulates in fractional nanoseconds so the 3.33 ns
+	// burst time does not truncate away a sixth of the bandwidth.
+	busStartNs := float64(start.Add(access))
+	if d.busNs[ch] > busStartNs {
+		busStartNs = d.busNs[ch]
+	}
+	finishNs := busStartNs + d.cfg.TBurstNs
+	d.busNs[ch] = finishNs
+	finish := sim.Time(finishNs + 0.5)
+	bank.readyAt = finish
+
+	d.engine.At(finish, func() {
+		d.served.Inc()
+		d.latency.Observe(float64(d.engine.Now().Sub(req.at)))
+		bank.servicing = false
+		req.done()
+		d.service(ch, bankIdx)
+	})
+}
+
+// Stats summarizes DRAM activity.
+type DRAMStats struct {
+	Served   uint64
+	RowHits  uint64
+	RowMiss  uint64
+	Rejected uint64
+	MeanNs   float64
+	P99Ns    float64
+}
+
+// Stats returns current counters.
+func (d *DRAMSim) Stats() DRAMStats {
+	return DRAMStats{
+		Served:   d.served.Value(),
+		RowHits:  d.rowHits.Value(),
+		RowMiss:  d.rowMiss.Value(),
+		Rejected: d.rejected.Value(),
+		MeanNs:   d.latency.Mean(),
+		P99Ns:    d.latency.Quantile(0.99),
+	}
+}
+
+// MeasureLoadLatency drives the bank-level model open-loop with Poisson
+// arrivals at the given offered load (fraction of peak bandwidth) over
+// random addresses in a working set, and returns the mean access latency.
+// Tests use it to validate the fluid controller's load–latency curve.
+func MeasureLoadLatency(cfg DRAMConfig, offered float64, duration sim.Duration, seed uint64) (sim.Duration, DRAMStats, error) {
+	engine := sim.NewEngine(seed)
+	d, err := NewDRAMSim(engine, metrics.NewRegistry(), cfg)
+	if err != nil {
+		return 0, DRAMStats{}, err
+	}
+	rate := offered * cfg.PeakBandwidth().BytesPerSecond() / float64(cfg.LineBytes)
+	if rate <= 0 {
+		return 0, DRAMStats{}, fmt.Errorf("dram: non-positive offered load")
+	}
+	// Interarrival times at high load are sub-nanosecond; accumulate
+	// arrival times in floating point so truncation to the integer
+	// clock cannot silently cap the offered rate.
+	meanNs := 1e9 / rate
+	rng := engine.RNG()
+	const workingSet = 1 << 30 // 1 GiB of addresses: mostly row misses
+	next := 0.0
+	var arrive func()
+	arrive = func() {
+		now := engine.Now()
+		for sim.Time(next) <= now {
+			addr := rng.Uint64n(workingSet/64) * 64
+			d.Access(addr, func() {})
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			next += -math.Log(u) * meanNs
+		}
+		engine.At(sim.Time(next), arrive)
+	}
+	engine.After(0, arrive)
+	engine.Run(engine.Now().Add(duration))
+	st := d.Stats()
+	return sim.Duration(st.MeanNs), st, nil
+}

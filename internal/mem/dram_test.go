@@ -1,0 +1,186 @@
+package mem
+
+import (
+	"testing"
+
+	"hic/internal/metrics"
+	"hic/internal/sim"
+)
+
+func newDRAM(t *testing.T, cfg DRAMConfig) (*sim.Engine, *DRAMSim) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	d, err := NewDRAMSim(e, metrics.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func TestDRAMConfigValidation(t *testing.T) {
+	bad := []func(*DRAMConfig){
+		func(c *DRAMConfig) { c.Channels = 0 },
+		func(c *DRAMConfig) { c.BanksPerChannel = 0 },
+		func(c *DRAMConfig) { c.LineBytes = 0 },
+		func(c *DRAMConfig) { c.RowBytes = 32 },
+		func(c *DRAMConfig) { c.TBurstNs = 0 },
+		func(c *DRAMConfig) { c.TCAS = 0 },
+		func(c *DRAMConfig) { c.QueueLimit = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultDRAMConfig()
+		mutate(&cfg)
+		if _, err := NewDRAMSim(sim.NewEngine(1), metrics.NewRegistry(), cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDRAMPeakBandwidthMatchesTestbed(t *testing.T) {
+	// 6 channels of DDR4-2400 ≈ 115.2 GB/s theoretical.
+	peak := DefaultDRAMConfig().PeakBandwidth().GBps()
+	if peak < 113 || peak > 118 {
+		t.Errorf("peak = %.1f GB/s, want ≈115", peak)
+	}
+}
+
+func TestRowBufferHitFasterThanMiss(t *testing.T) {
+	e, d := newDRAM(t, DefaultDRAMConfig())
+	var first, second, third sim.Time
+	// Lines interleave across 6 channels, so "same row, same channel"
+	// addresses stride by 6 lines.
+	d.Access(0, func() { first = e.Now() })
+	e.Run(e.Now().Add(sim.Microsecond))
+	d.Access(6*64, func() { second = e.Now() }) // channel 0, row 0: row hit
+	start2 := e.Now()
+	e.Run(e.Now().Add(sim.Microsecond))
+	// Different row, same channel and bank: precharge + activate.
+	ch0, bank0, row0 := d.route(0)
+	conflictAddr := uint64(3 * DefaultDRAMConfig().RowBytes * DefaultDRAMConfig().BanksPerChannel)
+	ch, b, row := d.route(conflictAddr)
+	if ch != ch0 || b != bank0 || row == row0 {
+		t.Fatalf("conflict address maps to ch%d/bank%d/row%d, want ch%d/bank%d/row!=%d",
+			ch, b, row, ch0, bank0, row0)
+	}
+	start3 := e.Now()
+	d.Access(conflictAddr, func() { third = e.Now() })
+	e.Run(e.Now().Add(sim.Microsecond))
+
+	lat1 := first.Sub(0)
+	lat2 := second.Sub(start2)
+	lat3 := third.Sub(start3)
+	if !(lat2 < lat1 && lat1 < lat3) {
+		t.Errorf("latencies hit=%v activate=%v conflict=%v; want hit < activate < conflict",
+			lat2, lat1, lat3)
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowMiss != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", st.RowHits, st.RowMiss)
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	_, d := newDRAM(t, DefaultDRAMConfig())
+	seen := map[int]bool{}
+	for line := 0; line < 6; line++ {
+		ch, _, _ := d.route(uint64(line * 64))
+		seen[ch] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("6 consecutive lines map to %d channels, want all 6", len(seen))
+	}
+}
+
+func TestBankQueueBackpressure(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	cfg.QueueLimit = 4
+	_, d := newDRAM(t, cfg)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		// Same bank, same row: all queue behind one another.
+		if d.Access(uint64(i*64*6), func() {}) { // stride keeps channel 0
+			accepted++
+		}
+	}
+	if accepted >= 10 {
+		t.Error("queue limit never rejected")
+	}
+	if d.Stats().Rejected == 0 {
+		t.Error("rejected counter not incremented")
+	}
+}
+
+func TestDRAMSustainsNearPeak(t *testing.T) {
+	// Offered 60% of peak with random addresses must be served without
+	// queue collapse and with latency within a small multiple of the
+	// uncontended access time.
+	lat, st, err := MeasureLoadLatency(DefaultDRAMConfig(), 0.6, 2*sim.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if st.Rejected > st.Served/100 {
+		t.Errorf("rejections at 60%% load: %d of %d", st.Rejected, st.Served)
+	}
+	if lat > 400*sim.Nanosecond {
+		t.Errorf("mean latency %v at 60%% load, want well under 400ns", lat)
+	}
+}
+
+// TestFluidCurveMatchesBankModel is the validation behind the fluid
+// approximation: the bank-level model's load–latency curve must share
+// the fluid curve's shape — flat at low load, knee near saturation.
+func TestFluidCurveMatchesBankModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bank-level sweep is slow")
+	}
+	cfg := DefaultDRAMConfig()
+	var lats []sim.Duration
+	loads := []float64{0.2, 0.5, 0.8, 0.95}
+	for _, load := range loads {
+		lat, _, err := MeasureLoadLatency(cfg, load, 2*sim.Millisecond, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lats = append(lats, lat)
+	}
+	// Monotone increasing.
+	for i := 1; i < len(lats); i++ {
+		if lats[i] < lats[i-1] {
+			t.Errorf("latency not monotone: %v", lats)
+		}
+	}
+	// Flat region: 20% → 50% grows by far less than 50% → 95%.
+	lowGrowth := float64(lats[1] - lats[0])
+	highGrowth := float64(lats[3] - lats[2])
+	if highGrowth < 2*lowGrowth {
+		t.Errorf("no knee: low growth %v, high growth %v (lats=%v)",
+			sim.Duration(lowGrowth), sim.Duration(highGrowth), lats)
+	}
+	// The fluid curve's loaded/idle latency ratio at 95% load should be
+	// within the same ballpark (a factor of ~3) as the bank model's.
+	fluidRatio := 1 + DefaultConfig().LoadCurveA*0.737/(1-0.95) // A·0.95⁸/(1−0.95)
+	bankRatio := float64(lats[3]) / float64(lats[0])
+	if bankRatio < fluidRatio/3 || bankRatio > fluidRatio*3 {
+		t.Errorf("bank-model ratio %.2f far from fluid ratio %.2f", bankRatio, fluidRatio)
+	}
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	e := sim.NewEngine(1)
+	d, err := NewDRAMSim(e, metrics.NewRegistry(), DefaultDRAMConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Access(rng.Uint64n(1<<24)*64, func() {})
+		if i%512 == 0 {
+			e.Run(e.Now().Add(sim.Millisecond))
+		}
+	}
+	e.Drain()
+}

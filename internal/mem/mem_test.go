@@ -1,0 +1,250 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hic/internal/metrics"
+	"hic/internal/sim"
+)
+
+func newTestController(t *testing.T, cfg Config) (*sim.Engine, *Controller) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	c, err := New(e, metrics.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e, c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.TheoreticalBW = 0 },
+		func(c *Config) { c.Efficiency = 0 },
+		func(c *Config) { c.Efficiency = 1.5 },
+		func(c *Config) { c.BaseLatency = 0 },
+		func(c *Config) { c.CPUMaxShare = 0 },
+		func(c *Config) { c.CPUMaxShare = 1.2 },
+		func(c *Config) { c.IOReservedShare = -0.1 },
+		func(c *Config) { c.IOReservedShare = 1 },
+		func(c *Config) { c.Epoch = 0 },
+		func(c *Config) { c.MaxLoadFactor = 0.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(sim.NewEngine(1), metrics.NewRegistry(), cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(sim.NewEngine(1), metrics.NewRegistry(), DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestUncontendedAccessLatencyNearBase(t *testing.T) {
+	_, c := newTestController(t, DefaultConfig())
+	lat := c.AccessLatency()
+	base := DefaultConfig().BaseLatency
+	if lat < base || lat > 2*base {
+		t.Errorf("idle access latency = %v, want within [base, 2·base] of %v", lat, base)
+	}
+}
+
+func TestLatencyInflatesWithLoad(t *testing.T) {
+	e, c := newTestController(t, DefaultConfig())
+	idle := c.AccessLatency()
+	// Offer 140 GB/s of CPU demand (overload for ~100 GB/s achievable).
+	c.SetCPUDemand("stream", 140e9)
+	e.Run(e.Now().Add(100 * sim.Microsecond))
+	loaded := c.AccessLatency()
+	if loaded < 3*idle {
+		t.Errorf("loaded latency %v not ≫ idle %v", loaded, idle)
+	}
+	if lf := c.LoadFactor(); lf > DefaultConfig().MaxLoadFactor {
+		t.Errorf("load factor %v exceeds cap", lf)
+	}
+}
+
+func TestCPUGrabsLargerShareUnderContention(t *testing.T) {
+	e, c := newTestController(t, DefaultConfig())
+	// CPU wants everything; IO side then runs at the leftover.
+	c.SetCPUDemand("stream", 200e9)
+	e.Run(e.Now().Add(50 * sim.Microsecond))
+	capacity := DefaultConfig().TheoreticalBW.BytesPerSecond() * DefaultConfig().Efficiency
+	if got := c.CPUAchieved(); got < 0.9*capacity*DefaultConfig().CPUMaxShare {
+		t.Errorf("CPU achieved %v, want ≈ CPUMaxShare of capacity %v", got, capacity)
+	}
+	if c.CPUAchieved() <= c.IOServiceRate() {
+		t.Errorf("CPU share %v should exceed IO share %v under contention (FCFS imbalance)",
+			c.CPUAchieved(), c.IOServiceRate())
+	}
+	if c.IOServiceRate() <= 0 {
+		t.Error("IO side fully starved; must retain leftover share")
+	}
+}
+
+func TestMBAReservationProtectsIO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IOReservedShare = 0.2
+	e, c := newTestController(t, cfg)
+	c.SetCPUDemand("stream", 500e9)
+	e.Run(e.Now().Add(50 * sim.Microsecond))
+	capacity := cfg.TheoreticalBW.BytesPerSecond() * cfg.Efficiency
+	if got := c.IOServiceRate(); got < 0.19*capacity {
+		t.Errorf("reserved IO rate %v < 20%% of capacity %v", got, capacity)
+	}
+	if got := c.CPUAchieved(); got > 0.81*capacity {
+		t.Errorf("CPU achieved %v should be capped at 1-reservation", got)
+	}
+}
+
+func TestWriteCompletesAndCounts(t *testing.T) {
+	e, c := newTestController(t, DefaultConfig())
+	var doneAt sim.Time
+	c.Write(4096, func() { doneAt = e.Now() })
+	e.Run(e.Now().Add(10 * sim.Microsecond))
+	if doneAt == 0 {
+		t.Fatal("write never completed")
+	}
+	// 4KB at ~100GB/s ≈ 41ns + ~90ns access ⇒ well under 1µs idle.
+	if doneAt > sim.Time(sim.Microsecond) {
+		t.Errorf("idle 4KB write took %v, want < 1µs", doneAt)
+	}
+	if c.IOServedBytes() != 4096 {
+		t.Errorf("IOServedBytes = %d, want 4096", c.IOServedBytes())
+	}
+}
+
+func TestFIFOQueueingDelaysBackToBackRequests(t *testing.T) {
+	e, c := newTestController(t, DefaultConfig())
+	var first, second sim.Time
+	c.Write(1<<20, func() { first = e.Now() }) // 1MB keeps the server busy ~10µs
+	c.Write(4096, func() { second = e.Now() })
+	e.Run(e.Now().Add(sim.Millisecond))
+	if !(second > first) {
+		t.Errorf("FIFO violated: second=%v first=%v", second, first)
+	}
+	if second < sim.Time(5*sim.Microsecond) {
+		t.Errorf("second request finished at %v; should wait behind the 1MB write", second)
+	}
+}
+
+func TestStarvedIOStillProgresses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUMaxShare = 1.0 // pathological: CPUs allowed to take everything
+	e, c := newTestController(t, cfg)
+	c.SetCPUDemand("stream", 1e12)
+	done := false
+	e.After(20*sim.Microsecond, func() { c.Write(64, func() { done = true }) })
+	e.Run(e.Now().Add(sim.Second))
+	if !done {
+		t.Error("IO request never completed under full CPU grab")
+	}
+}
+
+func TestSetCPUDemandRemoveRestoresLatency(t *testing.T) {
+	e, c := newTestController(t, DefaultConfig())
+	c.SetCPUDemand("a", 50e9)
+	c.SetCPUDemand("b", 45e9)
+	if c.CPUOffered() != 95e9 {
+		t.Errorf("CPUOffered = %v, want 95e9", c.CPUOffered())
+	}
+	e.Run(e.Now().Add(50 * sim.Microsecond))
+	loaded := c.AccessLatency()
+	c.SetCPUDemand("a", 0)
+	c.SetCPUDemand("b", 0)
+	if c.CPUOffered() != 0 {
+		t.Errorf("CPUOffered after removal = %v", c.CPUOffered())
+	}
+	e.Run(e.Now().Add(200 * sim.Microsecond))
+	if got := c.AccessLatency(); got >= loaded {
+		t.Errorf("latency did not recover after demand removal: %v vs %v", got, loaded)
+	}
+}
+
+func TestCPUServedBytesIntegration(t *testing.T) {
+	e, c := newTestController(t, DefaultConfig())
+	c.SetCPUDemand("stream", 10e9) // uncontended: achieved = offered
+	e.Run(e.Now().Add(sim.Millisecond))
+	got := c.CPUServedBytes()
+	want := 10e9 * 0.001
+	if got < 0.99*want || got > 1.01*want {
+		t.Errorf("CPUServedBytes = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestTotalBandwidthMeasurement(t *testing.T) {
+	e, c := newTestController(t, DefaultConfig())
+	c.SetCPUDemand("stream", 20e9)
+	start := e.Now()
+	io0, cpu0 := c.IOServedBytes(), c.CPUServedBytes()
+	// Issue a steady 4KB write every µs ≈ 4.1 GB/s of IO.
+	e.Every(sim.Microsecond, func() { c.Write(4096, func() {}) })
+	e.Run(e.Now().Add(2 * sim.Millisecond))
+	gbps := c.TotalBandwidthGBps(start, io0, cpu0)
+	if gbps < 22 || gbps > 27 {
+		t.Errorf("TotalBandwidthGBps = %v, want ≈ 24.1 (20 CPU + 4.1 IO)", gbps)
+	}
+}
+
+func TestNegativeRequestPanics(t *testing.T) {
+	_, c := newTestController(t, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative request size did not panic")
+		}
+	}()
+	c.Write(-1, func() {})
+}
+
+// Property: the load factor is always within [1, MaxLoadFactor] and
+// monotone in CPU demand.
+func TestLoadFactorProperty(t *testing.T) {
+	f := func(demands []uint32) bool {
+		e := sim.NewEngine(1)
+		c, err := New(e, metrics.NewRegistry(), DefaultConfig())
+		if err != nil {
+			return false
+		}
+		prevLF := 0.0
+		prevDemand := -1.0
+		monotone := true
+		for _, d := range demands {
+			demand := float64(uint64(d) * 50) // up to ~214 GB/s
+			c.SetCPUDemand("x", demand)
+			lf := c.LoadFactor()
+			if lf < 1 || lf > DefaultConfig().MaxLoadFactor {
+				return false
+			}
+			if prevDemand >= 0 && demand > prevDemand && lf < prevLF {
+				monotone = false
+			}
+			prevLF, prevDemand = lf, demand
+		}
+		_ = monotone // monotonicity holds only between consecutive increases
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMemWrite(b *testing.B) {
+	e := sim.NewEngine(1)
+	c, err := New(e, metrics.NewRegistry(), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Write(4096, func() {})
+		if i%1024 == 0 {
+			e.Run(e.Now().Add(sim.Millisecond))
+		}
+	}
+	// Bounded horizon: the controller's epoch ticker never stops, so
+	// Drain() would loop forever.
+	e.Run(e.Now().Add(100 * sim.Millisecond))
+}

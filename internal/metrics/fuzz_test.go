@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHistogram checks quantile sanity on arbitrary observations: the
+// histogram must never panic, quantiles must be monotone, and bucket
+// lower bounds must never exceed the recorded maximum.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h := NewHistogram(16)
+		for i := 0; i+1 < len(raw); i += 2 {
+			v := float64(uint16(raw[i])<<8|uint16(raw[i+1])) * 37.5
+			h.Observe(v)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantiles not monotone at %v", q)
+			}
+			prev = v
+		}
+		if h.Count() > 0 && h.Quantile(0.5) > h.Max() {
+			t.Fatal("median above max")
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("Value = %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("Value after Reset = %d", c.Value())
+	}
+}
+
+func TestGaugeTracksMax(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(10)
+	g.Add(-12)
+	if g.Value() != 3 {
+		t.Errorf("Value = %d, want 3", g.Value())
+	}
+	if g.Max() != 15 {
+		t.Errorf("Max = %d, want 15", g.Max())
+	}
+	g.Reset()
+	if g.Value() != 3 {
+		t.Errorf("Reset cleared current value: %d", g.Value())
+	}
+	if g.Max() != 3 {
+		t.Errorf("Max after Reset = %d, want current value 3", g.Max())
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram(16)
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30 {
+		t.Errorf("Mean = %v, want 30", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Errorf("Min/Max = %v/%v, want 10/50", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram(16)
+	// 1..10000 uniformly.
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := q * 10000
+		// Log-linear with 16 sub-buckets: ≤ ~6.25% relative error,
+		// plus one-bucket rank slack at the extremes.
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(16)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	h.Observe(7)
+	if h.Quantile(1) != 7 {
+		t.Errorf("single-value histogram q1 = %v, want 7", h.Quantile(1))
+	}
+	if q0 := h.Quantile(0); q0 > 7 || q0 < 6 {
+		t.Errorf("single-value histogram q0 = %v, want bucket lower bound near 7", q0)
+	}
+}
+
+func TestHistogramNegativeAndNaNClamped(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 0 {
+		t.Errorf("Max = %v, want 0 (clamped)", h.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(100)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	h.Observe(5)
+	if h.Count() != 1 || h.Min() != 5 {
+		t.Error("histogram unusable after Reset")
+	}
+}
+
+// Property: for any set of observations, bucketLow(bucketIndex(v)) <= v and
+// the quantile function is monotone.
+func TestHistogramProperties(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewHistogram(16)
+		for _, r := range raw {
+			h.Observe(float64(r % 1_000_000))
+		}
+		if h.Count() != uint64(len(raw)) {
+			return false
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	h := NewHistogram(16)
+	for _, v := range []float64{0, 1, 1.5, 2, 3, 100, 1e6, 123456.78} {
+		idx := h.bucketIndex(v)
+		low := h.bucketLow(idx)
+		if low > v {
+			t.Errorf("bucketLow(%d)=%v exceeds value %v", idx, low, v)
+		}
+		if idx > 0 {
+			next := h.bucketLow(idx + 1)
+			if next <= v && idx != h.bucketIndex(next)-0 && next < v {
+				t.Errorf("value %v should be below next bucket bound %v", v, next)
+			}
+		}
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(10)
+	s.Observe(0, 1)
+	s.Observe(9.99, 2)
+	s.Observe(10, 4)
+	s.Observe(35, 8)
+	bins := s.Bins()
+	want := []float64{3, 4, 0, 8}
+	if len(bins) != len(want) {
+		t.Fatalf("bins = %v, want %v", bins, want)
+	}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("bins = %v, want %v", bins, want)
+		}
+	}
+	if s.BinWidth() != 10 {
+		t.Errorf("BinWidth = %v", s.BinWidth())
+	}
+}
+
+func TestSeriesNegativeTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative time did not panic")
+		}
+	}()
+	NewSeries(1).Observe(-1, 1)
+}
+
+func TestRegistryReuseAndDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nic.rx.drops").Add(3)
+	if r.Counter("nic.rx.drops").Value() != 3 {
+		t.Error("Counter did not return the same instance")
+	}
+	r.Gauge("nic.buffer.bytes").Set(1024)
+	r.Histogram("host.delay.us").Observe(95)
+	dump := r.Dump()
+	for _, want := range []string{"nic.rx.drops", "nic.buffer.bytes", "host.delay.us", "3", "1024"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+	// Dump must be sorted for stable diffing.
+	lines := strings.Split(strings.TrimSpace(dump), "\n")
+	var names []string
+	for _, l := range lines {
+		names = append(names, strings.Fields(l)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Dump lines not sorted: %v", names)
+	}
+}
+
+func TestRegistryResetAll(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	r.Gauge("b").Set(7)
+	r.Histogram("c").Observe(1)
+	r.ResetAll()
+	if r.Counter("a").Value() != 0 {
+		t.Error("counter not reset")
+	}
+	if r.Gauge("b").Value() != 7 {
+		t.Error("gauge current value should survive reset")
+	}
+	if r.Histogram("c").Count() != 0 {
+		t.Error("histogram not reset")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100000) + 1)
+	}
+}

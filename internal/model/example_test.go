@@ -1,0 +1,46 @@
+package model_test
+
+import (
+	"fmt"
+
+	"hic/internal/model"
+	"hic/internal/sim"
+)
+
+// The paper's §3.1 model: PCIe credits allow C packets in flight, each
+// held for T_base + M·T_miss, bounding NIC-to-CPU throughput by
+// Little's law.
+func ExampleThroughputBound() {
+	noMiss := model.ThroughputBound(30<<10, 4636, 4096, 2*sim.Microsecond, 0, 500*sim.Nanosecond)
+	twoMisses := model.ThroughputBound(30<<10, 4636, 4096, 2*sim.Microsecond, 2, 500*sim.Nanosecond)
+	fmt.Printf("no misses:  %.0f Gbps\n", noMiss.Gbps())
+	fmt.Printf("two misses: %.0f Gbps\n", twoMisses.Gbps())
+	// Output:
+	// no misses:  109 Gbps
+	// two misses: 72 Gbps
+}
+
+// The congestion-control blind spot: a 1 MB NIC buffer drains in under
+// Swift's 100 µs host target whenever application throughput exceeds
+// ≈81 Gbps, so the protocol cannot see host congestion above that rate.
+func ExampleCCBlindThreshold() {
+	blind := model.CCBlindThreshold(1<<20, 100*sim.Microsecond, 4096.0/4452.0)
+	fmt.Printf("%.0f Gbps\n", blind.Gbps())
+	// Output:
+	// 77 Gbps
+}
+
+// The Figure 3 knee: 12 MB hugepage-backed regions plus 10 metadata
+// pages give each receiver thread a 16-entry IOTLB working set, which
+// crosses the 128-entry IOTLB just above 8 threads.
+func ExampleIOTLBWorkingSet() {
+	for _, threads := range []int{8, 9, 16} {
+		ws := model.IOTLBWorkingSet(threads, 12<<20, 2<<20, 10)
+		fmt.Printf("%2d threads: %3d entries (miss rate ≈ %.2f)\n",
+			threads, ws, model.LRUMissRate(128, ws))
+	}
+	// Output:
+	//  8 threads: 128 entries (miss rate ≈ 0.00)
+	//  9 threads: 144 entries (miss rate ≈ 0.11)
+	// 16 threads: 256 entries (miss rate ≈ 0.50)
+}

@@ -1,0 +1,128 @@
+// Package model implements the paper's analytical models in closed form:
+// the Little's-law bound on NIC-to-CPU throughput under PCIe credit flow
+// control (§3.1), the congestion-control blind-spot threshold implied by
+// the NIC buffer drain horizon, bandwidth-delay-product provisioning, and
+// the memory load–latency curve. The experiment harness plots these next
+// to simulated results, as the paper plots its "Modeled App Throughput"
+// line in Figure 3.
+package model
+
+import (
+	"math"
+
+	"hic/internal/sim"
+)
+
+// ThroughputBound returns the maximum NIC-to-CPU application throughput
+// under credit-based flow control: with creditBytes of posted-write
+// credit, each packet holding wireBytes of it for Tbase + M·Tmiss, at
+// most creditBytes/wireBytes packets are in flight, so by Little's law
+// the packet rate is bounded by inflight/(Tbase + M·Tmiss). The result
+// is expressed in application payload bits per second.
+func ThroughputBound(creditBytes, wireBytes, payloadBytes int, tbase sim.Duration, missesPerPacket float64, tmiss sim.Duration) sim.BitsPerSecond {
+	if creditBytes <= 0 || wireBytes <= 0 || payloadBytes <= 0 {
+		return 0
+	}
+	perPacket := float64(tbase) + missesPerPacket*float64(tmiss)
+	if perPacket <= 0 {
+		return sim.BitsPerSecond(math.Inf(1))
+	}
+	inflight := float64(creditBytes) / float64(wireBytes)
+	pktPerSec := inflight / (perPacket / 1e9)
+	return sim.BitsPerSecond(pktPerSec * float64(payloadBytes) * 8)
+}
+
+// CCBlindThreshold returns the application throughput above which a
+// delay-target congestion-control protocol cannot see host congestion:
+// when the NIC can drain its buffer faster than bufferBytes/target, the
+// queueing delay stays below the target even with the buffer full, so
+// the protocol never reacts (§3.1: 1 MB / 100 µs ⇒ ≈81 Gbps app
+// throughput at the paper's header overhead).
+func CCBlindThreshold(bufferBytes int, target sim.Duration, payloadFraction float64) sim.BitsPerSecond {
+	if bufferBytes <= 0 || target <= 0 {
+		return 0
+	}
+	wireRate := float64(bufferBytes) * 8 / target.Seconds()
+	return sim.BitsPerSecond(wireRate * payloadFraction)
+}
+
+// BDP returns the bandwidth-delay product in bytes — the minimum
+// per-receive-queue buffer provisioning §3.1's Figure 5 discussion works
+// from.
+func BDP(rate sim.BitsPerSecond, rtt sim.Duration) int {
+	return int(rate.BytesPerSecond() * rtt.Seconds())
+}
+
+// MaxAchievableThroughput returns the application-payload ceiling of a
+// link once per-packet protocol headers are paid (the paper's ~92 Gbps
+// on a 100 Gbps link with 4 KB MTU).
+func MaxAchievableThroughput(link sim.BitsPerSecond, payloadBytes, headerBytes int) sim.BitsPerSecond {
+	if payloadBytes <= 0 || headerBytes < 0 {
+		return 0
+	}
+	frac := float64(payloadBytes) / float64(payloadBytes+headerBytes)
+	return sim.BitsPerSecond(float64(link) * frac)
+}
+
+// CPUBoundThroughput returns the application throughput of the software
+// bottleneck: cores × per-core rate (the linear region of Figure 3).
+func CPUBoundThroughput(cores int, perCore sim.BitsPerSecond) sim.BitsPerSecond {
+	if cores < 0 {
+		return 0
+	}
+	return sim.BitsPerSecond(float64(cores) * float64(perCore))
+}
+
+// LoadLatency evaluates the memory load–latency curve used by the
+// simulator's controller: base · (1 + A·ρc⁸/(1−ρc) + B·max(0, ρ−1)),
+// with ρc = min(ρ, 0.95) and the multiplier capped at maxFactor.
+func LoadLatency(base sim.Duration, rho, a, b, maxFactor float64) sim.Duration {
+	if rho < 0 {
+		rho = 0
+	}
+	rhoC := math.Min(rho, 0.95)
+	lf := 1 + a*math.Pow(rhoC, 8)/(1-rhoC)
+	if rho > 1 {
+		lf += b * (rho - 1)
+	}
+	if lf > maxFactor {
+		lf = maxFactor
+	}
+	return sim.Duration(float64(base) * lf)
+}
+
+// LRUMissRate estimates the steady-state miss probability of a cache of
+// capacity entries serving uniform random accesses over workingSet
+// distinct entries (the independent-reference approximation: hit ratio ≈
+// capacity/workingSet once the working set exceeds capacity).
+func LRUMissRate(capacity, workingSet int) float64 {
+	if capacity <= 0 {
+		return 1
+	}
+	if workingSet <= capacity {
+		return 0
+	}
+	return 1 - float64(capacity)/float64(workingSet)
+}
+
+// IOTLBWorkingSet returns the per-thread IOTLB entry footprint for a
+// payload region of regionBytes mapped at pageBytes granularity plus
+// controlPages 4 KB metadata pages, times threads — the quantity that
+// crosses the 128-entry IOTLB just above 8 threads in Figure 3.
+func IOTLBWorkingSet(threads int, regionBytes, pageBytes uint64, controlPages int) int {
+	if pageBytes == 0 {
+		return 0
+	}
+	perThread := int((regionBytes+pageBytes-1)/pageBytes) + controlPages
+	return threads * perThread
+}
+
+// EffectiveRxDelayBudget returns the host delay the NIC buffer imposes
+// at a given drain rate: bufferBytes/(drain wire rate). The paper's ~90µs
+// at 88.8 Gbps with a 1 MB buffer.
+func EffectiveRxDelayBudget(bufferBytes int, drainWire sim.BitsPerSecond) sim.Duration {
+	if drainWire <= 0 {
+		return sim.Duration(math.MaxInt64)
+	}
+	return sim.Duration(float64(bufferBytes) * 8 / float64(drainWire) * 1e9)
+}

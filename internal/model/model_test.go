@@ -1,0 +1,146 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hic/internal/sim"
+)
+
+func TestThroughputBoundMatchesPaperExample(t *testing.T) {
+	// ~7 packets of credit, 2 µs per DMA with no misses ⇒ ~115 Gbps;
+	// add 2 misses × 500 ns ⇒ 3 µs ⇒ ~76 Gbps. The crossover from
+	// above-line-rate to below-92 is the §3.1 story.
+	noMiss := ThroughputBound(30<<10, 4636, 4096, 2*sim.Microsecond, 0, 500*sim.Nanosecond)
+	if g := noMiss.Gbps(); g < 100 || g > 120 {
+		t.Errorf("no-miss bound = %.1f Gbps, want ~108", g)
+	}
+	missy := ThroughputBound(30<<10, 4636, 4096, 2*sim.Microsecond, 2, 500*sim.Nanosecond)
+	if g := missy.Gbps(); g < 65 || g > 80 {
+		t.Errorf("2-miss bound = %.1f Gbps, want ~72", g)
+	}
+	if missy >= noMiss {
+		t.Error("misses must reduce the bound")
+	}
+}
+
+func TestThroughputBoundEdgeCases(t *testing.T) {
+	if ThroughputBound(0, 1, 1, 1, 0, 0) != 0 {
+		t.Error("zero credits should bound to 0")
+	}
+	if !math.IsInf(float64(ThroughputBound(1, 1, 1, 0, 0, 0)), 1) {
+		t.Error("zero latency should be unbounded")
+	}
+}
+
+func TestCCBlindThresholdMatchesPaper(t *testing.T) {
+	// Paper: 1 MB buffer, 100 µs target, ~92% payload fraction ⇒
+	// ~81 Gbps application throughput.
+	got := CCBlindThreshold(1<<20, 100*sim.Microsecond, 4096.0/4452.0)
+	if g := got.Gbps(); g < 75 || g > 82 {
+		t.Errorf("blind threshold = %.1f Gbps, want ≈77-81", g)
+	}
+	if CCBlindThreshold(0, sim.Microsecond, 1) != 0 {
+		t.Error("zero buffer should threshold at 0")
+	}
+}
+
+func TestBufferDrainHorizonMatchesPaper(t *testing.T) {
+	// Paper: 1 MB NIC buffer at 88.8 Gbps drains in < 90 µs.
+	d := EffectiveRxDelayBudget(1<<20, sim.Gbps(88.8))
+	if d < 90*sim.Microsecond || d > 96*sim.Microsecond {
+		t.Errorf("drain horizon = %v, want ≈94µs (1MB at 88.8Gbps)", d)
+	}
+}
+
+func TestBDP(t *testing.T) {
+	// 100 Gbps × 20 µs = 250 KB.
+	if got := BDP(sim.Gbps(100), 20*sim.Microsecond); got != 250000 {
+		t.Errorf("BDP = %d, want 250000", got)
+	}
+}
+
+func TestMaxAchievableThroughput(t *testing.T) {
+	got := MaxAchievableThroughput(sim.Gbps(100), 4096, 356)
+	if g := got.Gbps(); g < 91.5 || g > 92.5 {
+		t.Errorf("ceiling = %.1f Gbps, want ≈92", g)
+	}
+	if MaxAchievableThroughput(sim.Gbps(100), 0, 1) != 0 {
+		t.Error("zero payload should yield 0")
+	}
+}
+
+func TestCPUBoundThroughput(t *testing.T) {
+	if got := CPUBoundThroughput(8, sim.Gbps(11.5)); got.Gbps() != 92 {
+		t.Errorf("8 cores × 11.5 = %v", got.Gbps())
+	}
+	if CPUBoundThroughput(-1, sim.Gbps(1)) != 0 {
+		t.Error("negative cores should yield 0")
+	}
+}
+
+func TestLoadLatencyShape(t *testing.T) {
+	base := 90 * sim.Nanosecond
+	idle := LoadLatency(base, 0, 0.15, 3, 4.5)
+	mid := LoadLatency(base, 0.8, 0.15, 3, 4.5)
+	sat := LoadLatency(base, 1.0, 0.15, 3, 4.5)
+	over := LoadLatency(base, 1.5, 0.15, 3, 4.5)
+	if idle != base {
+		t.Errorf("idle latency = %v, want base", idle)
+	}
+	if mid > 2*base {
+		t.Errorf("80%% load latency = %v; the DRAM knee should stay shallow", mid)
+	}
+	if !(sat > mid && over > sat) {
+		t.Errorf("curve not increasing: %v %v %v", mid, sat, over)
+	}
+	if over > sim.Duration(4.5*float64(base)) {
+		t.Errorf("latency cap violated: %v", over)
+	}
+}
+
+func TestLRUMissRate(t *testing.T) {
+	if LRUMissRate(128, 100) != 0 {
+		t.Error("working set within capacity should not miss")
+	}
+	if got := LRUMissRate(128, 256); got != 0.5 {
+		t.Errorf("2x working set miss rate = %v, want 0.5", got)
+	}
+	if LRUMissRate(0, 10) != 1 {
+		t.Error("zero capacity should always miss")
+	}
+}
+
+func TestIOTLBWorkingSetKnee(t *testing.T) {
+	// 12 MB hugepage region (6 entries) + 10 control pages = 16/thread:
+	// 8 threads fit a 128-entry IOTLB exactly; 9 do not.
+	at8 := IOTLBWorkingSet(8, 12<<20, 2<<20, 10)
+	at9 := IOTLBWorkingSet(9, 12<<20, 2<<20, 10)
+	if at8 > 128 {
+		t.Errorf("8-thread working set %d should fit 128 entries", at8)
+	}
+	if at9 <= 128 {
+		t.Errorf("9-thread working set %d should exceed 128 entries", at9)
+	}
+	// 4 KB pages: 512× more payload entries.
+	if ws := IOTLBWorkingSet(1, 12<<20, 4096, 10); ws != 3072+10 {
+		t.Errorf("4K-page working set = %d, want 3082", ws)
+	}
+}
+
+// Property: the throughput bound is monotonically decreasing in misses
+// and increasing in credits.
+func TestThroughputBoundMonotonicity(t *testing.T) {
+	f := func(credits uint16, misses uint8) bool {
+		c := int(credits) + 4636
+		m := float64(misses) / 16
+		b1 := ThroughputBound(c, 4636, 4096, 2*sim.Microsecond, m, 400*sim.Nanosecond)
+		b2 := ThroughputBound(c, 4636, 4096, 2*sim.Microsecond, m+0.5, 400*sim.Nanosecond)
+		b3 := ThroughputBound(c+4636, 4636, 4096, 2*sim.Microsecond, m, 400*sim.Nanosecond)
+		return b2 < b1 && b3 > b1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

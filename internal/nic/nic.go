@@ -1,0 +1,485 @@
+// Package nic models the receiver-side NIC of Figure 2 in the paper: a
+// small SRAM input buffer that tail-drops when full, per-queue Rx
+// descriptor rings replenished by the driver, and a DMA engine that moves
+// each packet to host memory through the PCIe link (credit flow control),
+// the IOMMU (address translation), and the memory controller.
+//
+// The input buffer is shared across all flows — exactly why the paper uses
+// the drop rate as a proxy for isolation violations — and is drained in
+// FIFO order. A packet leaves the buffer once its TLPs have been accepted
+// by the root complex; the posted-write credits it holds are returned only
+// when the memory write completes, so downstream latency (IOTLB walks,
+// loaded DRAM) backpressures the buffer exactly as §2 step 6 describes.
+package nic
+
+import (
+	"fmt"
+
+	"hic/internal/iommu"
+	"hic/internal/mem"
+	"hic/internal/metrics"
+	"hic/internal/pcie"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+// Planner supplies DMA target addresses. The host wires this to the
+// per-thread Rx memory regions registered with the IOMMU; the NIC itself
+// is address-agnostic.
+type Planner interface {
+	// PlanRx returns the payload, descriptor-ring and completion-ring
+	// addresses for the next received packet on the given queue.
+	PlanRx(queue, payloadBytes int) (payload, descriptor, completion uint64)
+	// PlanTx returns the TX descriptor-ring and buffer addresses for an
+	// outgoing packet (ACKs).
+	PlanTx(queue, payloadBytes int) (descriptor, buffer uint64)
+}
+
+// Config sizes the NIC. Defaults mirror the paper's testbed: ~1 MB of
+// input buffer (the source of the ≈90 µs drain horizon at line rate).
+type Config struct {
+	// BufferBytes is the shared SRAM input buffer capacity.
+	BufferBytes int
+	// Queues is the number of Rx queues (one per receiver thread).
+	Queues int
+	// RingSize is the descriptor count per Rx queue.
+	RingSize int
+	// DescriptorBytes / CompletionBytes are the per-packet metadata DMA
+	// sizes (one cache line each).
+	DescriptorBytes int
+	CompletionBytes int
+	// DriverReplenish is the period of the driver's descriptor top-up.
+	DriverReplenish sim.Duration
+	// TxTranslation controls whether outgoing packets (ACKs) translate
+	// their buffer address through the IOMMU — the paper's footnote 3
+	// counts the ACK among the up-to-6 translations per packet.
+	TxTranslation bool
+	// HostECNThreshold, if positive, sets HostECN on packets admitted
+	// while buffer occupancy exceeds this many bytes (§4 sub-RTT
+	// congestion-signal extension). Zero disables it.
+	HostECNThreshold int
+	// PerQueueBuffers partitions the input buffer into Queues equal
+	// slices with round-robin DMA service — a "rethinking host
+	// architecture" ablation: partitioning trades buffering efficiency
+	// for isolation (an overloaded queue can no longer drop other
+	// queues' packets) and removes cross-queue head-of-line blocking.
+	// The paper's shared-SRAM NIC is the false default.
+	PerQueueBuffers bool
+}
+
+// DefaultConfig returns the testbed NIC configuration for the given
+// number of queues.
+func DefaultConfig(queues int) Config {
+	return Config{
+		BufferBytes:     1 << 20,
+		Queues:          queues,
+		RingSize:        256,
+		DescriptorBytes: 64,
+		CompletionBytes: 64,
+		DriverReplenish: 50 * sim.Microsecond,
+		TxTranslation:   true,
+	}
+}
+
+func (c Config) validate() error {
+	if c.BufferBytes <= 0 {
+		return fmt.Errorf("nic: BufferBytes must be positive")
+	}
+	if c.Queues <= 0 {
+		return fmt.Errorf("nic: Queues must be positive")
+	}
+	if c.RingSize <= 0 {
+		return fmt.Errorf("nic: RingSize must be positive")
+	}
+	if c.DescriptorBytes <= 0 || c.CompletionBytes <= 0 {
+		return fmt.Errorf("nic: descriptor/completion bytes must be positive")
+	}
+	if c.DriverReplenish <= 0 {
+		return fmt.Errorf("nic: DriverReplenish must be positive")
+	}
+	if c.HostECNThreshold < 0 {
+		return fmt.Errorf("nic: negative HostECNThreshold")
+	}
+	return nil
+}
+
+// NIC is the receiver-side NIC.
+type NIC struct {
+	engine  *sim.Engine
+	link    *pcie.Link
+	mmu     *iommu.IOMMU
+	memory  *mem.Controller
+	planner Planner
+	cfg     Config
+	deliver func(*pkt.Packet)
+
+	// buffers[0] is the single shared FIFO; with PerQueueBuffers there
+	// is one FIFO per queue, each owning BufferBytes/Queues of SRAM.
+	buffers     [][]*pkt.Packet
+	bufUsed     []int
+	bufCap      int // capacity per buffer
+	rrNext      int // round-robin cursor for partitioned service
+	bufferUsed  int // total, across partitions
+	dropsByFlow map[uint32]uint64
+	tap         func(*pkt.Packet) // capture hook, sees every arrival
+	pumping     bool
+	stalled     bool // every serviceable buffer blocked on descriptors
+
+	descriptors []int // available descriptors per queue
+
+	txBusyUntil sim.Time
+
+	rxPackets  *metrics.Counter
+	rxBytes    *metrics.Counter
+	rxPayload  *metrics.Counter
+	drops      *metrics.Counter
+	dropBytes  *metrics.Counter
+	descStalls *metrics.Counter
+	txPackets  *metrics.Counter
+	bufferGa   *metrics.Gauge
+	hostDelay  *metrics.Histogram // ns, NIC arrival → delivery
+	dmaLatency *metrics.Histogram // ns, DMA start → credit release
+	missesHist *metrics.Histogram // IOTLB misses per packet (Rx chain)
+	// Per-stage DMA latency decomposition: the empirical version of the
+	// paper's T_base + M·T_miss split.
+	stageWait  *metrics.Histogram // ns, buffer head → credits granted
+	stageLink  *metrics.Histogram // ns, link serialization (incl. queueing)
+	stageXlate *metrics.Histogram // ns, address translations (walks)
+	stageMem   *metrics.Histogram // ns, memory writes + descriptor read
+	stageRC    *metrics.Histogram // ns, root-complex pipeline
+}
+
+// New constructs the NIC. deliver is invoked when a packet's DMA
+// completes and it is visible to host software.
+func New(engine *sim.Engine, reg *metrics.Registry, link *pcie.Link, mmu *iommu.IOMMU,
+	memory *mem.Controller, planner Planner, cfg Config, deliver func(*pkt.Packet)) (*NIC, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if planner == nil || deliver == nil {
+		return nil, fmt.Errorf("nic: planner and deliver are required")
+	}
+	n := &NIC{
+		engine:      engine,
+		link:        link,
+		mmu:         mmu,
+		memory:      memory,
+		planner:     planner,
+		cfg:         cfg,
+		deliver:     deliver,
+		descriptors: make([]int, cfg.Queues),
+		dropsByFlow: make(map[uint32]uint64),
+		rxPackets:   reg.Counter("nic.rx.packets"),
+		rxBytes:     reg.Counter("nic.rx.bytes"),
+		rxPayload:   reg.Counter("nic.rx.payload.bytes"),
+		drops:       reg.Counter("nic.rx.drops"),
+		dropBytes:   reg.Counter("nic.rx.drop.bytes"),
+		descStalls:  reg.Counter("nic.rx.descriptor.stalls"),
+		txPackets:   reg.Counter("nic.tx.packets"),
+		bufferGa:    reg.Gauge("nic.buffer.bytes"),
+		hostDelay:   reg.Histogram("nic.host.delay.ns"),
+		dmaLatency:  reg.Histogram("nic.dma.latency.ns"),
+		missesHist:  reg.Histogram("nic.iotlb.misses.per.packet"),
+		stageWait:   reg.Histogram("nic.dma.stage.creditwait.ns"),
+		stageLink:   reg.Histogram("nic.dma.stage.link.ns"),
+		stageXlate:  reg.Histogram("nic.dma.stage.translate.ns"),
+		stageMem:    reg.Histogram("nic.dma.stage.memory.ns"),
+		stageRC:     reg.Histogram("nic.dma.stage.rootcomplex.ns"),
+	}
+	for q := range n.descriptors {
+		n.descriptors[q] = cfg.RingSize
+	}
+	if cfg.PerQueueBuffers {
+		n.buffers = make([][]*pkt.Packet, cfg.Queues)
+		n.bufUsed = make([]int, cfg.Queues)
+		n.bufCap = cfg.BufferBytes / cfg.Queues
+	} else {
+		n.buffers = make([][]*pkt.Packet, 1)
+		n.bufUsed = make([]int, 1)
+		n.bufCap = cfg.BufferBytes
+	}
+	engine.Every(cfg.DriverReplenish, n.driverTick)
+	return n, nil
+}
+
+// driverTick is the periodic driver pass that tops descriptor rings up,
+// modelling the "driver periodically replenishes these descriptors" step.
+func (n *NIC) driverTick() {
+	for q := range n.descriptors {
+		n.descriptors[q] = n.cfg.RingSize
+	}
+	if n.stalled {
+		n.stalled = false
+		n.pump()
+	}
+}
+
+// Receive accepts a packet from the access link. If the shared input
+// buffer cannot hold it, the packet is tail-dropped — host congestion
+// becoming packet loss.
+func (n *NIC) Receive(p *pkt.Packet) {
+	if p.Queue < 0 || p.Queue >= n.cfg.Queues {
+		panic(fmt.Sprintf("nic: packet for queue %d with %d queues", p.Queue, n.cfg.Queues))
+	}
+	// Every packet that reaches the NIC gets its arrival stamp — drops
+	// included — before the capture tap sees it.
+	p.NICArrival = n.engine.Now()
+	if n.tap != nil {
+		n.tap(p)
+	}
+	b := 0
+	if n.cfg.PerQueueBuffers {
+		b = p.Queue
+	}
+	if n.bufUsed[b]+p.WireBytes > n.bufCap {
+		n.drops.Inc()
+		n.dropBytes.Add(uint64(p.WireBytes))
+		n.dropsByFlow[p.Flow]++
+		return
+	}
+	if n.cfg.HostECNThreshold > 0 && n.bufferUsed >= n.cfg.HostECNThreshold {
+		p.HostECN = true
+	}
+	n.buffers[b] = append(n.buffers[b], p)
+	n.bufUsed[b] += p.WireBytes
+	n.bufferUsed += p.WireBytes
+	n.bufferGa.Set(int64(n.bufferUsed))
+	n.rxPackets.Inc()
+	n.rxBytes.Add(uint64(p.WireBytes))
+	n.pump()
+}
+
+// selectBuffer picks the next buffer to service. The shared buffer is
+// strict FIFO (and head-of-line blocks on a missing descriptor, as a
+// single SRAM queue must); partitioned buffers are served round-robin
+// and a descriptor-starved queue is skipped rather than blocking others.
+func (n *NIC) selectBuffer() int {
+	if !n.cfg.PerQueueBuffers {
+		if len(n.buffers[0]) == 0 {
+			return -1
+		}
+		if n.descriptors[n.buffers[0][0].Queue] == 0 {
+			n.descStalls.Inc()
+			n.stalled = true
+			return -1
+		}
+		return 0
+	}
+	nonEmpty := false
+	for i := 0; i < len(n.buffers); i++ {
+		b := (n.rrNext + i) % len(n.buffers)
+		if len(n.buffers[b]) == 0 {
+			continue
+		}
+		nonEmpty = true
+		if n.descriptors[n.buffers[b][0].Queue] == 0 {
+			n.descStalls.Inc()
+			continue
+		}
+		n.rrNext = (b + 1) % len(n.buffers)
+		return b
+	}
+	if nonEmpty {
+		n.stalled = true // every backlogged queue lacks descriptors
+	}
+	return -1
+}
+
+// pump starts the DMA for the next packet when a descriptor and PCIe
+// credits are available. Only one packet is between "head of buffer" and
+// "TLPs on the link" at a time; the link itself serializes transfers and
+// the credit pool bounds how many writes are outstanding downstream.
+func (n *NIC) pump() {
+	if n.pumping || n.stalled {
+		return
+	}
+	b := n.selectBuffer()
+	if b < 0 {
+		return
+	}
+	head := n.buffers[b][0]
+	n.descriptors[head.Queue]--
+	n.pumping = true
+	wire := n.link.Config().WireBytes(head.PayloadBytes + n.cfg.CompletionBytes)
+	pumpStart := n.engine.Now()
+	n.link.AcquireCredits(wire, func() {
+		dmaStart := n.engine.Now()
+		n.stageWait.Observe(float64(dmaStart.Sub(pumpStart)))
+		n.link.Transmit(head.PayloadBytes, func() {
+			n.stageLink.Observe(float64(n.engine.Now().Sub(dmaStart)))
+			// TLPs accepted by the root complex: the packet no longer
+			// occupies NIC SRAM; continue the downstream write chain.
+			n.buffers[b] = n.buffers[b][1:]
+			n.bufUsed[b] -= head.WireBytes
+			n.bufferUsed -= head.WireBytes
+			n.bufferGa.Set(int64(n.bufferUsed))
+			n.pumping = false
+			n.rootComplexChain(head, wire, dmaStart)
+			n.pump()
+		})
+	})
+}
+
+// rootComplexChain performs the per-packet work downstream of the link:
+// descriptor fetch, payload write, completion write — each preceded by an
+// IOMMU translation — plus the root complex's fixed pipeline latency.
+// Credits are released only at the end (step 6 of the paper's datapath).
+func (n *NIC) rootComplexChain(p *pkt.Packet, creditBytes int, dmaStart sim.Time) {
+	payloadAddr, descAddr, complAddr := n.planner.PlanRx(p.Queue, p.PayloadBytes)
+	misses := 0
+	var xlateNs, memNs float64
+	stageStart := n.engine.Now()
+
+	finish := func() {
+		n.stageXlate.Observe(xlateNs)
+		n.stageMem.Observe(memNs)
+		rcStart := n.engine.Now()
+		n.engine.After(n.link.Config().RootComplexLatency, func() {
+			n.stageRC.Observe(float64(n.engine.Now().Sub(rcStart)))
+			n.link.ReleaseCredits(creditBytes)
+			n.missesHist.Observe(float64(misses))
+			n.dmaLatency.Observe(float64(n.engine.Now().Sub(dmaStart)))
+			p.Delivered = n.engine.Now()
+			p.EchoHostDelay = p.Delivered.Sub(p.NICArrival)
+			n.rxPayload.Add(uint64(p.PayloadBytes))
+			n.hostDelay.Observe(float64(p.EchoHostDelay))
+			n.deliver(p)
+		})
+	}
+
+	step := func(acc *float64) {
+		now := n.engine.Now()
+		*acc += float64(now.Sub(stageStart))
+		stageStart = now
+	}
+	n.mmu.Translate(descAddr, n.cfg.DescriptorBytes, func(r iommu.TranslationResult) {
+		n.countFault(r)
+		misses += r.Misses
+		step(&xlateNs)
+		n.memory.Read(n.cfg.DescriptorBytes, func() {
+			step(&memNs)
+			n.mmu.Translate(payloadAddr, p.PayloadBytes, func(r iommu.TranslationResult) {
+				n.countFault(r)
+				misses += r.Misses
+				step(&xlateNs)
+				n.memory.Write(p.PayloadBytes, func() {
+					step(&memNs)
+					n.mmu.Translate(complAddr, n.cfg.CompletionBytes, func(r iommu.TranslationResult) {
+						n.countFault(r)
+						misses += r.Misses
+						step(&xlateNs)
+						n.memory.Write(n.cfg.CompletionBytes, func() {
+							step(&memNs)
+							finish()
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+func (n *NIC) countFault(r iommu.TranslationResult) {
+	if r.Fault != nil {
+		// Loose-mode registration makes faults impossible in the
+		// experiments; a fault here is a wiring bug, so fail loudly.
+		panic(r.Fault)
+	}
+}
+
+// Transmit sends an outgoing packet (ACKs in the receive-side workload).
+// The TX path fetches the packet from host memory — translating through
+// the IOMMU when TxTranslation is set, which is how ACK traffic competes
+// for the same IOTLB — and serializes it on the TX side of the link.
+// onWire is invoked when the packet has left the NIC.
+func (n *NIC) Transmit(p *pkt.Packet, onWire func(*pkt.Packet)) {
+	descAddr, addr := n.planner.PlanTx(p.Queue, p.WireBytes)
+	afterFetch := func() {
+		n.memory.Read(p.WireBytes, func() {
+			// TX serialization on the NIC's egress (same raw rate).
+			rate := n.link.Config().RawBandwidth()
+			start := n.txBusyUntil
+			if now := n.engine.Now(); start < now {
+				start = now
+			}
+			finish := start.Add(rate.TransmitTime(p.WireBytes))
+			n.txBusyUntil = finish
+			n.engine.At(finish, func() {
+				n.txPackets.Inc()
+				onWire(p)
+			})
+		})
+	}
+	if n.cfg.TxTranslation {
+		// TX fetches its descriptor and the packet buffer, each through
+		// the IOMMU — the ACK-side translations of the paper's footnote 3.
+		n.mmu.Translate(descAddr, n.cfg.DescriptorBytes, func(r iommu.TranslationResult) {
+			n.countFault(r)
+			n.mmu.Translate(addr, p.WireBytes, func(r iommu.TranslationResult) {
+				n.countFault(r)
+				afterFetch()
+			})
+		})
+	} else {
+		afterFetch()
+	}
+}
+
+// ReplenishDescriptors returns count descriptors to a queue's ring; the
+// receive path calls this as host software consumes packets.
+func (n *NIC) ReplenishDescriptors(queue, count int) {
+	if queue < 0 || queue >= n.cfg.Queues || count < 0 {
+		panic("nic: bad descriptor replenish")
+	}
+	n.descriptors[queue] += count
+	if n.descriptors[queue] > n.cfg.RingSize {
+		n.descriptors[queue] = n.cfg.RingSize
+	}
+	if n.stalled {
+		n.stalled = false
+		n.pump()
+	}
+}
+
+// SetTap installs a capture hook invoked for every arriving packet
+// (including ones that will be dropped), before admission. Pass nil to
+// remove it.
+func (n *NIC) SetTap(tap func(*pkt.Packet)) { n.tap = tap }
+
+// DropsByFlow returns a copy of the per-flow drop counts — the paper
+// uses drop rate as a proxy for isolation violations precisely because
+// the shared input buffer spreads drops across every flow.
+func (n *NIC) DropsByFlow() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(n.dropsByFlow))
+	for f, c := range n.dropsByFlow {
+		out[f] = c
+	}
+	return out
+}
+
+// BufferUsed returns the current input-buffer occupancy in bytes.
+func (n *NIC) BufferUsed() int { return n.bufferUsed }
+
+// Stats is a snapshot of NIC activity.
+type Stats struct {
+	RxPackets        uint64
+	RxBytes          uint64
+	RxPayloadBytes   uint64
+	Drops            uint64
+	DropBytes        uint64
+	DescriptorStalls uint64
+	TxPackets        uint64
+}
+
+// Stats returns current counters.
+func (n *NIC) Stats() Stats {
+	return Stats{
+		RxPackets:        n.rxPackets.Value(),
+		RxBytes:          n.rxBytes.Value(),
+		RxPayloadBytes:   n.rxPayload.Value(),
+		Drops:            n.drops.Value(),
+		DropBytes:        n.dropBytes.Value(),
+		DescriptorStalls: n.descStalls.Value(),
+		TxPackets:        n.txPackets.Value(),
+	}
+}

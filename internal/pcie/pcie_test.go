@@ -1,0 +1,246 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hic/internal/metrics"
+	"hic/internal/sim"
+)
+
+func newLink(t testing.TB, cfg Config) (*sim.Engine, *Link) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	l, err := New(e, metrics.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, l
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Gen = 7 },
+		func(c *Config) { c.Lanes = 3 },
+		func(c *Config) { c.MaxPayload = 0 },
+		func(c *Config) { c.TLPOverhead = -1 },
+		func(c *Config) { c.LinkEfficiency = 0 },
+		func(c *Config) { c.LinkEfficiency = 1.5 },
+		func(c *Config) { c.CreditBytes = 0 },
+		func(c *Config) { c.RootComplexLatency = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(sim.NewEngine(1), metrics.NewRegistry(), cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRawBandwidthMatchesPaper(t *testing.T) {
+	// Paper: PCIe 3.0 x16 has a ~128 Gbps theoretical maximum.
+	raw := DefaultConfig().RawBandwidth().Gbps()
+	if raw < 124 || raw > 130 {
+		t.Errorf("PCIe 3.0 x16 raw = %.1f Gbps, want ≈126", raw)
+	}
+}
+
+func TestGoodputMatchesPaper(t *testing.T) {
+	// Paper: achievable PCIe goodput is only ~110 Gbps after TLP and
+	// link-layer overheads.
+	good := DefaultConfig().Goodput().Gbps()
+	if good < 107 || good > 113 {
+		t.Errorf("goodput = %.1f Gbps, want ≈110", good)
+	}
+}
+
+func TestWireBytesSegmentation(t *testing.T) {
+	cfg := DefaultConfig()
+	// 4096B at 256B MPS = 16 TLPs.
+	want := 4096 + 16*cfg.TLPOverhead
+	if got := cfg.WireBytes(4096); got != want {
+		t.Errorf("WireBytes(4096) = %d, want %d", got, want)
+	}
+	// 1 byte still costs a full TLP header.
+	if got := cfg.WireBytes(1); got != 1+cfg.TLPOverhead {
+		t.Errorf("WireBytes(1) = %d", got)
+	}
+	if cfg.WireBytes(0) != 0 {
+		t.Error("WireBytes(0) != 0")
+	}
+}
+
+func TestTransmitSerializes(t *testing.T) {
+	e, l := newLink(t, DefaultConfig())
+	var t1, t2 sim.Time
+	l.Transmit(4096, func() { t1 = e.Now() })
+	l.Transmit(4096, func() { t2 = e.Now() })
+	e.Run(e.Now().Add(sim.Millisecond))
+	if t1 == 0 || t2 == 0 {
+		t.Fatal("transmissions did not complete")
+	}
+	if t2 < 2*t1-1 {
+		t.Errorf("second transmit at %v did not wait for the first at %v", t2, t1)
+	}
+	// Back-to-back 4KB DMAs at ~122 Gbps effective link rate with
+	// overheads: each ≈ 297ns.
+	if t1 < sim.Time(250) || t1 > sim.Time(350) {
+		t.Errorf("4KB transmit time = %v ns, want ≈300ns", t1)
+	}
+}
+
+func TestTransmitThroughputMatchesGoodput(t *testing.T) {
+	e, l := newLink(t, DefaultConfig())
+	const n = 1000
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		l.Transmit(4096, func() { last = e.Now() })
+	}
+	e.Run(e.Now().Add(sim.Second))
+	gbps := float64(n*4096*8) / float64(last)
+	want := DefaultConfig().Goodput().Gbps()
+	if gbps < want-3 || gbps > want+3 {
+		t.Errorf("sustained payload rate = %.1f Gbps, want ≈%.1f", gbps, want)
+	}
+}
+
+func TestCreditsImmediateGrant(t *testing.T) {
+	_, l := newLink(t, DefaultConfig())
+	granted := false
+	l.AcquireCredits(4096, func() { granted = true })
+	if !granted {
+		t.Fatal("grant with free credits should be immediate")
+	}
+	if l.InFlightBytes() != 4096 {
+		t.Errorf("InFlightBytes = %d", l.InFlightBytes())
+	}
+	l.ReleaseCredits(4096)
+	if l.CreditsAvailable() != DefaultConfig().CreditBytes {
+		t.Errorf("credits not fully returned: %d", l.CreditsAvailable())
+	}
+}
+
+func TestCreditsBlockAndFIFO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CreditBytes = 8192
+	e, l := newLink(t, cfg)
+	var order []int
+	l.AcquireCredits(8192, func() { order = append(order, 0) })
+	l.AcquireCredits(4096, func() { order = append(order, 1) })
+	l.AcquireCredits(8192, func() { order = append(order, 2) })
+	l.AcquireCredits(1, func() { order = append(order, 3) })
+	if len(order) != 1 || l.QueuedWaiters() != 3 {
+		t.Fatalf("order=%v waiters=%d, want 1 grant and 3 waiters", order, l.QueuedWaiters())
+	}
+	// Release half: only waiter 1 (4096) fits, but FIFO means it gets
+	// granted, then waiter 2 (8192) blocks the rest.
+	e.After(0, func() { l.ReleaseCredits(4096) })
+	e.Run(e.Now().Add(sim.Microsecond))
+	if len(order) != 2 || order[1] != 1 {
+		t.Fatalf("order=%v, want [0 1]", order)
+	}
+	l.ReleaseCredits(4096) // frees 4096: not enough for waiter 2's 8192
+	if len(order) != 2 {
+		t.Fatalf("waiter 2 granted with insufficient credits: %v", order)
+	}
+	l.ReleaseCredits(4096) // now 8192 free: waiter 2 granted, pool empty again
+	if len(order) != 3 || order[2] != 2 {
+		t.Fatalf("order=%v, want [0 1 2]", order)
+	}
+	l.ReleaseCredits(4096) // anything free lets the 1-byte waiter through
+	if len(order) != 4 || order[3] != 3 {
+		t.Errorf("FIFO violated: %v", order)
+	}
+}
+
+func TestCreditOverflowPanics(t *testing.T) {
+	_, l := newLink(t, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	l.ReleaseCredits(1)
+}
+
+func TestAcquireLargerThanPoolPanics(t *testing.T) {
+	_, l := newLink(t, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized acquire did not panic")
+		}
+	}()
+	l.AcquireCredits(DefaultConfig().CreditBytes+1, func() {})
+}
+
+// Property: any interleaving of acquire/release keeps the credit
+// accounting consistent: free + inflight == pool, free never negative.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		cfg := DefaultConfig()
+		cfg.CreditBytes = 16384
+		e := sim.NewEngine(1)
+		l, err := New(e, metrics.NewRegistry(), cfg)
+		if err != nil {
+			return false
+		}
+		held := 0
+		grantedSizes := []int{}
+		for _, op := range ops {
+			n := 1 + int(op%32)*256 // 1..7937 bytes
+			if op%2 == 0 {
+				sz := n
+				l.AcquireCredits(sz, func() {
+					held += sz
+					grantedSizes = append(grantedSizes, sz)
+				})
+			} else if len(grantedSizes) > 0 {
+				sz := grantedSizes[0]
+				grantedSizes = grantedSizes[1:]
+				held -= sz
+				l.ReleaseCredits(sz)
+			}
+			if l.CreditsAvailable() < 0 {
+				return false
+			}
+			if l.CreditsAvailable()+l.InFlightBytes() != cfg.CreditBytes {
+				return false
+			}
+			if l.InFlightBytes() != held {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGen4DoublesBandwidth(t *testing.T) {
+	cfg := DefaultConfig()
+	g3 := cfg.Goodput()
+	cfg.Gen = 4
+	g4 := cfg.Goodput()
+	ratio := float64(g4) / float64(g3)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("gen4/gen3 goodput ratio = %v, want ≈2", ratio)
+	}
+}
+
+func BenchmarkTransmit(b *testing.B) {
+	e := sim.NewEngine(1)
+	l, err := New(e, metrics.NewRegistry(), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Transmit(4096, func() {})
+		if i%1024 == 0 {
+			e.Drain()
+		}
+	}
+	e.Drain()
+}

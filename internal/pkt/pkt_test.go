@@ -1,0 +1,48 @@
+package pkt
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Data: "data", Ack: "ack", Request: "request", Kind(99): "unknown"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNewDataWireOverhead(t *testing.T) {
+	p := NewData(1, 2, 3, 4, 4096)
+	if p.WireBytes != 4096+HeaderBytes {
+		t.Errorf("WireBytes = %d", p.WireBytes)
+	}
+	// The header overhead must reproduce the paper's ~92 Gbps ceiling on
+	// a 100 Gbps link with 4 KB MTU.
+	eff := float64(p.PayloadBytes) / float64(p.WireBytes) * 100
+	if eff < 91 || eff > 93 {
+		t.Errorf("max achievable throughput = %.1f Gbps, want ≈92", eff)
+	}
+	if p.Kind != Data || p.Flow != 2 || p.Queue != 3 || p.Seq != 4 {
+		t.Errorf("fields = %+v", p)
+	}
+}
+
+func TestNewAckEchoes(t *testing.T) {
+	d := NewData(1, 2, 3, 4, 4096)
+	d.ReqID = 77
+	d.ECN = true
+	d.HostECN = true
+	a := NewAck(9, d)
+	if a.Kind != Ack || a.Flow != d.Flow || a.Queue != d.Queue {
+		t.Errorf("ack fields = %+v", a)
+	}
+	if a.AckSeq != d.Seq || a.AckedBytes != d.PayloadBytes || a.ReqID != 77 {
+		t.Errorf("ack echo fields = %+v", a)
+	}
+	if !a.EchoECN || !a.HostECN {
+		t.Error("ECN/HostECN not echoed")
+	}
+	if a.WireBytes != AckWireBytes {
+		t.Errorf("ack wire bytes = %d", a.WireBytes)
+	}
+}

@@ -1,0 +1,125 @@
+package sender
+
+import (
+	"testing"
+
+	"hic/internal/metrics"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+func newHost(t *testing.T, cfg Config) (*sim.Engine, *Host, *[]*pkt.Packet) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	var out []*pkt.Packet
+	h, err := New(e, metrics.NewRegistry(), cfg, func(p *pkt.Packet) { out = append(out, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, h, &out
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	if _, err := New(e, metrics.NewRegistry(), Config{TxQueuePackets: 0, LinkRate: 1, Memory: DefaultConfig().Memory}, func(*pkt.Packet) {}); err == nil {
+		t.Error("zero queue accepted")
+	}
+	if _, err := New(e, metrics.NewRegistry(), Config{TxQueuePackets: 1, LinkRate: 0, Memory: DefaultConfig().Memory}, func(*pkt.Packet) {}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := New(e, metrics.NewRegistry(), DefaultConfig(), nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}
+
+func TestSendEmitsInOrder(t *testing.T) {
+	e, h, out := newHost(t, DefaultConfig())
+	for i := 0; i < 20; i++ {
+		h.Send(pkt.NewData(uint64(i), 1, 0, uint64(i), 4096))
+	}
+	e.Run(e.Now().Add(sim.Millisecond))
+	if len(*out) != 20 {
+		t.Fatalf("emitted %d/20", len(*out))
+	}
+	for i, p := range *out {
+		if p.Seq != uint64(i) {
+			t.Fatalf("out of order at %d: seq %d", i, p.Seq)
+		}
+	}
+	if h.Stats().Sent != 20 {
+		t.Errorf("Sent = %d", h.Stats().Sent)
+	}
+}
+
+func TestLinkRateBoundsThroughput(t *testing.T) {
+	e := sim.NewEngine(1)
+	var lastEmit sim.Time
+	count := 0
+	h, err := New(e, metrics.NewRegistry(), DefaultConfig(), func(*pkt.Packet) {
+		count++
+		lastEmit = e.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Send(pkt.NewData(uint64(i), 1, 0, uint64(i), 4096))
+	}
+	e.Run(e.Now().Add(sim.Second))
+	if count != n {
+		t.Fatalf("emitted %d/%d", count, n)
+	}
+	// n × 4452 B at 100 Gbps ≈ 356 µs of serialization.
+	gbps := float64(n*4452*8) / float64(lastEmit)
+	if gbps > 101 {
+		t.Errorf("egress rate %.1f Gbps exceeds the 100 Gbps link", gbps)
+	}
+	if gbps < 90 {
+		t.Errorf("egress rate %.1f Gbps far below a saturated link", gbps)
+	}
+}
+
+func TestBackpressureNeverDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TxQueuePackets = 4
+	e, h, out := newHost(t, cfg)
+	const n = 200
+	for i := 0; i < n; i++ {
+		h.Send(pkt.NewData(uint64(i), 1, 0, uint64(i), 4096))
+	}
+	if h.WaitingPackets() == 0 {
+		t.Fatal("no backpressure despite a 4-deep queue")
+	}
+	if h.Stats().Backpressured == 0 {
+		t.Error("backpressure counter not incremented")
+	}
+	e.Run(e.Now().Add(10 * sim.Millisecond))
+	// The defining sender-side property: everything eventually leaves,
+	// nothing is dropped.
+	if len(*out) != n {
+		t.Fatalf("emitted %d/%d after backpressure", len(*out), n)
+	}
+	if h.QueuedPackets() != 0 || h.WaitingPackets() != 0 {
+		t.Errorf("queues not drained: nic=%d sw=%d", h.QueuedPackets(), h.WaitingPackets())
+	}
+}
+
+func TestMemoryContentionDelaysButDoesNotDrop(t *testing.T) {
+	cfg := DefaultConfig()
+	e, h, out := newHost(t, cfg)
+	// Saturate the sender's memory bus.
+	h.Memory().SetCPUDemand("antagonist", 150e9)
+	e.Run(e.Now().Add(100 * sim.Microsecond))
+	const n = 100
+	for i := 0; i < n; i++ {
+		h.Send(pkt.NewData(uint64(i), 1, 0, uint64(i), 4096))
+	}
+	e.Run(e.Now().Add(50 * sim.Millisecond))
+	if len(*out) != n {
+		t.Fatalf("memory contention caused loss: %d/%d", len(*out), n)
+	}
+	if h.Stats().TxDelayP99Ns <= 0 {
+		t.Error("no TX delay recorded")
+	}
+}

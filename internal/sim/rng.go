@@ -1,0 +1,126 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256**, seeded via SplitMix64). The standard library's math/rand
+// would work, but a local implementation guarantees the generated streams
+// never change across Go releases, which keeps recorded experiment outputs
+// stable.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed. Any seed, including zero,
+// produces a well-mixed state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *RNG) Seed(seed uint64) {
+	// SplitMix64 to expand the seed into four non-zero words.
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// used for Poisson arrival processes. The result is at least 1ns so that
+// back-to-back arrivals still advance time.
+func (r *RNG) Exp(mean Duration) Duration {
+	if mean <= 0 {
+		return 1
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := Duration(-math.Log(u) * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box-Muller, one value per call for determinism).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac],
+// clamped to at least 1ns. frac outside [0,1] is clamped.
+func (r *RNG) Jitter(d Duration, frac float64) Duration {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	j := Duration(float64(d) * f)
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of this generator's state. Used to give each simulated host its
+// own stream in cluster sweeps.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,146 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses for multi-seed replication: summary statistics,
+// Student-t confidence intervals, and correlation. Simulation results
+// are deterministic per seed; replicating across seeds and reporting
+// mean ± CI separates calibration signal from seed noise.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics. An empty sample returns zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values by degrees
+// of freedom (1-30), falling back to the normal 1.96 beyond.
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval
+// for the mean. Samples of size < 2 have no interval (returns 0).
+func CI95(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.N < 2 {
+		return 0
+	}
+	df := s.N - 1
+	t := 1.96
+	if df < len(tCritical95) {
+		t = tCritical95[df]
+	}
+	return t * s.Stddev / math.Sqrt(float64(s.N))
+}
+
+// MeanCI formats "mean ± ci" with the given precision.
+func MeanCI(xs []float64, decimals int) string {
+	s := Summarize(xs)
+	ci := CI95(xs)
+	if s.N < 2 {
+		return fmt.Sprintf("%.*f", decimals, s.Mean)
+	}
+	return fmt.Sprintf("%.*f±%.*f", decimals, s.Mean, decimals, ci)
+}
+
+// Percentile returns the p-quantile (0..1) by linear interpolation on
+// the sorted sample. Empty samples return 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Pearson returns the correlation coefficient of two equal-length
+// samples; degenerate inputs return 0.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// JainIndex returns Jain's fairness index of a non-negative allocation:
+// (Σx)²/(n·Σx²), 1 when perfectly fair, →1/n when one flow takes all.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1 // all-zero allocation is trivially fair
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

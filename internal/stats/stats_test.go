@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-2.138) > 0.01 {
+		t.Errorf("stddev = %v, want ≈2.138 (sample)", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary broken")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{5}) != 0 {
+		t.Error("single sample should have no CI")
+	}
+	// n=5, stddev 1: CI = 2.776·1/√5 ≈ 1.241.
+	xs := []float64{4, 4.5, 5, 5.5, 6} // stddev ≈ 0.7906
+	ci := CI95(xs)
+	want := 2.776 * 0.7906 / math.Sqrt(5)
+	if math.Abs(ci-want) > 0.01 {
+		t.Errorf("CI95 = %v, want ≈%v", ci, want)
+	}
+	// Large samples fall back to the normal critical value.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	ciBig := CI95(big)
+	wantBig := 1.96 * Summarize(big).Stddev / 10
+	if math.Abs(ciBig-wantBig) > 1e-9 {
+		t.Errorf("large-sample CI = %v, want %v", ciBig, wantBig)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	if got := MeanCI([]float64{5}, 1); got != "5.0" {
+		t.Errorf("single-sample MeanCI = %q", got)
+	}
+	got := MeanCI([]float64{4, 6}, 1)
+	if !strings.Contains(got, "5.0±") {
+		t.Errorf("MeanCI = %q", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated (sorted copy).
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant series should correlate 0")
+	}
+	if Pearson(xs, xs[:2]) != 0 {
+		t.Error("length mismatch should return 0")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); got != 1 {
+		t.Errorf("equal allocation index = %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("single-taker index = %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 {
+		t.Error("empty index should be 0")
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Error("all-zero allocation should be trivially fair")
+	}
+}
+
+// Property: CI shrinks as samples grow (same underlying values repeated),
+// and Jain's index stays within [1/n, 1].
+func TestProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		j := JainIndex(xs)
+		if j < 1/float64(len(xs))-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sweep provides a declarative parameter-sweep harness over
+// core.Params: name the axes (field + values), and the sweep runs the
+// cross product in parallel, emitting one row per point with the headline
+// measurements. cmd/hicsweep exposes it as a JSON-driven tool, so new
+// explorations need no new Go code.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hic/internal/asciiplot"
+	"hic/internal/core"
+	"hic/internal/sim"
+)
+
+// Axis is one swept dimension: a named parameter and its values.
+type Axis struct {
+	// Param names the swept knob; see Apply for the accepted names.
+	Param string `json:"param"`
+	// Values are the points along this axis.
+	Values []float64 `json:"values"`
+}
+
+// Spec is a full sweep: a base scenario and the axes to cross.
+type Spec struct {
+	// Base is the starting scenario (zero value ⇒ core.DefaultParams(12)
+	// with Threads overridable by an axis).
+	Base core.Params `json:"base"`
+	// Axes are crossed in order; the last axis varies fastest.
+	Axes []Axis `json:"axes"`
+}
+
+// knownParams maps axis names to Params mutations.
+var knownParams = map[string]func(*core.Params, float64){
+	"threads":          func(p *core.Params, v float64) { p.Threads = int(v) },
+	"senders":          func(p *core.Params, v float64) { p.Senders = int(v) },
+	"region_mb":        func(p *core.Params, v float64) { p.RxRegionBytes = uint64(v) << 20 },
+	"iommu":            func(p *core.Params, v float64) { p.IOMMU = v != 0 },
+	"hugepages":        func(p *core.Params, v float64) { p.Hugepages = v != 0 },
+	"antagonists":      func(p *core.Params, v float64) { p.AntagonistCores = int(v) },
+	"host_target_us":   func(p *core.Params, v float64) { p.HostTarget = sim.Duration(v) * sim.Microsecond },
+	"nic_buffer_kb":    func(p *core.Params, v float64) { p.NICBufferBytes = int(v) << 10 },
+	"device_tlb":       func(p *core.Params, v float64) { p.DeviceTLBEntries = int(v) },
+	"link_scale":       func(p *core.Params, v float64) { p.LinkLatencyScale = v },
+	"io_reserved":      func(p *core.Params, v float64) { p.MemoryIOReservedShare = v },
+	"offered_gbps":     func(p *core.Params, v float64) { p.OfferedGbps = v },
+	"subrtt":           func(p *core.Params, v float64) { p.SubRTTHostECN = v != 0 },
+	"strict_iommu":     func(p *core.Params, v float64) { p.StrictIOMMU = v != 0 },
+	"cpu_cores":        func(p *core.Params, v float64) { p.CPUCores = int(v) },
+	"remote_numa":      func(p *core.Params, v float64) { p.AntagonistRemoteNUMA = v != 0 },
+	"per_queue_bufs":   func(p *core.Params, v float64) { p.PerQueueNICBuffers = v != 0 },
+	"victim_conn_gbps": func(p *core.Params, v float64) { p.VictimConnGbps = v },
+	"burst_duty":       func(p *core.Params, v float64) { p.BurstDuty = v },
+	"seed":             func(p *core.Params, v float64) { p.Seed = uint64(v) },
+}
+
+// KnownParams lists the accepted axis names, sorted.
+func KnownParams() []string {
+	names := make([]string, 0, len(knownParams))
+	for n := range knownParams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks the spec before running.
+func (s Spec) Validate() error {
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("sweep: no axes")
+	}
+	total := 1
+	for _, a := range s.Axes {
+		if len(a.Values) == 0 {
+			return fmt.Errorf("sweep: axis %q has no values", a.Param)
+		}
+		if _, ok := knownParams[a.Param]; !ok {
+			return fmt.Errorf("sweep: unknown parameter %q (known: %s)",
+				a.Param, strings.Join(KnownParams(), ", "))
+		}
+		total *= len(a.Values)
+		if total > 4096 {
+			return fmt.Errorf("sweep: cross product exceeds 4096 points")
+		}
+	}
+	return nil
+}
+
+// Row is one sweep point's coordinates and measurements.
+type Row struct {
+	Coords  []float64
+	Results core.Results
+}
+
+// Run executes the cross product. Points run in parallel via
+// core.RunMany; rows come back in axis order (last axis fastest).
+func Run(spec Spec) ([]Row, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	base := spec.Base
+	if base.Threads == 0 {
+		base = core.DefaultParams(12)
+	}
+	// Enumerate the cross product.
+	var coords [][]float64
+	var rec func(prefix []float64, depth int)
+	rec = func(prefix []float64, depth int) {
+		if depth == len(spec.Axes) {
+			coords = append(coords, append([]float64(nil), prefix...))
+			return
+		}
+		for _, v := range spec.Axes[depth].Values {
+			rec(append(prefix, v), depth+1)
+		}
+	}
+	rec(nil, 0)
+
+	ps := make([]core.Params, len(coords))
+	for i, c := range coords {
+		p := base
+		for d, v := range c {
+			knownParams[spec.Axes[d].Param](&p, v)
+		}
+		ps[i] = p
+	}
+	rs, err := core.RunMany(ps)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(coords))
+	for i := range coords {
+		rows[i] = Row{Coords: coords[i], Results: rs[i]}
+	}
+	return rows, nil
+}
+
+// CSV renders the rows with one column per axis plus the headline
+// measurement columns.
+func CSV(spec Spec, rows []Row) string {
+	cols := make([]string, 0, len(spec.Axes)+7)
+	for _, a := range spec.Axes {
+		cols = append(cols, a.Param)
+	}
+	cols = append(cols, "gbps", "drop_pct", "misses_per_pkt", "membw_gbps",
+		"hostdelay_p99_us", "read_p99_us", "fairness")
+	var cells [][]string
+	for _, r := range rows {
+		row := make([]string, 0, len(cols))
+		for _, c := range r.Coords {
+			row = append(row, fmt.Sprintf("%g", c))
+		}
+		res := r.Results
+		row = append(row,
+			fmt.Sprintf("%.2f", res.AppThroughputGbps),
+			fmt.Sprintf("%.3f", res.DropRatePct),
+			fmt.Sprintf("%.3f", res.IOTLBMissesPerPacket),
+			fmt.Sprintf("%.2f", res.MemoryBandwidthGBps),
+			fmt.Sprintf("%.1f", float64(res.HostDelayP99)/1000),
+			fmt.Sprintf("%.1f", float64(res.ReadLatencyP99)/1000),
+			fmt.Sprintf("%.3f", res.FairnessIndex),
+		)
+		cells = append(cells, row)
+	}
+	return asciiplot.CSV(cols, cells)
+}
+
+// Table renders the rows as an aligned text table.
+func Table(spec Spec, rows []Row) string {
+	csv := CSV(spec, rows)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	cols := strings.Split(lines[0], ",")
+	var cells [][]string
+	for _, l := range lines[1:] {
+		cells = append(cells, strings.Split(l, ","))
+	}
+	return asciiplot.FormatTable(cols, cells)
+}

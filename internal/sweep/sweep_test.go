@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"hic/internal/core"
+	"hic/internal/sim"
+)
+
+func quickBase() core.Params {
+	p := core.DefaultParams(4)
+	p.Senders = 8
+	p.Warmup = 2 * sim.Millisecond
+	p.Measure = 3 * sim.Millisecond
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{}, false},
+		{Spec{Axes: []Axis{{Param: "threads", Values: nil}}}, false},
+		{Spec{Axes: []Axis{{Param: "bogus", Values: []float64{1}}}}, false},
+		{Spec{Axes: []Axis{{Param: "threads", Values: []float64{2, 4}}}}, true},
+	}
+	for i, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, ok = %v", i, err, c.ok)
+		}
+	}
+	// Cross-product explosion guard.
+	big := make([]float64, 100)
+	spec := Spec{Axes: []Axis{
+		{Param: "threads", Values: big},
+		{Param: "senders", Values: big},
+	}}
+	if err := spec.Validate(); err == nil {
+		t.Error("10000-point sweep accepted")
+	}
+}
+
+func TestKnownParamsComplete(t *testing.T) {
+	names := KnownParams()
+	if len(names) != len(knownParams) {
+		t.Errorf("KnownParams returned %d of %d", len(names), len(knownParams))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRunCrossProductOrder(t *testing.T) {
+	spec := Spec{
+		Base: quickBase(),
+		Axes: []Axis{
+			{Param: "threads", Values: []float64{2, 4}},
+			{Param: "iommu", Values: []float64{1, 0}},
+		},
+	}
+	rows, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	wantCoords := [][]float64{{2, 1}, {2, 0}, {4, 1}, {4, 0}}
+	for i, r := range rows {
+		for d := range wantCoords[i] {
+			if r.Coords[d] != wantCoords[i][d] {
+				t.Fatalf("row %d coords = %v, want %v", i, r.Coords, wantCoords[i])
+			}
+		}
+		if r.Results.Goodput == 0 {
+			t.Errorf("row %d produced no goodput", i)
+		}
+	}
+	// CPU-bound points: 4 threads ≈ 2× the 2-thread throughput.
+	if !(rows[2].Results.AppThroughputGbps > 1.5*rows[0].Results.AppThroughputGbps) {
+		t.Errorf("thread scaling missing: %v vs %v",
+			rows[0].Results.AppThroughputGbps, rows[2].Results.AppThroughputGbps)
+	}
+}
+
+func TestCSVAndTable(t *testing.T) {
+	spec := Spec{
+		Base: quickBase(),
+		Axes: []Axis{{Param: "threads", Values: []float64{2}}},
+	}
+	rows, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := CSV(spec, rows)
+	if !strings.HasPrefix(csv, "threads,gbps,") {
+		t.Errorf("CSV header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if strings.Count(csv, "\n") != 2 {
+		t.Errorf("CSV rows wrong:\n%s", csv)
+	}
+	table := Table(spec, rows)
+	if !strings.Contains(table, "threads") || !strings.Contains(table, "---") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+}
+
+func TestEveryKnownParamApplies(t *testing.T) {
+	// Applying each knob must yield a runnable scenario (value chosen to
+	// be safe for every knob).
+	safe := map[string]float64{
+		"threads": 2, "senders": 4, "region_mb": 8, "iommu": 1, "hugepages": 1,
+		"antagonists": 2, "host_target_us": 100, "nic_buffer_kb": 512,
+		"device_tlb": 128, "link_scale": 0.5, "io_reserved": 0.1,
+		"offered_gbps": 10, "subrtt": 1, "strict_iommu": 0, "cpu_cores": 2,
+		"remote_numa": 1, "per_queue_bufs": 1, "victim_conn_gbps": 0.05,
+		"burst_duty": 0.5, "seed": 3,
+	}
+	for name := range knownParams {
+		v, ok := safe[name]
+		if !ok {
+			t.Fatalf("no safe value for %q; update the test", name)
+		}
+		p := quickBase()
+		knownParams[name](&p, v)
+		if _, err := core.Run(p); err != nil {
+			t.Errorf("param %q with value %v: %v", name, v, err)
+		}
+	}
+}

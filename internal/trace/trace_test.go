@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hic/internal/sim"
+)
+
+func TestRecordAndSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 100, 1.5)
+	r.Record("b", 100, 2.5)
+	r.Record("a", 200, 3.5)
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	a := r.Series("a")
+	if len(a) != 2 || a[0].Value != 1.5 || a[1].At != 200 {
+		t.Errorf("Series(a) = %v", a)
+	}
+	if len(r.Series("missing")) != 0 {
+		t.Error("missing series should be empty")
+	}
+}
+
+func TestOutOfOrderPanics(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 200, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order sample did not panic")
+		}
+	}()
+	r.Record("a", 100, 2)
+}
+
+func TestCSVLongForm(t *testing.T) {
+	r := NewRecorder()
+	r.Record("b", sim.Time(sim.Microsecond), 2)
+	r.Record("a", sim.Time(sim.Microsecond), 1)
+	r.Record("a", sim.Time(2*sim.Microsecond), 3)
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), csv)
+	}
+	// Same timestamp: sorted by name.
+	if !strings.HasPrefix(lines[1], "1.000,a,") || !strings.HasPrefix(lines[2], "1.000,b,") {
+		t.Errorf("ordering wrong:\n%s", csv)
+	}
+	if !strings.HasPrefix(lines[3], "2.000,a,3") {
+		t.Errorf("second sample wrong:\n%s", csv)
+	}
+}
+
+func TestWideForm(t *testing.T) {
+	r := NewRecorder()
+	r.Record("x", sim.Time(sim.Microsecond), 1)
+	r.Record("y", sim.Time(sim.Microsecond), 2)
+	r.Record("x", sim.Time(2*sim.Microsecond), 3) // y missing here
+	wide := r.Wide()
+	lines := strings.Split(strings.TrimSpace(wide), "\n")
+	if lines[0] != "time_us,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1.000,1,2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2.000,3," {
+		t.Errorf("row 2 = %q (missing cell should be empty)", lines[2])
+	}
+}

@@ -1,0 +1,164 @@
+// Package dctcp implements a DCTCP-style ECN-fraction congestion
+// controller and a fixed-window controller. Both serve as the "TCP-like
+// protocols" baselines of the paper's §4 discussion: they watch fabric
+// signals (ECN marks at switches) or nothing at all, so host interconnect
+// congestion is invisible to them until packets are already being
+// dropped at the NIC.
+package dctcp
+
+import (
+	"fmt"
+
+	"hic/internal/sim"
+	"hic/internal/transport"
+)
+
+// Config holds DCTCP parameters.
+type Config struct {
+	// G is the EWMA gain for the marked fraction estimate.
+	G float64
+	// AI is the additive increase in packets per RTT.
+	AI float64
+	// MinCwnd / MaxCwnd clamp the window.
+	MinCwnd, MaxCwnd float64
+	// ReactToHostECN additionally treats the NIC's host-ECN mark as an
+	// ECN signal (§4 extension applied to a TCP-like protocol).
+	ReactToHostECN bool
+}
+
+// DefaultConfig returns standard DCTCP parameters.
+func DefaultConfig() Config {
+	return Config{
+		G:       1.0 / 16,
+		AI:      1.0,
+		MinCwnd: 0.05,
+		MaxCwnd: 256,
+	}
+}
+
+func (c Config) validate() error {
+	if c.G <= 0 || c.G > 1 {
+		return fmt.Errorf("dctcp: G outside (0,1]")
+	}
+	if c.AI <= 0 {
+		return fmt.Errorf("dctcp: AI must be positive")
+	}
+	if c.MinCwnd <= 0 || c.MaxCwnd < c.MinCwnd {
+		return fmt.Errorf("dctcp: bad cwnd clamps")
+	}
+	return nil
+}
+
+// DCTCP is one connection's controller.
+type DCTCP struct {
+	cfg   Config
+	cwnd  float64
+	alpha float64
+
+	windowAcked  int
+	windowMarked int
+	windowEnd    sim.Time
+	lastRTT      sim.Duration
+	lastDecrease sim.Time
+}
+
+// New returns a DCTCP controller with the given initial window.
+func New(cfg Config, initialCwnd float64) (*DCTCP, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &DCTCP{cfg: cfg, cwnd: initialCwnd, lastDecrease: -1 << 62}
+	d.clamp()
+	return d, nil
+}
+
+// Name implements transport.CongestionControl.
+func (d *DCTCP) Name() string { return "dctcp" }
+
+// Cwnd implements transport.CongestionControl.
+func (d *DCTCP) Cwnd() float64 { return d.cwnd }
+
+// Alpha returns the current marked-fraction estimate.
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+func (d *DCTCP) clamp() {
+	if d.cwnd < d.cfg.MinCwnd {
+		d.cwnd = d.cfg.MinCwnd
+	}
+	if d.cwnd > d.cfg.MaxCwnd {
+		d.cwnd = d.cfg.MaxCwnd
+	}
+}
+
+// OnAck implements the DCTCP update: per-RTT windows estimate the marked
+// fraction α; each window ending with marks cuts cwnd by α/2, otherwise
+// additive increase applies.
+func (d *DCTCP) OnAck(info transport.AckInfo) {
+	d.lastRTT = info.RTT
+	d.windowAcked++
+	marked := info.ECN || (d.cfg.ReactToHostECN && info.HostECN)
+	if marked {
+		d.windowMarked++
+	}
+
+	if info.Now >= d.windowEnd {
+		f := 0.0
+		if d.windowAcked > 0 {
+			f = float64(d.windowMarked) / float64(d.windowAcked)
+		}
+		d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G*f
+		if d.windowMarked > 0 {
+			d.cwnd *= 1 - d.alpha/2
+		}
+		d.windowAcked, d.windowMarked = 0, 0
+		d.windowEnd = info.Now.Add(info.RTT)
+	}
+	if !marked {
+		if d.cwnd >= 1 {
+			d.cwnd += d.cfg.AI / d.cwnd
+		} else {
+			d.cwnd += d.cfg.AI
+		}
+	}
+	d.clamp()
+}
+
+// OnLoss halves the window, at most once per RTT.
+func (d *DCTCP) OnLoss(now sim.Time) {
+	if now.Sub(d.lastDecrease) < d.lastRTT {
+		return
+	}
+	d.cwnd /= 2
+	d.lastDecrease = now
+	d.clamp()
+}
+
+var _ transport.CongestionControl = (*DCTCP)(nil)
+
+// Fixed is a congestion controller with a constant window — the
+// no-feedback extreme of the baseline spectrum.
+type Fixed struct {
+	cwnd float64
+}
+
+// NewFixed returns a fixed-window controller.
+func NewFixed(cwnd float64) *Fixed {
+	if cwnd <= 0 {
+		cwnd = 1
+	}
+	return &Fixed{cwnd: cwnd}
+}
+
+// Name implements transport.CongestionControl.
+func (f *Fixed) Name() string { return "fixed" }
+
+// Cwnd implements transport.CongestionControl.
+func (f *Fixed) Cwnd() float64 { return f.cwnd }
+
+// OnAck implements transport.CongestionControl (no reaction).
+func (f *Fixed) OnAck(transport.AckInfo) {}
+
+// OnLoss implements transport.CongestionControl (no reaction).
+func (f *Fixed) OnLoss(sim.Time) {}
+
+var _ transport.CongestionControl = (*Fixed)(nil)

@@ -1,0 +1,189 @@
+package dctcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hic/internal/sim"
+	"hic/internal/transport"
+)
+
+func ack(now sim.Time, ecn bool) transport.AckInfo {
+	return transport.AckInfo{
+		Now:        now,
+		RTT:        30 * sim.Microsecond,
+		ECN:        ecn,
+		AckedBytes: 4096,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.G = 0 },
+		func(c *Config) { c.G = 1.5 },
+		func(c *Config) { c.AI = 0 },
+		func(c *Config) { c.MinCwnd = 0 },
+		func(c *Config) { c.MaxCwnd = 0.001 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg, 1); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGrowsWithoutMarks(t *testing.T) {
+	d, err := New(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d.OnAck(ack(sim.Time(i)*1000, false))
+	}
+	if d.Cwnd() <= 2 {
+		t.Errorf("cwnd did not grow without marks: %v", d.Cwnd())
+	}
+	if d.Alpha() != 0 {
+		t.Errorf("alpha = %v with no marks, want 0", d.Alpha())
+	}
+}
+
+func TestAlphaTracksMarkedFraction(t *testing.T) {
+	d, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	// Several RTT windows with all acks marked: alpha → 1.
+	for i := 0; i < 2000; i++ {
+		now = now.Add(5 * sim.Microsecond)
+		d.OnAck(ack(now, true))
+	}
+	if d.Alpha() < 0.8 {
+		t.Errorf("alpha = %v after sustained marking, want → 1", d.Alpha())
+	}
+	if d.Cwnd() > 1 {
+		t.Errorf("cwnd = %v under sustained marking, want collapsed", d.Cwnd())
+	}
+}
+
+func TestPartialMarkingPartialDecrease(t *testing.T) {
+	d, err := New(DefaultConfig(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	for i := 0; i < 500; i++ {
+		now = now.Add(5 * sim.Microsecond)
+		d.OnAck(ack(now, i%10 == 0)) // ~10% marked
+	}
+	// Alpha should settle near 0.1, not 1.
+	if d.Alpha() < 0.02 || d.Alpha() > 0.3 {
+		t.Errorf("alpha = %v with 10%% marking, want ≈0.1", d.Alpha())
+	}
+	if d.Cwnd() < 1 {
+		t.Errorf("cwnd collapsed (%v) under light marking", d.Cwnd())
+	}
+}
+
+func TestOnLossHalves(t *testing.T) {
+	d, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.OnAck(ack(1000, false)) // set lastRTT
+	d.OnLoss(sim.Time(sim.Millisecond))
+	if d.Cwnd() > 4.3 {
+		t.Errorf("loss did not halve: %v", d.Cwnd())
+	}
+	c := d.Cwnd()
+	d.OnLoss(sim.Time(sim.Millisecond) + 1)
+	if d.Cwnd() != c {
+		t.Error("second loss within an RTT halved again")
+	}
+}
+
+func TestReactToHostECN(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReactToHostECN = true
+	d, err := New(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		now = now.Add(5 * sim.Microsecond)
+		a := ack(now, false)
+		a.HostECN = true
+		d.OnAck(a)
+	}
+	if d.Cwnd() > 2 {
+		t.Errorf("host-ECN marks ignored: cwnd=%v", d.Cwnd())
+	}
+	// Without the option the same marks are invisible.
+	d2, _ := New(DefaultConfig(), 16)
+	now = 0
+	for i := 0; i < 100; i++ {
+		now = now.Add(5 * sim.Microsecond)
+		a := ack(now, false)
+		a.HostECN = true
+		d2.OnAck(a)
+	}
+	if d2.Cwnd() < 16 {
+		t.Errorf("host ECN acted on while disabled: %v", d2.Cwnd())
+	}
+}
+
+func TestFixedWindowNeverMoves(t *testing.T) {
+	f := NewFixed(3)
+	f.OnAck(ack(1000, true))
+	f.OnLoss(2000)
+	if f.Cwnd() != 3 {
+		t.Errorf("fixed window moved: %v", f.Cwnd())
+	}
+	if f.Name() != "fixed" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if NewFixed(-1).Cwnd() != 1 {
+		t.Error("non-positive fixed window should default to 1")
+	}
+}
+
+func TestName(t *testing.T) {
+	d, _ := New(DefaultConfig(), 1)
+	if d.Name() != "dctcp" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+// Property: cwnd and alpha stay within bounds for arbitrary inputs.
+func TestBoundsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(events []uint32) bool {
+		d, err := New(cfg, 8)
+		if err != nil {
+			return false
+		}
+		now := sim.Time(0)
+		for _, ev := range events {
+			now = now.Add(sim.Duration(ev%50) * sim.Microsecond)
+			if ev%11 == 0 {
+				d.OnLoss(now)
+			} else {
+				d.OnAck(ack(now, ev%3 == 0))
+			}
+			if d.Cwnd() < cfg.MinCwnd-1e-12 || d.Cwnd() > cfg.MaxCwnd+1e-12 {
+				return false
+			}
+			if d.Alpha() < 0 || d.Alpha() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package swift implements the Swift congestion-control protocol (Kumar
+// et al., SIGCOMM 2020) as used by the paper's production stack: delay-
+// based AIMD with separate targets for the fabric and the host components
+// of the measured delay. The host target (100 µs in the paper) is the
+// crux of §3.1's analysis — with a ~1 MB NIC buffer draining in under
+// 90 µs at high rates, host congestion stays below the target and Swift
+// simply does not react until throughput has already collapsed below
+// ~81 Gbps.
+package swift
+
+import (
+	"fmt"
+	"math"
+
+	"hic/internal/sim"
+	"hic/internal/transport"
+)
+
+// Config holds Swift's parameters (defaults follow the paper's setup).
+type Config struct {
+	// FabricTarget is the target fabric delay.
+	FabricTarget sim.Duration
+	// HostTarget is the target host delay (paper: 100 µs).
+	HostTarget sim.Duration
+	// AI is the additive increase in packets per RTT.
+	AI float64
+	// Beta scales the multiplicative decrease with delay excess.
+	Beta float64
+	// MaxMDF caps a single multiplicative decrease.
+	MaxMDF float64
+	// MinCwnd / MaxCwnd clamp the window (packets; MinCwnd may be < 1,
+	// enforced via pacing).
+	MinCwnd, MaxCwnd float64
+	// LossMDF is the decrease applied on a retransmission timeout.
+	LossMDF float64
+	// FSAlpha and FSMax implement Swift's flow scaling: the effective
+	// fabric target grows by FSAlpha·(1/√cwnd − 1), clamped to FSMax,
+	// so the many sub-1-cwnd flows of incast-like workloads tolerate a
+	// proportionally deeper shared queue instead of oscillating into
+	// underutilization.
+	FSAlpha sim.Duration
+	FSMax   sim.Duration
+	// SubRTTHostECN enables the §4 extension: react immediately (not
+	// once-per-RTT) to the NIC's host-ECN mark.
+	SubRTTHostECN bool
+}
+
+// DefaultConfig returns the paper-testbed Swift parameters.
+func DefaultConfig() Config {
+	return Config{
+		FabricTarget: 60 * sim.Microsecond,
+		HostTarget:   100 * sim.Microsecond,
+		AI:           0.1,
+		FSAlpha:      0,
+		FSMax:        0,
+		Beta:         0.8,
+		MaxMDF:       0.5,
+		MinCwnd:      0.05,
+		MaxCwnd:      256,
+		LossMDF:      0.5,
+	}
+}
+
+func (c Config) validate() error {
+	if c.FabricTarget <= 0 || c.HostTarget <= 0 {
+		return fmt.Errorf("swift: targets must be positive")
+	}
+	if c.AI <= 0 {
+		return fmt.Errorf("swift: AI must be positive")
+	}
+	if c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("swift: Beta outside (0,1]")
+	}
+	if c.MaxMDF <= 0 || c.MaxMDF >= 1 {
+		return fmt.Errorf("swift: MaxMDF outside (0,1)")
+	}
+	if c.LossMDF <= 0 || c.LossMDF >= 1 {
+		return fmt.Errorf("swift: LossMDF outside (0,1)")
+	}
+	if c.MinCwnd <= 0 || c.MaxCwnd < c.MinCwnd {
+		return fmt.Errorf("swift: bad cwnd clamps [%v, %v]", c.MinCwnd, c.MaxCwnd)
+	}
+	if c.FSAlpha < 0 || c.FSMax < 0 {
+		return fmt.Errorf("swift: negative flow-scaling parameter")
+	}
+	return nil
+}
+
+// Swift is one connection's controller.
+type Swift struct {
+	cfg  Config
+	cwnd float64
+
+	lastDecrease sim.Time
+	lastRTT      sim.Duration
+}
+
+// New returns a Swift controller starting from an initial window.
+func New(cfg Config, initialCwnd float64) (*Swift, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Swift{cfg: cfg, cwnd: initialCwnd, lastDecrease: -1 << 62}
+	s.clamp()
+	return s, nil
+}
+
+// Name implements transport.CongestionControl.
+func (s *Swift) Name() string { return "swift" }
+
+// Cwnd implements transport.CongestionControl.
+func (s *Swift) Cwnd() float64 { return s.cwnd }
+
+func (s *Swift) clamp() {
+	if s.cwnd < s.cfg.MinCwnd {
+		s.cwnd = s.cfg.MinCwnd
+	}
+	if s.cwnd > s.cfg.MaxCwnd {
+		s.cwnd = s.cfg.MaxCwnd
+	}
+}
+
+// fabricTarget returns the flow-scaled fabric delay target.
+func (s *Swift) fabricTarget() sim.Duration {
+	t := s.cfg.FabricTarget
+	if s.cwnd < 1 {
+		extra := sim.Duration(float64(s.cfg.FSAlpha) * (1/math.Sqrt(s.cwnd) - 1))
+		if extra > s.cfg.FSMax {
+			extra = s.cfg.FSMax
+		}
+		t += extra
+	}
+	return t
+}
+
+// canDecrease enforces at most one multiplicative decrease per RTT.
+func (s *Swift) canDecrease(now sim.Time) bool {
+	return now.Sub(s.lastDecrease) >= s.lastRTT
+}
+
+// OnAck implements the Swift update rule: if either delay component is
+// above its target, decrease proportionally to the excess (clamped, at
+// most once per RTT); otherwise increase additively.
+func (s *Swift) OnAck(info transport.AckInfo) {
+	s.lastRTT = info.RTT
+
+	// Sub-RTT host ECN (§4 extension): the NIC observed buffer pressure
+	// less than one RTT ago. React faster than the per-RTT clamp allows
+	// (up to four cuts per RTT) but with a proportionally smaller step,
+	// so the early signal drains the buffer without collapsing the rate.
+	if s.cfg.SubRTTHostECN && info.HostECN {
+		if info.Now.Sub(s.lastDecrease) >= s.lastRTT/4 {
+			s.cwnd *= 1 - s.cfg.MaxMDF/4
+			s.lastDecrease = info.Now
+			s.clamp()
+		}
+		return
+	}
+
+	hostExcess := info.HostDelay - s.cfg.HostTarget
+	fabricExcess := info.FabricDelay - s.fabricTarget()
+	excess := hostExcess
+	delay := info.HostDelay
+	if fabricExcess > hostExcess {
+		excess = fabricExcess
+		delay = info.FabricDelay
+	}
+
+	if excess > 0 && delay > 0 {
+		if s.canDecrease(info.Now) {
+			md := s.cfg.Beta * float64(excess) / float64(delay)
+			if md > s.cfg.MaxMDF {
+				md = s.cfg.MaxMDF
+			}
+			s.cwnd *= 1 - md
+			s.lastDecrease = info.Now
+		}
+	} else if s.cwnd >= 1 {
+		// ai/cwnd per ack sums to ai packets per RTT.
+		s.cwnd += s.cfg.AI / s.cwnd
+	} else {
+		// Below one packet, acks arrive once per rtt/cwnd; growing the
+		// window by a fraction of itself keeps the per-RTT probe small
+		// (hundreds of sub-1 connections adding a full AI each would
+		// burst the shared NIC buffer).
+		s.cwnd += s.cfg.AI * s.cwnd
+	}
+	s.clamp()
+}
+
+// OnLoss halves the window (once per RTT).
+func (s *Swift) OnLoss(now sim.Time) {
+	if !s.canDecrease(now) {
+		return
+	}
+	s.cwnd *= 1 - s.cfg.LossMDF
+	s.lastDecrease = now
+	s.clamp()
+}
+
+var _ transport.CongestionControl = (*Swift)(nil)

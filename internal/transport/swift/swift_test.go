@@ -1,0 +1,279 @@
+package swift
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hic/internal/sim"
+	"hic/internal/transport"
+)
+
+func ack(now sim.Time, host, fabric sim.Duration) transport.AckInfo {
+	return transport.AckInfo{
+		Now:         now,
+		RTT:         fabric + host + 10*sim.Microsecond,
+		FabricDelay: fabric,
+		HostDelay:   host,
+		AckedBytes:  4096,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.FabricTarget = 0 },
+		func(c *Config) { c.HostTarget = 0 },
+		func(c *Config) { c.AI = 0 },
+		func(c *Config) { c.Beta = 0 },
+		func(c *Config) { c.Beta = 1.5 },
+		func(c *Config) { c.MaxMDF = 0 },
+		func(c *Config) { c.MaxMDF = 1 },
+		func(c *Config) { c.LossMDF = 0 },
+		func(c *Config) { c.MinCwnd = 0 },
+		func(c *Config) { c.MaxCwnd = 0.001 },
+		func(c *Config) { c.FSAlpha = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg, 1); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAdditiveIncreaseBelowTargets(t *testing.T) {
+	s, err := New(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Cwnd()
+	for i := 0; i < 10; i++ {
+		s.OnAck(ack(sim.Time(i)*1000, 10*sim.Microsecond, 10*sim.Microsecond))
+	}
+	if s.Cwnd() <= before {
+		t.Errorf("cwnd did not grow below targets: %v -> %v", before, s.Cwnd())
+	}
+	// ai/cwnd per ack: 10 acks at cwnd≈4 grow by ≈10·AI/4.
+	want := before + 10*DefaultConfig().AI/before
+	if s.Cwnd() > want*1.1 {
+		t.Errorf("cwnd grew too fast: %v, want ≈%v", s.Cwnd(), want)
+	}
+}
+
+func TestHostDelayAboveTargetDecreases(t *testing.T) {
+	s, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Cwnd()
+	s.OnAck(ack(1000, 200*sim.Microsecond, 10*sim.Microsecond))
+	if s.Cwnd() >= before {
+		t.Errorf("cwnd did not decrease on host delay violation: %v", s.Cwnd())
+	}
+	md := (before - s.Cwnd()) / before
+	if md > DefaultConfig().MaxMDF+1e-9 {
+		t.Errorf("single decrease %v exceeds MaxMDF", md)
+	}
+}
+
+func TestDecreaseAtMostOncePerRTT(t *testing.T) {
+	s, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish lastRTT with one over-target ack.
+	s.OnAck(ack(sim.Time(sim.Millisecond), 200*sim.Microsecond, 10*sim.Microsecond))
+	after1 := s.Cwnd()
+	// A second violation within the same RTT must be ignored.
+	s.OnAck(ack(sim.Time(sim.Millisecond)+1000, 300*sim.Microsecond, 10*sim.Microsecond))
+	if s.Cwnd() != after1 {
+		t.Errorf("second decrease within one RTT: %v -> %v", after1, s.Cwnd())
+	}
+	// After an RTT has elapsed it may decrease again.
+	later := sim.Time(sim.Millisecond) + sim.Time(s.lastRTT) + 1000
+	s.OnAck(ack(later, 300*sim.Microsecond, 10*sim.Microsecond))
+	if s.Cwnd() >= after1 {
+		t.Error("decrease did not resume after an RTT")
+	}
+}
+
+func TestDecreaseProportionalToExcess(t *testing.T) {
+	mk := func(host sim.Duration) float64 {
+		s, err := New(DefaultConfig(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.OnAck(ack(1000, host, 10*sim.Microsecond))
+		return 8 - s.Cwnd()
+	}
+	small := mk(110 * sim.Microsecond) // barely above the 100µs target
+	large := mk(190 * sim.Microsecond)
+	if small <= 0 || large <= small {
+		t.Errorf("decrease not proportional to excess: small=%v large=%v", small, large)
+	}
+}
+
+func TestFabricTargetAlsoTriggers(t *testing.T) {
+	s, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Cwnd()
+	s.OnAck(ack(1000, 10*sim.Microsecond, 300*sim.Microsecond))
+	if s.Cwnd() >= before {
+		t.Error("fabric delay violation ignored")
+	}
+}
+
+func TestSubUnityGrowthIsRelative(t *testing.T) {
+	s, err := New(DefaultConfig(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnAck(ack(1000, 10*sim.Microsecond, 10*sim.Microsecond))
+	want := 0.1 * (1 + DefaultConfig().AI)
+	if got := s.Cwnd(); got < 0.1 || got > want+1e-9 {
+		t.Errorf("sub-1 growth = %v, want ≤ %v (AI·cwnd per ack)", got, want)
+	}
+}
+
+func TestOnLossHalvesOncePerRTT(t *testing.T) {
+	s, err := New(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnAck(ack(1000, 10*sim.Microsecond, 10*sim.Microsecond)) // set lastRTT
+	c0 := s.Cwnd()
+	s.OnLoss(sim.Time(sim.Millisecond))
+	c1 := s.Cwnd()
+	if c1 >= c0 {
+		t.Fatal("loss did not decrease cwnd")
+	}
+	s.OnLoss(sim.Time(sim.Millisecond) + 1)
+	if s.Cwnd() != c1 {
+		t.Error("second loss within an RTT decreased again")
+	}
+}
+
+func TestClamps(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(cfg, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cwnd() != cfg.MaxCwnd {
+		t.Errorf("initial cwnd not clamped to max: %v", s.Cwnd())
+	}
+	for i := 0; i < 200; i++ {
+		s.OnAck(ack(sim.Time(i)*sim.Time(sim.Millisecond), sim.Second, sim.Second))
+		s.OnLoss(sim.Time(i)*sim.Time(sim.Millisecond) + 500000)
+	}
+	if s.Cwnd() < cfg.MinCwnd {
+		t.Errorf("cwnd %v below floor", s.Cwnd())
+	}
+}
+
+func TestSubRTTHostECNReactsImmediately(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SubRTTHostECN = true
+	s, err := New(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ack(1000, 10*sim.Microsecond, 10*sim.Microsecond)
+	a.HostECN = true
+	s.OnAck(a)
+	c1 := s.Cwnd()
+	if c1 >= 8 {
+		t.Fatal("host ECN ignored")
+	}
+	// Host-ECN cuts are rate-limited to a quarter RTT, not a full one —
+	// the sub-RTT property — with a proportionally smaller step.
+	a.Now = 1001
+	s.OnAck(a)
+	if s.Cwnd() != c1 {
+		t.Error("immediate second cut should wait RTT/4")
+	}
+	a.Now = a.Now.Add(s.lastRTT/4 + 1)
+	s.OnAck(a)
+	if s.Cwnd() >= c1 {
+		t.Error("cut after RTT/4 suppressed")
+	}
+	// With the extension disabled the mark is ignored.
+	s2, _ := New(DefaultConfig(), 8)
+	a2 := ack(1000, 10*sim.Microsecond, 10*sim.Microsecond)
+	a2.HostECN = true
+	s2.OnAck(a2)
+	if s2.Cwnd() < 8 {
+		t.Error("host ECN acted on while disabled")
+	}
+}
+
+func TestSawtoothEquilibrium(t *testing.T) {
+	// Alternating over/under target acks produce the classic sawtooth:
+	// cwnd must oscillate, not diverge or collapse.
+	s, err := New(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 1e18, 0.0
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		host := 60 * sim.Microsecond
+		if i%3 == 0 {
+			host = 140 * sim.Microsecond
+		}
+		now = now.Add(30 * sim.Microsecond)
+		s.OnAck(ack(now, host, 10*sim.Microsecond))
+		if c := s.Cwnd(); i > 500 {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+	}
+	if hi/lo < 1.05 {
+		t.Errorf("no sawtooth oscillation: lo=%v hi=%v", lo, hi)
+	}
+	if hi > 64 || lo < DefaultConfig().MinCwnd {
+		t.Errorf("sawtooth diverged: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestName(t *testing.T) {
+	s, _ := New(DefaultConfig(), 1)
+	if s.Name() != "swift" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+// Property: cwnd stays within [MinCwnd, MaxCwnd] for arbitrary ack
+// sequences.
+func TestCwndBoundsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(events []uint32) bool {
+		s, err := New(cfg, 4)
+		if err != nil {
+			return false
+		}
+		now := sim.Time(0)
+		for _, ev := range events {
+			now = now.Add(sim.Duration(ev%100) * sim.Microsecond)
+			host := sim.Duration(ev%250) * sim.Microsecond
+			if ev%7 == 0 {
+				s.OnLoss(now)
+			} else {
+				s.OnAck(ack(now, host, sim.Duration(ev%80)*sim.Microsecond))
+			}
+			if s.Cwnd() < cfg.MinCwnd-1e-12 || s.Cwnd() > cfg.MaxCwnd+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,446 @@
+// Package transport implements the reliable transport running between the
+// sender machines and the receiver host: per-connection congestion-
+// controlled data streams (the paper's 16 KB remote reads segmented into
+// 4 KB-MTU packets), per-packet acknowledgements carrying the delay
+// signals congestion control consumes, and timeout-based loss recovery.
+//
+// Congestion control is pluggable through the CongestionControl
+// interface; the swift and dctcp subpackages provide the paper's
+// protocol and the TCP-like baseline respectively.
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"hic/internal/metrics"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+// AckInfo is the signal set delivered to congestion control on every ACK.
+type AckInfo struct {
+	// Now is the ACK arrival time at the sender.
+	Now sim.Time
+	// RTT is the full send→ack round trip.
+	RTT sim.Duration
+	// FabricDelay is the forward one-way fabric component.
+	FabricDelay sim.Duration
+	// HostDelay is the receiver-host component (NIC arrival → delivery),
+	// the signal Swift's host target compares against.
+	HostDelay sim.Duration
+	// ECN is the fabric congestion mark (DCTCP baseline).
+	ECN bool
+	// HostECN is the sub-RTT host congestion mark (§4 extension).
+	HostECN bool
+	// AckedBytes is the payload acknowledged.
+	AckedBytes int
+}
+
+// CongestionControl is the per-connection congestion controller.
+type CongestionControl interface {
+	// OnAck processes one acknowledgement.
+	OnAck(info AckInfo)
+	// OnLoss reports a timeout-detected loss.
+	OnLoss(now sim.Time)
+	// Cwnd returns the congestion window in packets (may be fractional;
+	// values below 1 mean the connection paces slower than 1 packet/RTT).
+	Cwnd() float64
+	// Name identifies the protocol in reports.
+	Name() string
+}
+
+// Config describes a connection.
+type Config struct {
+	// MTU is the data payload per packet (paper: 4 KB).
+	MTU int
+	// ReadSize is the RPC read size (paper: 16 KB) — an accounting
+	// granularity: ReadSize/MTU packets complete one read.
+	ReadSize int
+	// RTOMin is the minimum retransmission timeout.
+	RTOMin sim.Duration
+	// RTOSRTTFactor scales smoothed RTT into the timeout.
+	RTOSRTTFactor float64
+	// RetxScan is the period of the retransmission scan.
+	RetxScan sim.Duration
+	// MaxInflightPackets caps the window regardless of cwnd (descriptor
+	// and buffer provisioning at the receiver).
+	MaxInflightPackets int
+	// AppRateLimit caps the connection's offered load in bits/second
+	// (0 = unlimited). Application-limited senders are how a host can
+	// run well below its access-link rate — and still drop packets when
+	// the host interconnect capacity falls below even that (Figure 1's
+	// low-utilization drops).
+	AppRateLimit sim.BitsPerSecond
+}
+
+// DefaultConfig returns the paper-workload connection configuration.
+func DefaultConfig() Config {
+	return Config{
+		MTU:                4096,
+		ReadSize:           16 << 10,
+		RTOMin:             200 * sim.Microsecond,
+		RTOSRTTFactor:      3,
+		RetxScan:           50 * sim.Microsecond,
+		MaxInflightPackets: 256,
+	}
+}
+
+func (c Config) validate() error {
+	if c.MTU <= 0 {
+		return fmt.Errorf("transport: MTU must be positive")
+	}
+	if c.ReadSize < c.MTU {
+		return fmt.Errorf("transport: ReadSize %d < MTU %d", c.ReadSize, c.MTU)
+	}
+	if c.RTOMin <= 0 || c.RetxScan <= 0 {
+		return fmt.Errorf("transport: RTOMin and RetxScan must be positive")
+	}
+	if c.RTOSRTTFactor < 1 {
+		return fmt.Errorf("transport: RTOSRTTFactor %v < 1", c.RTOSRTTFactor)
+	}
+	if c.MaxInflightPackets <= 0 {
+		return fmt.Errorf("transport: MaxInflightPackets must be positive")
+	}
+	if c.AppRateLimit < 0 {
+		return fmt.Errorf("transport: negative AppRateLimit")
+	}
+	return nil
+}
+
+type sentInfo struct {
+	at        sim.Time
+	payload   int
+	retx      int
+	laterAcks int // acks for higher sequences seen since (re)send
+}
+
+// fastRetxDupAcks is the dup-ack threshold for fast retransmit: once this
+// many later packets are acknowledged while a sequence is outstanding,
+// the packet is declared lost without waiting for the RTO.
+const fastRetxDupAcks = 3
+
+// Conn is the sender side of one connection (one sender machine ↔ one
+// receiver thread). It models an infinite stream of 16 KB remote reads:
+// the sender always has payload available and the congestion controller
+// alone sets the rate.
+type Conn struct {
+	engine *sim.Engine
+	cfg    Config
+	cc     CongestionControl
+	flow   uint32
+	sender int
+	queue  int
+	emit   func(sender int, p *pkt.Packet)
+
+	nextSeq  uint64
+	nextID   uint64
+	inflight map[uint64]*sentInfo
+	srtt     sim.Duration
+
+	// Per-read (RPC) completion tracking for tail-latency measurement.
+	readStart map[uint64]sim.Time
+	readAcked map[uint64]int
+
+	paceUntil sim.Time // earliest next send when cwnd < 1
+	appUntil  sim.Time // earliest next send under the app rate limit
+	inactive  bool     // application idle (burst off-phase)
+
+	sent      *metrics.Counter
+	ackedB    *metrics.Counter
+	retx      *metrics.Counter
+	losses    *metrics.Counter
+	rttHist   *metrics.Histogram
+	hostDHist *metrics.Histogram
+	readHist  *metrics.Histogram // ns, 16KB read issue → fully acked
+}
+
+// NewConn creates a connection. emit injects a packet into the fabric on
+// behalf of this connection's sender machine.
+func NewConn(engine *sim.Engine, reg *metrics.Registry, cfg Config, cc CongestionControl,
+	flow uint32, sender, queue int, emit func(sender int, p *pkt.Packet)) (*Conn, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cc == nil || emit == nil {
+		return nil, fmt.Errorf("transport: cc and emit are required")
+	}
+	c := &Conn{
+		engine:    engine,
+		cfg:       cfg,
+		cc:        cc,
+		flow:      flow,
+		sender:    sender,
+		queue:     queue,
+		emit:      emit,
+		inflight:  make(map[uint64]*sentInfo),
+		readStart: make(map[uint64]sim.Time),
+		readAcked: make(map[uint64]int),
+		srtt:      20 * sim.Microsecond, // prior until measured
+		sent:      reg.Counter("transport.sent.packets"),
+		ackedB:    reg.Counter("transport.acked.bytes"),
+		retx:      reg.Counter("transport.retx.packets"),
+		losses:    reg.Counter("transport.losses"),
+		rttHist:   reg.Histogram("transport.rtt.ns"),
+		hostDHist: reg.Histogram("transport.host.delay.ns"),
+		readHist:  reg.Histogram("transport.read.latency.ns"),
+	}
+	engine.Every(cfg.RetxScan, c.scanRetransmits)
+	return c, nil
+}
+
+// Start begins transmission.
+func (c *Conn) Start() { c.trySend() }
+
+// CC exposes the connection's congestion controller.
+func (c *Conn) CC() CongestionControl { return c.cc }
+
+// Flow returns the connection's flow identifier.
+func (c *Conn) Flow() uint32 { return c.flow }
+
+// SRTT returns the smoothed RTT estimate.
+func (c *Conn) SRTT() sim.Duration { return c.srtt }
+
+// InflightPackets returns the current outstanding packet count.
+func (c *Conn) InflightPackets() int { return len(c.inflight) }
+
+// SetActive pauses (false) or resumes (true) the application. While
+// inactive the connection sends nothing new; in-flight packets drain
+// normally. Bursty workloads toggle this — and because the congestion
+// window survives the idle phase, reactivation slams the receiver at the
+// old rate, the burst behaviour behind Figure 1's low-utilization drops.
+func (c *Conn) SetActive(active bool) {
+	if c.inactive == !active {
+		return
+	}
+	c.inactive = !active
+	if active {
+		c.trySend()
+	}
+}
+
+// trySend transmits as long as the congestion window allows. For cwnd<1
+// it paces: one packet every srtt/cwnd.
+func (c *Conn) trySend() {
+	if c.inactive {
+		return
+	}
+	for {
+		cwnd := c.cc.Cwnd()
+		limit := int(cwnd)
+		if limit > c.cfg.MaxInflightPackets {
+			limit = c.cfg.MaxInflightPackets
+		}
+		now := c.engine.Now()
+		if c.cfg.AppRateLimit > 0 && now < c.appUntil {
+			c.engine.At(c.appUntil, c.trySend)
+			return
+		}
+		if cwnd < 1 {
+			if len(c.inflight) > 0 {
+				return // sub-1 window: at most one packet outstanding
+			}
+			if now < c.paceUntil {
+				c.engine.At(c.paceUntil, c.trySend)
+				return
+			}
+			// ±15% deterministic jitter desynchronizes the hundreds of
+			// sub-1-cwnd flows sharing the access link; without it their
+			// sawtooths can resonate and underutilize the link.
+			interval := c.engine.RNG().Jitter(sim.Duration(float64(c.srtt)/cwnd), 0.15)
+			c.paceUntil = now.Add(interval)
+			c.sendOne()
+			return
+		}
+		if len(c.inflight) >= limit {
+			return
+		}
+		c.sendOne()
+	}
+}
+
+func (c *Conn) sendOne() {
+	if c.cfg.AppRateLimit > 0 {
+		c.appUntil = c.engine.Now().Add(c.cfg.AppRateLimit.TransmitTime(c.cfg.MTU))
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	p := pkt.NewData(c.nextID, c.flow, c.queue, seq, c.cfg.MTU)
+	c.nextID++
+	p.ReqID = seq / uint64(c.cfg.ReadSize/c.cfg.MTU)
+	if _, started := c.readStart[p.ReqID]; !started {
+		// First packet of a 16 KB read: the RPC clock starts here
+		// (retransmissions do not reset it).
+		c.readStart[p.ReqID] = c.engine.Now()
+	}
+	c.inflight[seq] = &sentInfo{at: c.engine.Now(), payload: c.cfg.MTU}
+	c.sent.Inc()
+	c.emit(c.sender, p)
+}
+
+// completeReadPacket advances RPC accounting for an acked sequence and
+// records the read's completion latency when its last packet arrives.
+func (c *Conn) completeReadPacket(seq uint64) {
+	per := c.cfg.ReadSize / c.cfg.MTU
+	req := seq / uint64(per)
+	c.readAcked[req]++
+	if c.readAcked[req] < per {
+		return
+	}
+	if start, ok := c.readStart[req]; ok {
+		c.readHist.Observe(float64(c.engine.Now().Sub(start)))
+	}
+	delete(c.readStart, req)
+	delete(c.readAcked, req)
+}
+
+// OnAck processes an acknowledgement arriving from the fabric.
+func (c *Conn) OnAck(a *pkt.Packet) {
+	info, ok := c.inflight[a.AckSeq]
+	if !ok {
+		return // duplicate ack for an already-retired packet
+	}
+	delete(c.inflight, a.AckSeq)
+	c.completeReadPacket(a.AckSeq)
+	now := c.engine.Now()
+	rtt := now.Sub(info.at)
+	if info.retx == 0 {
+		// Karn's rule: only un-retransmitted samples update the RTT.
+		if c.srtt == 0 {
+			c.srtt = rtt
+		} else {
+			c.srtt = c.srtt/8*7 + rtt/8
+		}
+		c.rttHist.Observe(float64(rtt))
+		c.hostDHist.Observe(float64(a.EchoHostDelay))
+	}
+	c.fastRetransmit(a.AckSeq)
+	c.ackedB.Add(uint64(a.AckedBytes))
+	c.cc.OnAck(AckInfo{
+		Now:         now,
+		RTT:         rtt,
+		FabricDelay: a.EchoFabric,
+		HostDelay:   a.EchoHostDelay,
+		ECN:         a.EchoECN,
+		HostECN:     a.HostECN,
+		AckedBytes:  a.AckedBytes,
+	})
+	c.trySend()
+}
+
+// fastRetransmit counts later-sequence acknowledgements against each
+// still-outstanding earlier sequence; at the dup-ack threshold the packet
+// is resent immediately and the loss reported to congestion control.
+// Loss episodes then end within ~1 RTT instead of a full RTO.
+func (c *Conn) fastRetransmit(ackedSeq uint64) {
+	lost := false
+	for _, seq := range c.sortedInflight() {
+		if seq >= ackedSeq {
+			continue
+		}
+		info := c.inflight[seq]
+		info.laterAcks++
+		if info.laterAcks < fastRetxDupAcks {
+			continue
+		}
+		lost = true
+		info.at = c.engine.Now()
+		info.retx++
+		info.laterAcks = 0
+		c.retx.Inc()
+		p := pkt.NewData(c.nextID, c.flow, c.queue, seq, info.payload)
+		c.nextID++
+		p.ReqID = seq / uint64(c.cfg.ReadSize/c.cfg.MTU)
+		c.emit(c.sender, p)
+	}
+	if lost {
+		c.losses.Inc()
+		c.cc.OnLoss(c.engine.Now())
+	}
+}
+
+// sortedInflight returns outstanding sequences in ascending order:
+// iterating the map directly would retransmit in random order and break
+// run reproducibility.
+func (c *Conn) sortedInflight() []uint64 {
+	seqs := make([]uint64, 0, len(c.inflight))
+	for seq := range c.inflight {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// rto returns the current retransmission timeout.
+func (c *Conn) rto() sim.Duration {
+	rto := sim.Duration(float64(c.srtt) * c.cfg.RTOSRTTFactor)
+	if rto < c.cfg.RTOMin {
+		rto = c.cfg.RTOMin
+	}
+	return rto
+}
+
+// scanRetransmits resends packets whose timeout has expired and informs
+// congestion control of the loss (once per scan; the controller applies
+// its own per-RTT clamp).
+func (c *Conn) scanRetransmits() {
+	now := c.engine.Now()
+	rto := c.rto()
+	lost := false
+	for _, seq := range c.sortedInflight() {
+		info := c.inflight[seq]
+		// Exponential backoff per retransmission: the smoothed RTT lags
+		// badly when host queues balloon (Karn's rule excludes
+		// retransmitted samples), and without backoff a too-short RTO
+		// spirals into a spurious-retransmission storm.
+		backoff := info.retx
+		if backoff > 6 {
+			backoff = 6
+		}
+		if now.Sub(info.at) < rto<<uint(backoff) {
+			continue
+		}
+		lost = true
+		// Karn's rule keeps retransmitted samples out of srtt, but when
+		// every packet times out srtt would never learn the true RTT
+		// and the too-short RTO would fire forever. A timeout is itself
+		// a lower-bound RTT observation: pull srtt up to the elapsed
+		// wait.
+		if elapsed := now.Sub(info.at); elapsed > c.srtt {
+			c.srtt = elapsed
+		}
+		info.at = now
+		info.retx++
+		info.laterAcks = 0
+		c.retx.Inc()
+		p := pkt.NewData(c.nextID, c.flow, c.queue, seq, info.payload)
+		c.nextID++
+		p.ReqID = seq / uint64(c.cfg.ReadSize/c.cfg.MTU)
+		c.emit(c.sender, p)
+	}
+	if lost {
+		c.losses.Inc()
+		c.cc.OnLoss(now)
+		c.trySend()
+	}
+}
+
+// Stats is a snapshot of sender-side connection activity.
+type Stats struct {
+	SentPackets   uint64
+	AckedBytes    uint64
+	Retransmits   uint64
+	LossEvents    uint64
+	InflightCount int
+}
+
+// Stats returns current counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		SentPackets:   c.sent.Value(),
+		AckedBytes:    c.ackedB.Value(),
+		Retransmits:   c.retx.Value(),
+		LossEvents:    c.losses.Value(),
+		InflightCount: len(c.inflight),
+	}
+}

@@ -1,0 +1,181 @@
+// Package wire defines a binary serialization of the simulator's packets
+// and a length-prefixed, checksummed capture-file format, in the spirit
+// of pcap: experiments can tap the receiver NIC and write every arriving
+// packet (with its simulated timestamp) to a file for external analysis,
+// and tooling can decode the capture deterministically.
+//
+// Record layout (big-endian):
+//
+//	u32 length              // of the record body
+//	body: u16 magic, u8 version, u8 kind+flags,
+//	      u32 flow, u32 queue, u64 id, u64 seq, u64 reqID,
+//	      u32 payloadBytes, u32 wireBytes,
+//	      u64 sentAt, u64 nicArrival, u64 ackSeq,
+//	      u64 echoHostDelayNs, u64 echoFabricNs, u32 ackedBytes
+//	u32 crc32(body)         // IEEE
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+const (
+	magic      = 0x4843 // "HC"
+	version    = 1
+	bodyLen    = 2 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4
+	flagECN    = 1 << 2
+	flagHostE  = 1 << 3
+	flagEchoE  = 1 << 4
+	kindMask   = 0x3
+	maxBodyLen = 1 << 16
+)
+
+// ErrCorrupt reports a checksum or framing failure.
+var ErrCorrupt = errors.New("wire: corrupt record")
+
+// AppendEncode appends the encoded body of p to dst and returns the
+// extended slice (no framing; Writer adds length + CRC).
+func AppendEncode(dst []byte, p *pkt.Packet) []byte {
+	var b [bodyLen]byte
+	binary.BigEndian.PutUint16(b[0:], magic)
+	b[2] = version
+	flags := byte(p.Kind) & kindMask
+	if p.ECN {
+		flags |= flagECN
+	}
+	if p.HostECN {
+		flags |= flagHostE
+	}
+	if p.EchoECN {
+		flags |= flagEchoE
+	}
+	b[3] = flags
+	binary.BigEndian.PutUint32(b[4:], p.Flow)
+	binary.BigEndian.PutUint32(b[8:], uint32(p.Queue))
+	binary.BigEndian.PutUint64(b[12:], p.ID)
+	binary.BigEndian.PutUint64(b[20:], p.Seq)
+	binary.BigEndian.PutUint64(b[28:], p.ReqID)
+	binary.BigEndian.PutUint32(b[36:], uint32(p.PayloadBytes))
+	binary.BigEndian.PutUint32(b[40:], uint32(p.WireBytes))
+	binary.BigEndian.PutUint64(b[44:], uint64(p.SentAt))
+	binary.BigEndian.PutUint64(b[52:], uint64(p.NICArrival))
+	binary.BigEndian.PutUint64(b[60:], p.AckSeq)
+	binary.BigEndian.PutUint64(b[68:], uint64(p.EchoHostDelay))
+	binary.BigEndian.PutUint64(b[76:], uint64(p.EchoFabric))
+	binary.BigEndian.PutUint32(b[84:], uint32(p.AckedBytes))
+	return append(dst, b[:]...)
+}
+
+// Decode parses one encoded body into a packet.
+func Decode(b []byte) (*pkt.Packet, error) {
+	if len(b) < bodyLen {
+		return nil, fmt.Errorf("%w: body %d bytes, want %d", ErrCorrupt, len(b), bodyLen)
+	}
+	if binary.BigEndian.Uint16(b[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if b[2] != version {
+		return nil, fmt.Errorf("wire: unsupported version %d", b[2])
+	}
+	flags := b[3]
+	p := &pkt.Packet{
+		Kind:          pkt.Kind(flags & kindMask),
+		ECN:           flags&flagECN != 0,
+		HostECN:       flags&flagHostE != 0,
+		Flow:          binary.BigEndian.Uint32(b[4:]),
+		Queue:         int(binary.BigEndian.Uint32(b[8:])),
+		ID:            binary.BigEndian.Uint64(b[12:]),
+		Seq:           binary.BigEndian.Uint64(b[20:]),
+		ReqID:         binary.BigEndian.Uint64(b[28:]),
+		PayloadBytes:  int(binary.BigEndian.Uint32(b[36:])),
+		WireBytes:     int(binary.BigEndian.Uint32(b[40:])),
+		SentAt:        sim.Time(binary.BigEndian.Uint64(b[44:])),
+		NICArrival:    sim.Time(binary.BigEndian.Uint64(b[52:])),
+		AckSeq:        binary.BigEndian.Uint64(b[60:]),
+		EchoHostDelay: sim.Duration(binary.BigEndian.Uint64(b[68:])),
+		EchoFabric:    sim.Duration(binary.BigEndian.Uint64(b[76:])),
+		AckedBytes:    int(binary.BigEndian.Uint32(b[84:])),
+	}
+	p.EchoECN = flags&flagEchoE != 0
+	return p, nil
+}
+
+// Writer streams framed, checksummed records to an io.Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+	n   int
+}
+
+// NewWriter returns a capture writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WritePacket appends one record.
+func (w *Writer) WritePacket(p *pkt.Packet) error {
+	w.buf = w.buf[:0]
+	w.buf = AppendEncode(w.buf, p)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(w.buf)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.buf))
+	if _, err := w.w.Write(crc[:]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Reader decodes a capture stream.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a capture reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next packet, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (*pkt.Packet, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxBodyLen {
+		return nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated body: %v", ErrCorrupt, err)
+	}
+	var crcB [4]byte
+	if _, err := io.ReadFull(r.r, crcB[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated checksum: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(r.buf) != binary.BigEndian.Uint32(crcB[:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return Decode(r.buf)
+}

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"hic/internal/pkt"
+	"hic/internal/sim"
+)
+
+func samplePacket() *pkt.Packet {
+	p := pkt.NewData(42, 0x70003, 3, 1234, 4096)
+	p.ReqID = 308
+	p.SentAt = sim.Time(5 * sim.Microsecond)
+	p.NICArrival = sim.Time(11 * sim.Microsecond)
+	p.ECN = true
+	p.HostECN = true
+	p.EchoHostDelay = 97 * sim.Microsecond
+	p.EchoFabric = 6 * sim.Microsecond
+	return p
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := samplePacket()
+	body := AppendEncode(nil, p)
+	if len(body) != bodyLen {
+		t.Fatalf("encoded %d bytes, want %d", len(body), bodyLen)
+	}
+	got, err := Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nil decode err = %v", err)
+	}
+	body := AppendEncode(nil, samplePacket())
+	body[0] ^= 0xff // break magic
+	if _, err := Decode(body); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad-magic err = %v", err)
+	}
+	body = AppendEncode(nil, samplePacket())
+	body[2] = 99 // future version
+	if _, err := Decode(body); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want []*pkt.Packet
+	for i := 0; i < 50; i++ {
+		p := pkt.NewData(uint64(i), uint32(i%7), i%4, uint64(i*3), 4096)
+		if i%5 == 0 {
+			p = pkt.NewAck(uint64(1000+i), p)
+		}
+		want = append(want, p)
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 50 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	r := NewReader(&buf)
+	for i := 0; ; i++ {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			if i != 50 {
+				t.Fatalf("EOF after %d records, want 50", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *p != *want[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, p, want[i])
+		}
+	}
+}
+
+func TestReaderDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(samplePacket()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a body byte: CRC must catch it.
+	corrupted := append([]byte(nil), data...)
+	corrupted[10] ^= 0x55
+	if _, err := NewReader(bytes.NewReader(corrupted)).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corruption err = %v", err)
+	}
+	// Truncate mid-body.
+	if _, err := NewReader(bytes.NewReader(data[:10])).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncation err = %v", err)
+	}
+	// Implausible length header.
+	big := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := NewReader(bytes.NewReader(big)).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized-length err = %v", err)
+	}
+}
+
+// Property: any packet field combination survives the round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id, seq, req uint64, flow uint32, queue uint16, payload uint16,
+		kind uint8, ecn, hostECN bool, sent, arrival int64) bool {
+		p := &pkt.Packet{
+			ID: id, Seq: seq, ReqID: req, Flow: flow,
+			Queue:        int(queue),
+			Kind:         pkt.Kind(kind % 3),
+			PayloadBytes: int(payload),
+			WireBytes:    int(payload) + pkt.HeaderBytes,
+			ECN:          ecn, HostECN: hostECN,
+			SentAt:     sim.Time(sent & (1<<62 - 1)),
+			NICArrival: sim.Time(arrival & (1<<62 - 1)),
+		}
+		got, err := Decode(AppendEncode(nil, p))
+		if err != nil {
+			return false
+		}
+		// Delivered and echo fields default to zero in this property.
+		return got.ID == p.ID && got.Seq == p.Seq && got.ReqID == p.ReqID &&
+			got.Flow == p.Flow && got.Queue == p.Queue && got.Kind == p.Kind &&
+			got.PayloadBytes == p.PayloadBytes && got.WireBytes == p.WireBytes &&
+			got.ECN == p.ECN && got.HostECN == p.HostECN &&
+			got.SentAt == p.SentAt && got.NICArrival == p.NICArrival
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := samplePacket()
+	buf := make([]byte, 0, bodyLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], p)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	body := AppendEncode(nil, samplePacket())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
