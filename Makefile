@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench vet figs cluster fuzz cover clean
+.PHONY: all build test bench vet check figs cluster fuzz cover trace-demo clean
 
 all: build test
 
@@ -15,6 +15,16 @@ test: vet
 
 test-short:
 	$(GO) test -short ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+trace-demo:
+	mkdir -p results
+	$(GO) run ./cmd/hicsim -config configs/fig3_iommu_on_12cores.json \
+		-trace-spans -trace-out results/trace_demo.json -metrics-out results/trace_demo.prom
+	@echo "open results/trace_demo.json in https://ui.perfetto.dev"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

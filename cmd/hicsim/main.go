@@ -18,6 +18,7 @@ import (
 
 	"hic/internal/core"
 	"hic/internal/sim"
+	"hic/internal/telemetry"
 	"hic/internal/trace"
 )
 
@@ -41,6 +42,10 @@ func main() {
 	tracePath := flag.String("trace", "", "write a time-series CSV (wide form) to this file")
 	capturePath := flag.String("capture", "", "write a packet capture (wire format) to this file")
 	traceUS := flag.Int("trace-period-us", 100, "trace sampling period (µs)")
+	traceSpans := flag.Bool("trace-spans", false, "enable per-DMA span tracing and drop attribution")
+	spanRate := flag.Float64("span-rate", 0.01, "head-based span sampling rate in [0,1] (with -trace-spans)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of the sampled spans to this file (implies -trace-spans)")
+	metricsOut := flag.String("metrics-out", "", "write the metric registry in Prometheus text exposition format to this file")
 	flag.Parse()
 
 	p := core.DefaultParams(*threads)
@@ -84,6 +89,10 @@ func main() {
 	if *tracePath != "" {
 		rec = tb.EnableTrace(sim.Duration(*traceUS) * sim.Microsecond)
 	}
+	var telem *telemetry.Run
+	if *traceSpans || *traceOut != "" {
+		telem = tb.EnableSpans(*spanRate)
+	}
 	var capFile *os.File
 	if *capturePath != "" {
 		var err error
@@ -118,6 +127,43 @@ func main() {
 	fmt.Printf("host delay p50/p99:    %v / %v\n", res.HostDelayP50, res.HostDelayP99)
 	fmt.Printf("retransmits:           %d\n", res.Retransmits)
 	fmt.Printf("completed 16KB reads:  %d\n", res.Reads)
+	if telem != nil {
+		tr, led := telem.Tracer, telem.Drops
+		fmt.Printf("\n--- pipeline telemetry (%d/%d packets sampled at rate %g) ---\n",
+			tr.Sampled(), tr.Arrived(), tr.Rate())
+		fmt.Print(telemetry.BreakdownTable(tr.Spans()))
+		if led.Total() > 0 {
+			fmt.Println("\n--- drop attribution ---")
+			fmt.Print(led.Table())
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hicsim: %v\n", err)
+				os.Exit(1)
+			}
+			if err := telemetry.WriteChromeTrace(f, telem); err != nil {
+				fmt.Fprintf(os.Stderr, "hicsim: writing %s: %v\n", *traceOut, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s (%d spans, %d drop events)\n",
+				*traceOut, len(tr.Spans()), len(led.Events()))
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telemetry.WritePrometheus(f, tb.Registry.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "hicsim: writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+	}
 	if *verbose {
 		fmt.Println("\n--- metric registry ---")
 		fmt.Print(tb.Registry.Dump())

@@ -34,6 +34,8 @@ func main() {
 	listParams := flag.Bool("params", false, "list sweepable parameter names and exit")
 	measureMS := flag.Int("measure-ms", 0, "override measurement window (ms)")
 	warmupMS := flag.Int("warmup-ms", 0, "override warmup window (ms)")
+	telemetryOut := flag.String("telemetry-out", "", "run each point with span telemetry and write one JSONL summary line per grid point to this file")
+	spanRate := flag.Float64("span-rate", 0.01, "span sampling rate per grid point (with -telemetry-out)")
 	flag.Parse()
 
 	if *listParams {
@@ -61,10 +63,27 @@ func main() {
 		spec.Base.Warmup = sim.Duration(*warmupMS) * sim.Millisecond
 	}
 
-	rows, err := sweep.Run(spec)
+	var rows []sweep.Row
+	if *telemetryOut != "" {
+		rows, err = sweep.RunDetailed(spec, *spanRate)
+	} else {
+		rows, err = sweep.Run(spec)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
 		os.Exit(1)
+	}
+	if *telemetryOut != "" {
+		jsonl, err := sweep.TelemetryJSONL(spec, rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*telemetryOut, []byte(jsonl), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", *telemetryOut, len(rows))
 	}
 	if *csv {
 		fmt.Print(sweep.CSV(spec, rows))

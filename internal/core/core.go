@@ -22,6 +22,7 @@ import (
 	"hic/internal/model"
 	"hic/internal/pkt"
 	"hic/internal/sim"
+	"hic/internal/telemetry"
 	"hic/internal/transport"
 	"hic/internal/transport/dctcp"
 	"hic/internal/transport/swift"
@@ -268,6 +269,26 @@ func Run(p Params) (Results, error) {
 		return Results{}, err
 	}
 	return tb.Run(p.Warmup, p.Measure), nil
+}
+
+// RunInstrumented executes one scenario with pipeline telemetry enabled
+// at the given span-sampling rate and returns the measurement results
+// alongside the telemetry run (sampled spans + drop ledger), ready for
+// the internal/telemetry exporters. Sampling decisions come from an
+// engine-forked RNG, so the same Params and rate reproduce the same
+// spans byte for byte.
+func RunInstrumented(p Params, spanRate float64) (Results, *telemetry.Run, error) {
+	if p.Warmup == 0 && p.Measure == 0 {
+		d := DefaultParams(1)
+		p.Warmup, p.Measure = d.Warmup, d.Measure
+	}
+	tb, err := p.Build()
+	if err != nil {
+		return Results{}, nil, err
+	}
+	run := tb.EnableSpans(spanRate)
+	res := tb.Run(p.Warmup, p.Measure)
+	return res, run, nil
 }
 
 // RunMany executes scenarios concurrently (bounded by GOMAXPROCS) and

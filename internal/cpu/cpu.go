@@ -18,6 +18,7 @@ import (
 	"hic/internal/metrics"
 	"hic/internal/pkt"
 	"hic/internal/sim"
+	"hic/internal/telemetry"
 )
 
 // Config sizes the receive-processing pool.
@@ -178,6 +179,11 @@ func (p *Pool) run(core int) {
 	p.queueGa.Add(-1)
 	cost := p.packetCost(packet.PayloadBytes)
 	start := p.engine.Now()
+	if packet.Span != nil {
+		packet.Span.Advance(telemetry.StageCPUQueue, start,
+			telemetry.Attr{Key: "core", Value: float64(core)},
+			telemetry.Attr{Key: "queued_behind", Value: float64(len(p.queues[core]))})
+	}
 	p.engine.After(cost, func() {
 		p.busy[core] = false
 		p.processed.Inc()
@@ -188,6 +194,10 @@ func (p *Pool) run(core int) {
 		// application-visible delivery, including this core's queue.
 		packet.Delivered = p.engine.Now()
 		packet.EchoHostDelay = packet.Delivered.Sub(packet.NICArrival)
+		if packet.Span != nil {
+			packet.Span.Advance(telemetry.StageCPUProcess, packet.Delivered)
+			packet.Span.Finish(packet.Delivered)
+		}
 		p.done(packet)
 		p.run(core)
 	})

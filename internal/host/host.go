@@ -24,6 +24,7 @@ import (
 	"hic/internal/sender"
 	"hic/internal/sim"
 	"hic/internal/stats"
+	"hic/internal/telemetry"
 	"hic/internal/trace"
 	"hic/internal/transport"
 	"hic/internal/wire"
@@ -312,6 +313,29 @@ func (t *Testbed) EnableTrace(period sim.Duration) *trace.Recorder {
 		rec.Record("drops_total", now, float64(t.NIC.Stats().Drops))
 	})
 	return rec
+}
+
+// EnableSpans turns on pipeline-wide telemetry: head-based span sampling
+// at the given rate (every sampled packet records per-stage enter/exit
+// timestamps from NIC admission through CPU processing) and a drop-
+// attribution ledger that classifies every NIC tail-drop by its root
+// cause from the interconnect state at drop time. The tracer's RNG is
+// forked from the engine's, so the same seed and rate always sample the
+// same packets. Call before Run; the returned Run owns both halves and
+// feeds the exporters in internal/telemetry.
+func (t *Testbed) EnableSpans(rate float64) *telemetry.Run {
+	tr := telemetry.NewTracer(t.Engine.RNG().Fork(), rate)
+	led := telemetry.NewDropLedger(func() telemetry.DropContext {
+		return telemetry.DropContext{
+			MemLoadFactor:  t.Memory.LoadFactor(),
+			IOTLBMissRate:  t.IOMMU.RecentMissRate(),
+			MemQueueDelay:  t.Memory.QueueDelay(),
+			CreditStallAge: t.Link.OldestWaiterAge(),
+			BufferBytes:    t.NIC.BufferUsed(),
+		}
+	})
+	t.NIC.SetTelemetry(tr, led)
+	return &telemetry.Run{Tracer: tr, Drops: led}
 }
 
 // flowID packs (sender, queue) into the packet flow field.

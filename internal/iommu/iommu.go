@@ -312,6 +312,11 @@ type IOMMU struct {
 
 	mappings []mapping
 
+	// missEWMA tracks recent misses per translation (per-event EWMA, so
+	// it stays deterministic and tick-free). Drop attribution reads it to
+	// decide whether the IOTLB was thrashing when a packet was dropped.
+	missEWMA float64
+
 	translations *metrics.Counter
 	strictMaps   *metrics.Counter
 	hits         *metrics.Counter
@@ -362,6 +367,25 @@ func New(engine *sim.Engine, memory *mem.Controller, reg *metrics.Registry, cfg 
 
 // Enabled reports whether translation is active.
 func (u *IOMMU) Enabled() bool { return u.cfg.Enabled }
+
+// missEWMAAlpha weights the recent-miss estimator: ~128 translations of
+// memory, i.e. a few tens of packets at ~5 translations each — long
+// enough to smooth per-packet noise, short enough to track the onset of
+// thrashing within tens of microseconds at line rate.
+const missEWMAAlpha = 1.0 / 128
+
+// observeMiss folds one translated page into the recent-miss estimator.
+func (u *IOMMU) observeMiss(missed bool) {
+	v := 0.0
+	if missed {
+		v = 1
+	}
+	u.missEWMA += missEWMAAlpha * (v - u.missEWMA)
+}
+
+// RecentMissRate returns the recent misses-per-translation estimate in
+// [0,1]. It is 0 while the IOMMU is disabled or idle.
+func (u *IOMMU) RecentMissRate() float64 { return u.missEWMA }
 
 // MapRegion registers [base, base+size) with the given page granularity,
 // in the style of the loose-mode upfront registration the paper's stack
@@ -481,6 +505,7 @@ func (u *IOMMU) strictWalkAll(n int, res TranslationResult, done func(Translatio
 	}
 	u.translations.Inc()
 	u.misses.Inc()
+	u.observeMiss(true)
 	res.Misses++
 	// The fresh mapping shares upper levels with previous windows, so
 	// the PWC usually covers them; the leaf is always read.
@@ -506,11 +531,13 @@ func (u *IOMMU) translatePage(page, last uint64, m *mapping, res TranslationResu
 
 	if u.devTLB != nil && u.devTLB.lookup(key) {
 		u.devHits.Inc()
+		u.observeMiss(false)
 		u.next(page, last, m, res, done)
 		return
 	}
 	if u.iotlb.lookup(key) {
 		u.hits.Inc()
+		u.observeMiss(false)
 		if u.devTLB != nil {
 			u.devTLB.insert(key)
 		}
@@ -524,6 +551,7 @@ func (u *IOMMU) translatePage(page, last uint64, m *mapping, res TranslationResu
 
 	// IOTLB miss: walk the levels not covered by the page-walk caches.
 	u.misses.Inc()
+	u.observeMiss(true)
 	res.Misses++
 	reads := u.walkReadsNeeded(iova, m.ps)
 	res.WalkAccesses += reads

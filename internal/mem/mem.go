@@ -268,6 +268,18 @@ func (c *Controller) AccessLatency() sim.Duration {
 // LoadFactor returns the current latency multiplier (≥1).
 func (c *Controller) LoadFactor() float64 { return c.loadFactor }
 
+// QueueDelay returns the current backlog of the IO virtual server: how
+// long a request issued now would wait before its transfer begins. Spans
+// annotate their memory stages with it, and drop attribution reads it as
+// the instantaneous "DRAM queue wait" signal.
+func (c *Controller) QueueDelay() sim.Duration {
+	d := c.ioBusyUntil.Sub(c.engine.Now())
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // Utilization returns total offered load over achievable capacity. Values
 // above 1 indicate overload.
 func (c *Controller) Utilization() float64 {

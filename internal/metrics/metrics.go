@@ -17,8 +17,9 @@ type Counter struct {
 	v uint64
 }
 
-// Add increases the counter by n. Negative deltas panic: counters are
-// monotonic by definition and a negative add always indicates a bug.
+// Add increases the counter by n. The argument is unsigned because
+// counters are monotonic by definition; a delta that would need to be
+// negative always indicates a bug at the call site.
 func (c *Counter) Add(n uint64) { c.v += n }
 
 // Inc increases the counter by one.
@@ -28,6 +29,9 @@ func (c *Counter) Inc() { c.v++ }
 func (c *Counter) Value() uint64 { return c.v }
 
 // Reset zeroes the counter, used at the warmup/measurement boundary.
+// Note the deliberate asymmetry with Gauge.Reset: a counter is a
+// cumulative event count, so the measurement window starts it from zero,
+// whereas a gauge is instantaneous state that must survive the boundary.
 func (c *Counter) Reset() { c.v = 0 }
 
 // Gauge is an instantaneous value (queue depth, credits available). It
@@ -54,8 +58,11 @@ func (g *Gauge) Value() int64 { return g.v }
 // Max returns the maximum value observed since the last Reset.
 func (g *Gauge) Max() int64 { return g.max }
 
-// Reset clears the maximum tracker but preserves the current value: the
-// instantaneous state (e.g. buffer occupancy) survives the warmup boundary.
+// Reset clears the maximum tracker but preserves the current value —
+// the counterpart of Counter.Reset's zeroing. A gauge models
+// instantaneous physical state (buffer occupancy, credits in flight)
+// that does not vanish when the measurement window opens; only the
+// max-since-reset statistic is scoped to the window.
 func (g *Gauge) Reset() { g.max = g.v }
 
 // Histogram records a distribution of non-negative values with log-linear
@@ -302,6 +309,65 @@ func (r *Registry) ResetAll() {
 	for _, h := range r.histograms {
 		h.Reset()
 	}
+}
+
+// GaugeSnapshot is the typed view of one gauge.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramSnapshot is the typed view of one histogram: count, moments
+// and the standard quantile ladder.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Snapshot is a stable, typed view of a registry at one instant — the
+// exporter-facing alternative to parsing Dump's rendered text.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric by value. The maps are fresh
+// copies: mutating them does not touch the registry, and later metric
+// updates do not leak into the snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.sum,
+			Mean:  h.Mean(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			P50:   h.Quantile(0.5),
+			P90:   h.Quantile(0.9),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	return s
 }
 
 // Dump renders every metric sorted by name, one per line.

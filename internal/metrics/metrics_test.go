@@ -235,3 +235,40 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i%100000) + 1)
 	}
 }
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(11)
+	g := r.Gauge("g")
+	g.Set(9)
+	g.Set(4) // max stays 9
+	h := r.Histogram("h")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	s := r.Snapshot()
+	if s.Counters["c"] != 11 {
+		t.Errorf("counter = %d, want 11", s.Counters["c"])
+	}
+	if gs := s.Gauges["g"]; gs.Value != 4 || gs.Max != 9 {
+		t.Errorf("gauge = %+v, want value 4 max 9", gs)
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 100 {
+		t.Errorf("histogram count = %d, want 100", hs.Count)
+	}
+	if hs.Sum != 5050 {
+		t.Errorf("histogram sum = %v, want 5050", hs.Sum)
+	}
+	if hs.Min != h.Min() || hs.Max != h.Max() || hs.P50 != h.Quantile(0.5) {
+		t.Error("snapshot quantiles disagree with the live histogram")
+	}
+
+	// The snapshot is a copy: mutating the registry afterwards must not
+	// change it.
+	r.Counter("c").Add(100)
+	if s.Counters["c"] != 11 {
+		t.Error("snapshot counter changed after registry mutation")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"hic/internal/pcie"
 	"hic/internal/pkt"
 	"hic/internal/sim"
+	"hic/internal/telemetry"
 )
 
 // Planner supplies DMA target addresses. The host wires this to the
@@ -122,6 +123,8 @@ type NIC struct {
 	bufferUsed  int // total, across partitions
 	dropsByFlow map[uint32]uint64
 	tap         func(*pkt.Packet) // capture hook, sees every arrival
+	tracer      *telemetry.Tracer // head-based span sampling (nil = off)
+	ledger      *telemetry.DropLedger
 	pumping     bool
 	stalled     bool // every serviceable buffer blocked on descriptors
 
@@ -235,6 +238,11 @@ func (n *NIC) Receive(p *pkt.Packet) {
 		n.drops.Inc()
 		n.dropBytes.Add(uint64(p.WireBytes))
 		n.dropsByFlow[p.Flow]++
+		if n.ledger != nil {
+			// Attribute the drop to its root cause using the pipeline
+			// state active right now (§3's causal question).
+			n.ledger.Record(p.NICArrival, p.Flow, p.Queue)
+		}
 		return
 	}
 	if n.cfg.HostECNThreshold > 0 && n.bufferUsed >= n.cfg.HostECNThreshold {
@@ -246,6 +254,11 @@ func (n *NIC) Receive(p *pkt.Packet) {
 	n.bufferGa.Set(int64(n.bufferUsed))
 	n.rxPackets.Inc()
 	n.rxBytes.Add(uint64(p.WireBytes))
+	if n.tracer != nil {
+		p.Span = n.tracer.MaybeStart(p.ID, p.Flow, p.Queue, p.Seq, p.NICArrival,
+			telemetry.Attr{Key: "buffer_bytes", Value: float64(n.bufferUsed)},
+			telemetry.Attr{Key: "wire_bytes", Value: float64(p.WireBytes)})
+	}
 	n.pump()
 }
 
@@ -302,11 +315,22 @@ func (n *NIC) pump() {
 	n.pumping = true
 	wire := n.link.Config().WireBytes(head.PayloadBytes + n.cfg.CompletionBytes)
 	pumpStart := n.engine.Now()
+	if head.Span != nil {
+		head.Span.Advance(telemetry.StageNICBuffer, pumpStart)
+	}
 	n.link.AcquireCredits(wire, func() {
 		dmaStart := n.engine.Now()
 		n.stageWait.Observe(float64(dmaStart.Sub(pumpStart)))
+		if head.Span != nil {
+			head.Span.Advance(telemetry.StageCreditWait, dmaStart,
+				telemetry.Attr{Key: "credit_bytes", Value: float64(wire)},
+				telemetry.Attr{Key: "credits_free", Value: float64(n.link.CreditsAvailable())})
+		}
 		n.link.Transmit(head.PayloadBytes, func() {
 			n.stageLink.Observe(float64(n.engine.Now().Sub(dmaStart)))
+			if head.Span != nil {
+				head.Span.Advance(telemetry.StageLink, n.engine.Now())
+			}
 			// TLPs accepted by the root complex: the packet no longer
 			// occupies NIC SRAM; continue the downstream write chain.
 			n.buffers[b] = n.buffers[b][1:]
@@ -329,6 +353,7 @@ func (n *NIC) rootComplexChain(p *pkt.Packet, creditBytes int, dmaStart sim.Time
 	misses := 0
 	var xlateNs, memNs float64
 	stageStart := n.engine.Now()
+	span := p.Span
 
 	finish := func() {
 		n.stageXlate.Observe(xlateNs)
@@ -341,6 +366,11 @@ func (n *NIC) rootComplexChain(p *pkt.Packet, creditBytes int, dmaStart sim.Time
 			n.dmaLatency.Observe(float64(n.engine.Now().Sub(dmaStart)))
 			p.Delivered = n.engine.Now()
 			p.EchoHostDelay = p.Delivered.Sub(p.NICArrival)
+			if span != nil {
+				span.Advance(telemetry.StageRootComplex, p.Delivered,
+					telemetry.Attr{Key: "credit_hold_ns", Value: float64(p.Delivered.Sub(dmaStart))},
+					telemetry.Attr{Key: "iotlb_misses", Value: float64(misses)})
+			}
 			n.rxPayload.Add(uint64(p.PayloadBytes))
 			n.hostDelay.Observe(float64(p.EchoHostDelay))
 			n.deliver(p)
@@ -352,26 +382,49 @@ func (n *NIC) rootComplexChain(p *pkt.Packet, creditBytes int, dmaStart sim.Time
 		*acc += float64(now.Sub(stageStart))
 		stageStart = now
 	}
-	n.mmu.Translate(descAddr, n.cfg.DescriptorBytes, func(r iommu.TranslationResult) {
+	// xlate/memOp wrap one link in the translate → access chain, folding
+	// the elapsed time into the per-stage histograms and — for sampled
+	// packets — recording a span stage with its local annotations
+	// (miss/walk counts for translations; the load factor and FIFO
+	// backlog seen at issue time for memory accesses).
+	xlate := func(r iommu.TranslationResult) {
 		n.countFault(r)
 		misses += r.Misses
 		step(&xlateNs)
-		n.memory.Read(n.cfg.DescriptorBytes, func() {
+		if span != nil {
+			span.Advance(telemetry.StageTranslate, n.engine.Now(),
+				telemetry.Attr{Key: "misses", Value: float64(r.Misses)},
+				telemetry.Attr{Key: "walk_reads", Value: float64(r.WalkAccesses)},
+				telemetry.Attr{Key: "pages", Value: float64(r.Pages)})
+		}
+	}
+	memOp := func(access func(int, func()), bytes int, cont func()) {
+		var lf, qd float64
+		if span != nil {
+			lf = n.memory.LoadFactor()
+			qd = float64(n.memory.QueueDelay())
+		}
+		access(bytes, func() {
 			step(&memNs)
+			if span != nil {
+				span.Advance(telemetry.StageMemory, n.engine.Now(),
+					telemetry.Attr{Key: "load_factor", Value: lf},
+					telemetry.Attr{Key: "queue_wait_ns", Value: qd},
+					telemetry.Attr{Key: "bytes", Value: float64(bytes)})
+			}
+			cont()
+		})
+	}
+
+	n.mmu.Translate(descAddr, n.cfg.DescriptorBytes, func(r iommu.TranslationResult) {
+		xlate(r)
+		memOp(n.memory.Read, n.cfg.DescriptorBytes, func() {
 			n.mmu.Translate(payloadAddr, p.PayloadBytes, func(r iommu.TranslationResult) {
-				n.countFault(r)
-				misses += r.Misses
-				step(&xlateNs)
-				n.memory.Write(p.PayloadBytes, func() {
-					step(&memNs)
+				xlate(r)
+				memOp(n.memory.Write, p.PayloadBytes, func() {
 					n.mmu.Translate(complAddr, n.cfg.CompletionBytes, func(r iommu.TranslationResult) {
-						n.countFault(r)
-						misses += r.Misses
-						step(&xlateNs)
-						n.memory.Write(n.cfg.CompletionBytes, func() {
-							step(&memNs)
-							finish()
-						})
+						xlate(r)
+						memOp(n.memory.Write, n.cfg.CompletionBytes, finish)
 					})
 				})
 			})
@@ -445,6 +498,15 @@ func (n *NIC) ReplenishDescriptors(queue, count int) {
 // (including ones that will be dropped), before admission. Pass nil to
 // remove it.
 func (n *NIC) SetTap(tap func(*pkt.Packet)) { n.tap = tap }
+
+// SetTelemetry installs the span tracer (head-based sampling at
+// admission) and the drop-attribution ledger (consulted on every
+// tail-drop). Either may be nil to disable that half; install before
+// traffic starts so sampling decisions stay aligned with packet order.
+func (n *NIC) SetTelemetry(tr *telemetry.Tracer, led *telemetry.DropLedger) {
+	n.tracer = tr
+	n.ledger = led
+}
 
 // DropsByFlow returns a copy of the per-flow drop counts — the paper
 // uses drop rate as a proxy for isolation violations precisely because

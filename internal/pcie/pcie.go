@@ -223,3 +223,15 @@ func (l *Link) InFlightBytes() int { return l.cfg.CreditBytes - l.creditsFree }
 
 // QueuedWaiters returns how many acquirers are blocked on credits.
 func (l *Link) QueuedWaiters() int { return len(l.waiters) }
+
+// OldestWaiterAge returns how long the head credit waiter has been
+// blocked, or zero when credits are flowing. A sustained positive age is
+// the Little's-law backpressure signal: downstream latency is holding
+// posted-write credits and the NIC buffer can only drain at the
+// credit-return rate. Drop attribution samples this.
+func (l *Link) OldestWaiterAge() sim.Duration {
+	if len(l.waiters) == 0 {
+		return 0
+	}
+	return l.engine.Now().Sub(l.waiters[0].since)
+}

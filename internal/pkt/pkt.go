@@ -5,7 +5,10 @@
 // packet metadata.
 package pkt
 
-import "hic/internal/sim"
+import (
+	"hic/internal/sim"
+	"hic/internal/telemetry"
+)
 
 // Kind discriminates packet roles on the wire.
 type Kind uint8
@@ -62,6 +65,12 @@ type Packet struct {
 	// HostECN is the sub-RTT host congestion signal (§4 extension): set
 	// by the NIC when its input buffer crosses a threshold.
 	HostECN bool
+
+	// Span is non-nil when this packet was head-sampled for telemetry at
+	// NIC admission; pipeline stages annotate it in place like the other
+	// packet metadata. It never crosses the wire (the capture format
+	// ignores it).
+	Span *telemetry.Span
 }
 
 // HeaderBytes is the protocol header overhead per data packet (Ethernet +

@@ -6,13 +6,17 @@
 package sweep
 
 import (
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"hic/internal/asciiplot"
 	"hic/internal/core"
 	"hic/internal/sim"
+	"hic/internal/telemetry"
 )
 
 // Axis is one swept dimension: a named parameter and its values.
@@ -88,23 +92,21 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Row is one sweep point's coordinates and measurements.
+// Row is one sweep point's coordinates and measurements. Telemetry is
+// non-nil only for RunDetailed sweeps.
 type Row struct {
-	Coords  []float64
-	Results core.Results
+	Coords    []float64
+	Results   core.Results
+	Telemetry *telemetry.Summary
 }
 
-// Run executes the cross product. Points run in parallel via
-// core.RunMany; rows come back in axis order (last axis fastest).
-func Run(spec Spec) ([]Row, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
+// points enumerates the cross product and lowers each coordinate vector
+// onto a Params.
+func points(spec Spec) ([][]float64, []core.Params) {
 	base := spec.Base
 	if base.Threads == 0 {
 		base = core.DefaultParams(12)
 	}
-	// Enumerate the cross product.
 	var coords [][]float64
 	var rec func(prefix []float64, depth int)
 	rec = func(prefix []float64, depth int) {
@@ -126,6 +128,16 @@ func Run(spec Spec) ([]Row, error) {
 		}
 		ps[i] = p
 	}
+	return coords, ps
+}
+
+// Run executes the cross product. Points run in parallel via
+// core.RunMany; rows come back in axis order (last axis fastest).
+func Run(spec Spec) ([]Row, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	coords, ps := points(spec)
 	rs, err := core.RunMany(ps)
 	if err != nil {
 		return nil, err
@@ -135,6 +147,67 @@ func Run(spec Spec) ([]Row, error) {
 		rows[i] = Row{Coords: coords[i], Results: rs[i]}
 	}
 	return rows, nil
+}
+
+// RunDetailed is Run with per-point pipeline telemetry: every grid point
+// executes with span sampling at spanRate and its Row carries the
+// telemetry summary (per-stage latency breakdown + drop attribution).
+// Points run in parallel like Run; each point's spans stay deterministic
+// because sampling draws from that point's own engine-forked RNG.
+func RunDetailed(spec Spec, spanRate float64) ([]Row, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	coords, ps := points(spec)
+	rows := make([]Row, len(coords))
+	errs := make([]error, len(coords))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range ps {
+		wg.Add(1)
+		go func(i int, p core.Params) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, run, err := core.RunInstrumented(p, spanRate)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s := run.Summary()
+			rows[i] = Row{Coords: coords[i], Results: res, Telemetry: &s}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// TelemetryJSONL renders one JSON object per sweep point: the axis
+// coordinates, the headline measurements, and the telemetry summary.
+// One line per grid point, so downstream tooling can stream or grep it.
+func TelemetryJSONL(spec Spec, rows []Row) (string, error) {
+	var b strings.Builder
+	for _, r := range rows {
+		point := make(map[string]any, len(spec.Axes)+3)
+		for d, a := range spec.Axes {
+			point[a.Param] = r.Coords[d]
+		}
+		point["gbps"] = r.Results.AppThroughputGbps
+		point["drop_pct"] = r.Results.DropRatePct
+		point["telemetry"] = r.Telemetry
+		line, err := json.Marshal(point)
+		if err != nil {
+			return "", fmt.Errorf("sweep: encoding telemetry row: %w", err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
 }
 
 // CSV renders the rows with one column per axis plus the headline

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -131,5 +132,73 @@ func TestEveryKnownParamApplies(t *testing.T) {
 		if _, err := core.Run(p); err != nil {
 			t.Errorf("param %q with value %v: %v", name, v, err)
 		}
+	}
+}
+
+func TestRunDetailedTelemetry(t *testing.T) {
+	spec := Spec{
+		Base: quickBase(),
+		Axes: []Axis{{Param: "antagonists", Values: []float64{0, 8}}},
+	}
+	rows, err := RunDetailed(spec, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Telemetry == nil {
+			t.Fatalf("row %d has no telemetry", i)
+		}
+		if r.Telemetry.SampleRate != 0.05 {
+			t.Errorf("row %d sample rate = %v", i, r.Telemetry.SampleRate)
+		}
+		if r.Telemetry.Spans == 0 {
+			t.Errorf("row %d sampled no spans", i)
+		}
+	}
+
+	jsonl, err := TelemetryJSONL(spec, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var point map[string]any
+		if err := json.Unmarshal([]byte(line), &point); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		for _, key := range []string{"antagonists", "gbps", "drop_pct", "telemetry"} {
+			if _, ok := point[key]; !ok {
+				t.Errorf("line %d missing key %q", i, key)
+			}
+		}
+	}
+	// The antagonised point should attribute its drops to the memory bus.
+	var antag map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &antag); err != nil {
+		t.Fatal(err)
+	}
+	if antag["antagonists"].(float64) != 8 {
+		t.Fatalf("row order changed: %v", antag["antagonists"])
+	}
+}
+
+// Plain Run must keep Telemetry nil — detailed mode is opt-in.
+func TestRunLeavesTelemetryNil(t *testing.T) {
+	spec := Spec{
+		Base: quickBase(),
+		Axes: []Axis{{Param: "threads", Values: []float64{2}}},
+	}
+	rows, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Telemetry != nil {
+		t.Error("plain Run attached telemetry")
 	}
 }

@@ -1,0 +1,249 @@
+// Package telemetry is the simulator's causal observability layer: a
+// span-based tracing system threaded through the NIC → PCIe → IOMMU →
+// memory-bus → CPU receive pipeline.
+//
+// Where internal/metrics reports steady-state aggregates and
+// internal/trace reports flat time series, telemetry answers *why*
+// questions about individual DMAs: a sampled packet carries a Span that
+// records per-stage enter/exit timestamps plus stage-local annotations
+// (NIC buffer depth at enqueue, PCIe credits held and hold duration,
+// IOTLB hits/misses and walk latency, DRAM queue wait and memory load
+// factor). Head-based sampling — the decision is made once, at NIC
+// admission, from a deterministic RNG forked off the engine's stream —
+// keeps full-fidelity runs fast while preserving bit-reproducibility.
+//
+// On top of spans the package provides a drop-attribution ledger that
+// classifies every NIC drop by root cause (see ledger.go) and exporters
+// for Chrome trace_event JSON, Prometheus text exposition, and a CLI
+// latency-breakdown table (see export.go).
+//
+// The package is a leaf: it depends only on internal/sim and
+// internal/metrics so every pipeline stage may import it.
+package telemetry
+
+import (
+	"fmt"
+
+	"hic/internal/sim"
+)
+
+// Stage identifies one segment of the per-DMA pipeline. Stages of a span
+// are contiguous: each stage's enter time is the previous stage's exit,
+// so stage durations always sum to the span's end − start.
+type Stage uint8
+
+const (
+	// StageNICBuffer is NIC admission → head-of-buffer service start
+	// (includes descriptor-stall waits).
+	StageNICBuffer Stage = iota
+	// StageCreditWait is service start → PCIe posted-write credits granted.
+	StageCreditWait
+	// StageLink is credits granted → last TLP accepted by the root complex.
+	StageLink
+	// StageTranslate is one IOMMU translation (descriptor, payload or
+	// completion address); a span records up to three of these.
+	StageTranslate
+	// StageMemory is one memory-controller access (descriptor read,
+	// payload write or completion write).
+	StageMemory
+	// StageRootComplex is the root complex's fixed pipeline, ending at
+	// credit release — the point the NIC considers the DMA done.
+	StageRootComplex
+	// StageCPUQueue is DMA completion → a receiver core picking the
+	// packet up.
+	StageCPUQueue
+	// StageCPUProcess is the core's per-packet software processing,
+	// ending at application-visible delivery.
+	StageCPUProcess
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"nic_buffer",
+	"pcie_credit_wait",
+	"pcie_link",
+	"iommu_translate",
+	"memory",
+	"root_complex",
+	"cpu_queue",
+	"cpu_process",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Stages lists every stage in pipeline order, for exporters and tables.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Attr is one stage-local annotation. Values are float64 so exporters
+// stay uniform; durations are annotated in nanoseconds by convention
+// (keys end in "_ns").
+type Attr struct {
+	Key   string
+	Value float64
+}
+
+// StageRecord is one completed stage of a span.
+type StageRecord struct {
+	Stage Stage
+	Enter sim.Time
+	Exit  sim.Time
+	Attrs []Attr
+}
+
+// Duration returns the stage's elapsed time.
+func (r StageRecord) Duration() sim.Duration { return r.Exit.Sub(r.Enter) }
+
+// Span is the telemetry record of one sampled DMA, from NIC admission to
+// application-visible delivery. Spans are single-goroutine, like the
+// simulation that populates them.
+type Span struct {
+	// ID is the packet ID; Flow/Queue/Seq locate it in the workload.
+	ID    uint64
+	Flow  uint32
+	Queue int
+	Seq   uint64
+
+	Start sim.Time
+	End   sim.Time // zero until Finish (a run ended mid-pipeline)
+
+	Stages []StageRecord
+
+	cursor sim.Time
+}
+
+// Advance closes the current stage at now: the record's enter time is the
+// previous stage's exit (or the span start), which is what guarantees the
+// stage-durations-sum-to-span invariant by construction. Advancing the
+// same stage twice in a row extends the previous record instead of
+// splitting it, so a zero-length annotation record (admission attrs) and
+// the real wait it precedes count as one stage.
+func (s *Span) Advance(st Stage, now sim.Time, attrs ...Attr) {
+	if now < s.cursor {
+		panic(fmt.Sprintf("telemetry: span %d stage %s moves backwards: %v before cursor %v",
+			s.ID, st, now, s.cursor))
+	}
+	if n := len(s.Stages); n > 0 && s.Stages[n-1].Stage == st && s.Stages[n-1].Exit == s.cursor {
+		s.Stages[n-1].Exit = now
+		s.Stages[n-1].Attrs = append(s.Stages[n-1].Attrs, attrs...)
+	} else {
+		s.Stages = append(s.Stages, StageRecord{Stage: st, Enter: s.cursor, Exit: now, Attrs: attrs})
+	}
+	s.cursor = now
+}
+
+// Finish marks the span complete at now.
+func (s *Span) Finish(now sim.Time) { s.End = now }
+
+// Finished reports whether the span reached delivery.
+func (s *Span) Finished() bool { return s.End != 0 }
+
+// TotalDuration returns end − start for finished spans, and the covered
+// prefix for unfinished ones.
+func (s *Span) TotalDuration() sim.Duration {
+	if s.End != 0 {
+		return s.End.Sub(s.Start)
+	}
+	return s.cursor.Sub(s.Start)
+}
+
+// Tracer owns sampling decisions and the collected spans of one run.
+type Tracer struct {
+	rng      *sim.RNG
+	rate     float64
+	maxSpans int
+
+	spans   []*Span
+	arrived uint64 // packets offered to MaybeStart
+	sampled uint64 // spans actually started
+	capped  uint64 // sampling decisions lost to the MaxSpans cap
+}
+
+// DefaultMaxSpans bounds tracer memory: at the default 4 KB MTU a span
+// costs a few hundred bytes, so a million spans stay near a few hundred MB
+// even in pathological full-rate, full-sampling runs.
+const DefaultMaxSpans = 1 << 20
+
+// NewTracer returns a tracer sampling the given fraction of packets
+// ([0,1], clamped). The RNG must be forked from the engine's stream so
+// sampling is deterministic for a seed; passing nil disables sampling.
+func NewTracer(rng *sim.RNG, rate float64) *Tracer {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Tracer{rng: rng, rate: rate, maxSpans: DefaultMaxSpans}
+}
+
+// SetMaxSpans overrides the span-count cap (≤0 restores the default).
+func (t *Tracer) SetMaxSpans(n int) {
+	if n <= 0 {
+		n = DefaultMaxSpans
+	}
+	t.maxSpans = n
+}
+
+// Rate returns the configured sampling rate.
+func (t *Tracer) Rate() float64 { return t.rate }
+
+// MaybeStart makes the head-based sampling decision for one arriving
+// packet and, when selected, starts and returns its span (nil otherwise).
+// Exactly one RNG draw is consumed per call for rates in (0,1), keeping
+// the decision stream independent of simulation state.
+func (t *Tracer) MaybeStart(id uint64, flow uint32, queue int, seq uint64, at sim.Time, attrs ...Attr) *Span {
+	t.arrived++
+	if t.rng == nil || t.rate == 0 {
+		return nil
+	}
+	if t.rate < 1 && t.rng.Float64() >= t.rate {
+		return nil
+	}
+	if len(t.spans) >= t.maxSpans {
+		t.capped++
+		return nil
+	}
+	sp := &Span{ID: id, Flow: flow, Queue: queue, Seq: seq, Start: at, cursor: at}
+	if len(attrs) > 0 {
+		// Admission-time annotations (e.g. NIC buffer depth) ride on a
+		// zero-length stage so they stay attached to the span's head.
+		sp.Stages = append(sp.Stages, StageRecord{Stage: StageNICBuffer, Enter: at, Exit: at, Attrs: attrs})
+	}
+	t.spans = append(t.spans, sp)
+	t.sampled++
+	return sp
+}
+
+// Spans returns the collected spans in start order. The slice is owned by
+// the tracer; callers must not mutate it.
+func (t *Tracer) Spans() []*Span { return t.spans }
+
+// Arrived returns how many packets were offered for sampling.
+func (t *Tracer) Arrived() uint64 { return t.arrived }
+
+// Sampled returns how many spans were started.
+func (t *Tracer) Sampled() uint64 { return t.sampled }
+
+// Capped returns how many positive sampling decisions were discarded
+// because the span cap was reached. Non-zero means coverage silently
+// stops partway through the run — exporters surface it.
+func (t *Tracer) Capped() uint64 { return t.capped }
+
+// Run bundles one simulation's telemetry artifacts: the span tracer and
+// the drop-attribution ledger. host.Testbed.EnableSpans returns one.
+type Run struct {
+	Tracer *Tracer
+	Drops  *DropLedger
+}

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hic/internal/sim"
+)
+
+func TestSpanAdvanceContiguous(t *testing.T) {
+	sp := &Span{ID: 1, Start: 100, cursor: 100}
+	sp.Advance(StageNICBuffer, 250)
+	sp.Advance(StageCreditWait, 400, Attr{Key: "credits_free", Value: 3})
+	sp.Advance(StageLink, 400) // zero-length stage is legal
+	sp.Advance(StageTranslate, 900)
+	sp.Finish(900)
+
+	if len(sp.Stages) != 4 {
+		t.Fatalf("got %d stages, want 4", len(sp.Stages))
+	}
+	for i, st := range sp.Stages {
+		if i == 0 {
+			if st.Enter != sp.Start {
+				t.Errorf("stage 0 enters at %v, want span start %v", st.Enter, sp.Start)
+			}
+			continue
+		}
+		if st.Enter != sp.Stages[i-1].Exit {
+			t.Errorf("stage %d enters at %v, want previous exit %v", i, st.Enter, sp.Stages[i-1].Exit)
+		}
+	}
+	var sum sim.Duration
+	for _, st := range sp.Stages {
+		sum += st.Duration()
+	}
+	if sum != sp.End.Sub(sp.Start) {
+		t.Errorf("stage durations sum to %v, want %v", sum, sp.End.Sub(sp.Start))
+	}
+}
+
+func TestSpanAdvanceMergesConsecutiveSameStage(t *testing.T) {
+	// The admission-time annotation record (zero-length) and the real
+	// buffer wait must collapse into one nic_buffer record.
+	sp := &Span{ID: 1, Start: 100, cursor: 100,
+		Stages: []StageRecord{{Stage: StageNICBuffer, Enter: 100, Exit: 100,
+			Attrs: []Attr{{Key: "buffer_bytes", Value: 5000}}}}}
+	sp.Advance(StageNICBuffer, 300)
+	if len(sp.Stages) != 1 {
+		t.Fatalf("got %d records, want 1 merged", len(sp.Stages))
+	}
+	st := sp.Stages[0]
+	if st.Enter != 100 || st.Exit != 300 {
+		t.Errorf("merged record covers [%v,%v], want [100,300]", st.Enter, st.Exit)
+	}
+	if len(st.Attrs) != 1 || st.Attrs[0].Key != "buffer_bytes" {
+		t.Errorf("merged record lost admission attrs: %v", st.Attrs)
+	}
+}
+
+func TestSpanAdvanceBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance moving backwards did not panic")
+		}
+	}()
+	sp := &Span{ID: 1, Start: 100, cursor: 100}
+	sp.Advance(StageNICBuffer, 50)
+}
+
+// Property: however a span is advanced, stage durations sum exactly to
+// the covered interval — the invariant the exporters rely on.
+func TestSpanStageSumProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		rng := sim.NewRNG(seed)
+		sp := &Span{ID: seed, Start: 0, cursor: 0}
+		now := sim.Time(0)
+		n := int(steps%20) + 1
+		for i := 0; i < n; i++ {
+			now = now.Add(sim.Duration(rng.Uint64n(1000)))
+			sp.Advance(Stage(rng.Intn(int(numStages))), now)
+		}
+		sp.Finish(now)
+		var sum sim.Duration
+		for _, st := range sp.Stages {
+			sum += st.Duration()
+		}
+		return sum == sp.End.Sub(sp.Start)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracerRateExtremes(t *testing.T) {
+	tr := NewTracer(sim.NewRNG(1), 0)
+	for i := 0; i < 100; i++ {
+		if tr.MaybeStart(uint64(i), 0, 0, 0, sim.Time(i)) != nil {
+			t.Fatal("rate 0 sampled a packet")
+		}
+	}
+	if tr.Arrived() != 100 || tr.Sampled() != 0 {
+		t.Errorf("arrived=%d sampled=%d, want 100/0", tr.Arrived(), tr.Sampled())
+	}
+
+	tr = NewTracer(sim.NewRNG(1), 1)
+	for i := 0; i < 100; i++ {
+		if tr.MaybeStart(uint64(i), 0, 0, 0, sim.Time(i)) == nil {
+			t.Fatal("rate 1 skipped a packet")
+		}
+	}
+	if tr.Sampled() != 100 {
+		t.Errorf("sampled=%d, want 100", tr.Sampled())
+	}
+}
+
+func TestTracerDeterministicForSeed(t *testing.T) {
+	pick := func() []uint64 {
+		tr := NewTracer(sim.NewRNG(42), 0.1)
+		var ids []uint64
+		for i := 0; i < 10000; i++ {
+			if tr.MaybeStart(uint64(i), 0, 0, 0, sim.Time(i)) != nil {
+				ids = append(ids, uint64(i))
+			}
+		}
+		return ids
+	}
+	a, b := pick(), pick()
+	if len(a) != len(b) {
+		t.Fatalf("runs sampled %d vs %d packets", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// ~10% of 10000 with plenty of slack.
+	if len(a) < 800 || len(a) > 1200 {
+		t.Errorf("rate 0.1 sampled %d of 10000", len(a))
+	}
+}
+
+func TestTracerSpanCap(t *testing.T) {
+	tr := NewTracer(sim.NewRNG(1), 1)
+	tr.SetMaxSpans(10)
+	for i := 0; i < 25; i++ {
+		tr.MaybeStart(uint64(i), 0, 0, 0, sim.Time(i))
+	}
+	if len(tr.Spans()) != 10 {
+		t.Errorf("kept %d spans, want 10", len(tr.Spans()))
+	}
+	if tr.Capped() != 15 {
+		t.Errorf("capped=%d, want 15", tr.Capped())
+	}
+}
+
+func TestClassifyPriority(t *testing.T) {
+	cases := []struct {
+		name string
+		ctx  DropContext
+		want DropCause
+	}{
+		{"healthy", DropContext{MemLoadFactor: 1.0}, CauseOverload},
+		{"walks only", DropContext{MemLoadFactor: 1.0, IOTLBMissRate: 0.8}, CauseIOTLBWalk},
+		{"bus only", DropContext{MemLoadFactor: 1.5}, CauseMemoryBus},
+		{"both pathologies → bus wins", DropContext{MemLoadFactor: 1.5, IOTLBMissRate: 0.9}, CauseMemoryBus},
+		{"at bus threshold", DropContext{MemLoadFactor: MemLoadThreshold}, CauseMemoryBus},
+		{"at miss threshold", DropContext{IOTLBMissRate: MissRateThreshold}, CauseIOTLBWalk},
+		{"just under both", DropContext{MemLoadFactor: 1.19, IOTLBMissRate: 0.24}, CauseOverload},
+	}
+	for _, c := range cases {
+		if got := Classify(c.ctx); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDropLedger(t *testing.T) {
+	ctx := DropContext{MemLoadFactor: 1.0}
+	led := NewDropLedger(func() DropContext { return ctx })
+
+	ctx.MemLoadFactor = 2.0
+	led.Record(100, 7, 0)
+	led.Record(200, 8, 1)
+	ctx = DropContext{IOTLBMissRate: 0.5}
+	led.Record(300, 7, 0)
+	ctx = DropContext{}
+	led.Record(400, 9, 2)
+
+	if led.Total() != 4 {
+		t.Fatalf("total=%d, want 4", led.Total())
+	}
+	if led.Count(CauseMemoryBus) != 2 || led.Count(CauseIOTLBWalk) != 1 || led.Count(CauseOverload) != 1 {
+		t.Errorf("counts bus/walk/overload = %d/%d/%d, want 2/1/1",
+			led.Count(CauseMemoryBus), led.Count(CauseIOTLBWalk), led.Count(CauseOverload))
+	}
+	if got := led.Share(CauseMemoryBus); got != 0.5 {
+		t.Errorf("bus share=%v, want 0.5", got)
+	}
+	if len(led.Events()) != 4 {
+		t.Errorf("retained %d events, want 4", len(led.Events()))
+	}
+	tab := led.Table()
+	for _, want := range []string{"memory-bus", "iotlb-walk", "overload", "total"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestDropLedgerEventCap(t *testing.T) {
+	led := NewDropLedger(func() DropContext { return DropContext{} })
+	led.SetMaxEvents(5)
+	for i := 0; i < 12; i++ {
+		led.Record(sim.Time(i), 0, 0)
+	}
+	if led.Total() != 12 {
+		t.Errorf("total=%d, want 12 (counts stay exact past the cap)", led.Total())
+	}
+	if len(led.Events()) != 5 || led.Truncated() != 7 {
+		t.Errorf("events=%d truncated=%d, want 5/7", len(led.Events()), led.Truncated())
+	}
+}

@@ -38,8 +38,8 @@ func NewRecorder() *Recorder {
 func (r *Recorder) Record(name string, at sim.Time, v float64) {
 	s := r.series[name]
 	if len(s) > 0 && at < s[len(s)-1].At {
-		panic(fmt.Sprintf("trace: out-of-order sample for %q: %v after %v",
-			name, at, s[len(s)-1].At))
+		panic(fmt.Sprintf("trace: out-of-order sample for %q (%d samples): %v after %v",
+			name, len(s), at, s[len(s)-1].At))
 	}
 	if s == nil {
 		r.order = append(r.order, name)
@@ -69,6 +69,37 @@ func (r *Recorder) Len() int {
 		n += len(s)
 	}
 	return n
+}
+
+// MergeDownsample caps every series at maxSamples points by merging
+// fixed-size groups of consecutive samples: each group collapses to one
+// sample at the group's last timestamp carrying the group's mean value.
+// Long runs with fine probe periods stay plottable without losing the
+// window averages. maxSamples ≤ 0 is a no-op; series at or under the cap
+// are untouched.
+func (r *Recorder) MergeDownsample(maxSamples int) {
+	if maxSamples <= 0 {
+		return
+	}
+	for name, s := range r.series {
+		if len(s) <= maxSamples {
+			continue
+		}
+		group := (len(s) + maxSamples - 1) / maxSamples
+		out := make([]Sample, 0, (len(s)+group-1)/group)
+		for i := 0; i < len(s); i += group {
+			end := i + group
+			if end > len(s) {
+				end = len(s)
+			}
+			var sum float64
+			for _, smp := range s[i:end] {
+				sum += smp.Value
+			}
+			out = append(out, Sample{At: s[end-1].At, Value: sum / float64(end-i)})
+		}
+		r.series[name] = out
+	}
 }
 
 // CSV renders all series in long form: time_us,series,value. Rows are

@@ -75,3 +75,50 @@ func TestWideForm(t *testing.T) {
 		t.Errorf("row 2 = %q (missing cell should be empty)", lines[2])
 	}
 }
+
+func TestMergeDownsample(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Record("s", sim.Time(i), float64(i))
+	}
+	r.Record("tiny", sim.Time(1), 42)
+
+	r.MergeDownsample(10)
+
+	s := r.Series("s")
+	if len(s) != 10 {
+		t.Fatalf("got %d samples, want 10", len(s))
+	}
+	// Groups of 10: first group is values 0..9 (mean 4.5) stamped at the
+	// group's last time.
+	if s[0].At != sim.Time(9) || s[0].Value != 4.5 {
+		t.Errorf("first merged sample = (%v, %v), want (9, 4.5)", s[0].At, s[0].Value)
+	}
+	if s[9].At != sim.Time(99) || s[9].Value != 94.5 {
+		t.Errorf("last merged sample = (%v, %v), want (99, 94.5)", s[9].At, s[9].Value)
+	}
+	// Series at or under the cap are untouched.
+	if tiny := r.Series("tiny"); len(tiny) != 1 || tiny[0].Value != 42 {
+		t.Errorf("small series modified: %v", tiny)
+	}
+	// No-op cap.
+	r.MergeDownsample(0)
+	if len(r.Series("s")) != 10 {
+		t.Error("maxSamples<=0 should be a no-op")
+	}
+}
+
+func TestMergeDownsampleUnevenGroups(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 7; i++ {
+		r.Record("s", sim.Time(i), 1)
+	}
+	r.MergeDownsample(3) // group size ceil(7/3)=3 → groups of 3,3,1
+	s := r.Series("s")
+	if len(s) != 3 {
+		t.Fatalf("got %d samples, want 3", len(s))
+	}
+	if s[2].At != sim.Time(6) || s[2].Value != 1 {
+		t.Errorf("tail group = (%v, %v), want (6, 1)", s[2].At, s[2].Value)
+	}
+}
