@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench vet check figs cluster fuzz cover trace-demo clean
+.PHONY: all build test bench bench-json vet check figs cluster fuzz cover trace-demo clean
 
 all: build test
 
@@ -16,9 +16,14 @@ test: vet
 test-short:
 	$(GO) test -short ./...
 
+# check runs vet, the race-enabled test suite (which includes the
+# zero-allocs gates: TestEngineSteadyStateZeroAllocs and
+# TestPacketPathZeroAllocs), and a 1x smoke pass over the engine
+# benchmarks so a compile break in the hot-path benches fails CI.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run=NONE -bench=BenchmarkEngine -benchtime=1x ./internal/sim/
 
 trace-demo:
 	mkdir -p results
@@ -28,6 +33,12 @@ trace-demo:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json runs the hot-path comparison harness (current engine vs the
+# preserved pre-rewrite engine, pooled vs heap packet path, and the
+# Figure 6 scenario end to end) and writes BENCH_hotpath.json.
+bench-json:
+	$(GO) run ./cmd/hicbench -out BENCH_hotpath.json
 
 figs:
 	$(GO) run ./cmd/hicfigs -outdir results

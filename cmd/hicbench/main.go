@@ -1,0 +1,230 @@
+// Command hicbench measures the simulator's hot path and writes the
+// results as JSON, comparing the current engine against the preserved
+// pre-rewrite implementation (internal/sim/legacy).
+//
+//	hicbench                       # print BENCH_hotpath.json content
+//	hicbench -out BENCH_hotpath.json
+//
+// Three sections:
+//   - engine: schedule→fire and heap-churn microbenchmarks on both
+//     engines, with events/sec and the measured speedup ratio;
+//   - packet_path: one full pooled packet lifetime vs heap allocation;
+//   - fig6_scenario: the paper's Figure 6 memory-antagonist point run
+//     end to end, reporting wall-clock and simulated events/sec (the
+//     whole-simulator number the microbenchmarks feed into).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hic/internal/core"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+	"hic/internal/sim/legacy"
+)
+
+// benchResult is one benchmark's headline numbers.
+type benchResult struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+func toResult(r testing.BenchmarkResult, perOpEvents float64) benchResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	out := benchResult{
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if perOpEvents > 0 && ns > 0 {
+		out.EventsPerSec = perOpEvents * 1e9 / ns
+	}
+	return out
+}
+
+const churnDepth = 256
+
+// engineWorkload drives a fig6-like event mix against either engine:
+// self-rescheduling events (DMA completion chains) at churn depth, plus
+// a cancelled timer per fire (the retransmit timer armed and disarmed
+// on every delivered packet).
+func newEngineWorkload(b *testing.B) {
+	e := sim.NewEngine(1)
+	target := uint64(b.N) + churnDepth
+	var pendingTimer sim.EventID
+	var tick func()
+	timerFn := func() {}
+	tick = func() {
+		if e.Processed() >= target {
+			e.Stop()
+			return
+		}
+		pendingTimer.Cancel()
+		pendingTimer = e.After(sim.Duration(5000), timerFn)
+		e.After(sim.Duration(1+e.RNG().Intn(997)), tick)
+	}
+	for i := 0; i < churnDepth; i++ {
+		e.After(sim.Duration(1+e.RNG().Intn(997)), tick)
+	}
+	b.ResetTimer()
+	e.Run(math.MaxInt64 - 1)
+}
+
+func legacyEngineWorkload(b *testing.B) {
+	e := legacy.NewEngine()
+	rng := sim.NewRNG(1)
+	target := uint64(b.N) + churnDepth
+	var pendingTimer legacy.EventID
+	var tick func()
+	timerFn := func() {}
+	tick = func() {
+		if e.Processed() >= target {
+			e.Stop()
+			return
+		}
+		pendingTimer.Cancel()
+		pendingTimer = e.After(sim.Duration(5000), timerFn)
+		e.After(sim.Duration(1+rng.Intn(997)), tick)
+	}
+	for i := 0; i < churnDepth; i++ {
+		e.After(sim.Duration(1+rng.Intn(997)), tick)
+	}
+	b.ResetTimer()
+	e.Run(math.MaxInt64 - 1)
+}
+
+func packetPathWorkload(b *testing.B) {
+	pl := pkt.NewPool()
+	p := pl.Data(0, 1, 0, 0, 4096)
+	a := pl.Ack(0, p)
+	pl.Release(p)
+	pl.Release(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pl.Data(uint64(i), 1, 0, uint64(i), 4096)
+		a := pl.Ack(uint64(i), p)
+		pl.Release(p)
+		pl.Release(a)
+	}
+}
+
+// fig6Scenario runs the Figure 6 memory-antagonist point end to end and
+// reports whole-simulator throughput in events per second.
+type fig6Scenario struct {
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AppGbps      float64 `json:"app_throughput_gbps"`
+}
+
+func runFig6() (fig6Scenario, error) {
+	p := core.DefaultParams(12)
+	p.AntagonistCores = 8
+	p.Warmup, p.Measure = 4*sim.Millisecond, 6*sim.Millisecond
+	tb, err := p.Build()
+	if err != nil {
+		return fig6Scenario{}, err
+	}
+	start := time.Now()
+	res := tb.Run(p.Warmup, p.Measure)
+	wall := time.Since(start).Seconds()
+	ev := tb.Engine.Processed()
+	return fig6Scenario{
+		WallSeconds:  wall,
+		Events:       ev,
+		EventsPerSec: float64(ev) / wall,
+		AppGbps:      res.AppThroughputGbps,
+	}, nil
+}
+
+type report struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	Engine    struct {
+		New          benchResult `json:"new"`
+		Legacy       benchResult `json:"legacy"`
+		SpeedupRatio float64     `json:"speedup_ratio"`
+	} `json:"engine"`
+	PacketPath struct {
+		Pooled benchResult `json:"pooled"`
+		Heap   benchResult `json:"heap"`
+	} `json:"packet_path"`
+	// Fig6 runs with the free lists on (the default); Fig6NoPools runs
+	// the same scenario with event and packet recycling disabled, the
+	// whole-figure before/after for the allocation-free hot path.
+	Fig6        fig6Scenario `json:"fig6_scenario"`
+	Fig6NoPools fig6Scenario `json:"fig6_scenario_no_pools"`
+}
+
+var heapSink *pkt.Packet
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	var rep report
+	rep.GoVersion = runtime.Version()
+	rep.GOARCH = runtime.GOARCH
+
+	// Each workload processes ~1 event per op (the churn fires one event
+	// and schedules one replacement plus a timer arm/cancel pair).
+	rep.Engine.New = toResult(testing.Benchmark(newEngineWorkload), 1)
+	rep.Engine.Legacy = toResult(testing.Benchmark(legacyEngineWorkload), 1)
+	if rep.Engine.New.NsPerOp > 0 {
+		rep.Engine.SpeedupRatio = rep.Engine.Legacy.NsPerOp / rep.Engine.New.NsPerOp
+	}
+
+	rep.PacketPath.Pooled = toResult(testing.Benchmark(packetPathWorkload), 0)
+	rep.PacketPath.Heap = toResult(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pkt.NewData(uint64(i), 1, 0, uint64(i), 4096)
+			a := pkt.NewAck(uint64(i), p)
+			heapSink = p
+			heapSink = a
+		}
+	}), 0)
+
+	fig6, err := runFig6()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicbench: fig6 scenario: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Fig6 = fig6
+
+	sim.SetEventPooling(false)
+	pkt.SetPooling(false)
+	noPools, err := runFig6()
+	sim.SetEventPooling(true)
+	pkt.SetPooling(true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicbench: fig6 scenario (no pools): %v\n", err)
+		os.Exit(1)
+	}
+	rep.Fig6NoPools = noPools
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s)\n",
+		*out, rep.Engine.SpeedupRatio, rep.Fig6.EventsPerSec/1e6)
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"hic/internal/cluster"
+	"hic/internal/runcache"
 	"hic/internal/sim"
 )
 
@@ -21,6 +22,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fleet seed")
 	measureMS := flag.Int("measure-ms", 12, "per-host measurement window (ms)")
 	csv := flag.Bool("csv", false, "emit per-host CSV instead of the scatter")
+	useCache := flag.Bool("cache", false, "memoize per-host results in the content-addressed run cache (single-window fleets only)")
+	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
 	flag.Parse()
 
 	cfg := cluster.DefaultConfig()
@@ -28,6 +31,15 @@ func main() {
 	cfg.WindowsPerHost = *windows
 	cfg.Seed = *seed
 	cfg.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	if *useCache {
+		store, err := runcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Cache = store
+		defer func() { fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary()) }()
+	}
 
 	points, err := cluster.Run(cfg)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"hic/internal/experiments"
+	"hic/internal/runcache"
 	"hic/internal/sim"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	replicates := flag.Int("replicates", 1, "runs per point with derived seeds (fig3 cells become mean±ci95)")
 	measureMS := flag.Int("measure-ms", 0, "override measurement window (ms)")
 	outdir := flag.String("outdir", "", "also write per-experiment CSV files here")
+	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache")
+	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
 	flag.Parse()
 
 	opt := experiments.Options{
@@ -39,6 +42,15 @@ func main() {
 	}
 	if *measureMS > 0 {
 		opt.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	}
+	if *useCache {
+		store, err := runcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicfigs: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Cache = store
+		defer func() { fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary()) }()
 	}
 
 	var ids []string

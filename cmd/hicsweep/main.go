@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"hic/internal/runcache"
 	"hic/internal/sim"
 	"hic/internal/sweep"
 )
@@ -36,6 +37,8 @@ func main() {
 	warmupMS := flag.Int("warmup-ms", 0, "override warmup window (ms)")
 	telemetryOut := flag.String("telemetry-out", "", "run each point with span telemetry and write one JSONL summary line per grid point to this file")
 	spanRate := flag.Float64("span-rate", 0.01, "span sampling rate per grid point (with -telemetry-out)")
+	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache (ignored with -telemetry-out)")
+	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
 	flag.Parse()
 
 	if *listParams {
@@ -63,11 +66,24 @@ func main() {
 		spec.Base.Warmup = sim.Duration(*warmupMS) * sim.Millisecond
 	}
 
+	var store *runcache.Store
+	if *useCache && *telemetryOut == "" {
+		if store, err = runcache.Open(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var rows []sweep.Row
 	if *telemetryOut != "" {
+		// Telemetry sweeps always simulate: spans are a per-run byproduct
+		// the result cache does not store.
 		rows, err = sweep.RunDetailed(spec, *spanRate)
 	} else {
-		rows, err = sweep.Run(spec)
+		rows, err = sweep.RunCached(spec, store)
+	}
+	if store != nil {
+		defer fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary())
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"hic/internal/core"
+	"hic/internal/runcache"
 	"hic/internal/sim"
 )
 
@@ -37,6 +38,11 @@ type Config struct {
 	// Warmup and Measure are the per-host windows (0 ⇒ 8 ms + 12 ms;
 	// shorter than single-figure runs because the fleet is large).
 	Warmup, Measure sim.Duration
+	// Cache, when non-nil, memoizes single-window hosts through the
+	// content-addressed run cache. Hosts with WindowsPerHost > 1 always
+	// simulate: their later bins continue one testbed's state, which a
+	// per-Params cache cannot address.
+	Cache *runcache.Store
 }
 
 // DefaultConfig returns a 200-host fleet.
@@ -134,6 +140,18 @@ func Run(cfg Config) ([]Point, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if windows == 1 && cfg.Cache != nil {
+				r, err := core.RunCached(ps[i], cfg.Cache)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				pt := meta[i]
+				pt.Utilization = r.LinkUtilization
+				pt.DropRate = r.DropRatePct / 100
+				points[i] = append(points[i], pt)
+				return
+			}
 			tb, err := ps[i].Build()
 			if err != nil {
 				errs[i] = err

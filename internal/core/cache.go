@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hic/internal/runcache"
+)
+
+// SimVersion salts every cache key. Bump it whenever a change anywhere
+// in the simulator can alter the Results produced for a given Params —
+// engine semantics, component timing, congestion-control behavior, or
+// the Results schema itself. Old cache entries then simply stop being
+// addressed; no explicit invalidation pass is needed.
+const SimVersion = "hic-sim-2"
+
+// ParamsFieldCount pins the number of fields in Params. A test asserts
+// it by reflection: adding a Params field without extending Canonical
+// below (and bumping this constant) would silently alias distinct
+// scenarios to one cache key.
+const ParamsFieldCount = 31
+
+// Canonical renders every Params field into a stable, unambiguous
+// string. Field order is fixed, values are printed with %v (shortest
+// round-trip form for floats), and entries are ';'-separated with
+// explicit names so no two distinct Params can collide textually.
+func (p Params) Canonical() string {
+	var b strings.Builder
+	f := func(name string, v any) {
+		fmt.Fprintf(&b, "%s=%v;", name, v)
+	}
+	f("Seed", p.Seed)
+	f("Threads", p.Threads)
+	f("Senders", p.Senders)
+	f("RxRegionBytes", p.RxRegionBytes)
+	f("IOMMU", p.IOMMU)
+	f("Hugepages", p.Hugepages)
+	f("AntagonistCores", p.AntagonistCores)
+	f("CC", string(p.CC))
+	f("FixedCwnd", p.FixedCwnd)
+	f("HostTarget", int64(p.HostTarget))
+	f("NICBufferBytes", p.NICBufferBytes)
+	f("DeviceTLBEntries", p.DeviceTLBEntries)
+	f("StrictIOMMU", p.StrictIOMMU)
+	f("LinkLatencyScale", p.LinkLatencyScale)
+	f("MemoryIOReservedShare", p.MemoryIOReservedShare)
+	f("SubRTTHostECN", p.SubRTTHostECN)
+	f("FabricECNThresholdBytes", p.FabricECNThresholdBytes)
+	f("CPUCores", p.CPUCores)
+	f("InitialActiveCores", p.InitialActiveCores)
+	f("DynamicCoreScaling", p.DynamicCoreScaling)
+	f("AntagonistRemoteNUMA", p.AntagonistRemoteNUMA)
+	f("CopyReadFraction", p.CopyReadFraction)
+	f("PerQueueNICBuffers", p.PerQueueNICBuffers)
+	f("VictimConnGbps", p.VictimConnGbps)
+	f("SenderHostModel", p.SenderHostModel)
+	f("SenderAntagonistCores", p.SenderAntagonistCores)
+	f("OfferedGbps", p.OfferedGbps)
+	f("BurstDuty", p.BurstDuty)
+	f("BurstPeriod", int64(p.BurstPeriod))
+	f("Warmup", int64(p.Warmup))
+	f("Measure", int64(p.Measure))
+	return b.String()
+}
+
+// CacheKey content-addresses the scenario: sha256 over the simulator
+// version salt and the canonical parameter encoding.
+func (p Params) CacheKey() string {
+	return runcache.Key(SimVersion, p.Canonical())
+}
+
+// RunCached executes one scenario through the cache: a stored result
+// for the same Params and SimVersion is returned as-is (bit-identical
+// to a cold run, because the simulator is deterministic per seed);
+// otherwise the scenario runs and the result is stored. A nil cache
+// degrades to Run.
+func RunCached(p Params, cache *runcache.Store) (Results, error) {
+	if cache == nil {
+		return Run(p)
+	}
+	// Normalize the windows first so the key reflects what actually runs.
+	if p.Warmup == 0 && p.Measure == 0 {
+		d := DefaultParams(1)
+		p.Warmup, p.Measure = d.Warmup, d.Measure
+	}
+	canonical := p.Canonical()
+	key := runcache.Key(SimVersion, canonical)
+	if r, ok := cache.Get(key, SimVersion, canonical); ok {
+		return r, nil
+	}
+	r, err := Run(p)
+	if err != nil {
+		return Results{}, err
+	}
+	if err := cache.Put(key, SimVersion, canonical, r); err != nil {
+		return Results{}, err
+	}
+	return r, nil
+}
+
+// RunManyCached is RunMany with a result cache: hits skip simulation
+// entirely, misses run and populate the store. Order and error
+// semantics match RunMany; a nil cache degrades to RunMany.
+func RunManyCached(ps []Params, cache *runcache.Store) ([]Results, error) {
+	return runMany(ps, cache)
+}
+
+// RunReplicatedCached is RunReplicated with a result cache.
+func RunReplicatedCached(p Params, n int, cache *runcache.Store) ([]Results, error) {
+	if n < 1 {
+		n = 1
+	}
+	ps := make([]Params, n)
+	for i := range ps {
+		ps[i] = p
+		ps[i].Seed = p.Seed + uint64(i)*0x9e3779b97f4a7c15
+	}
+	return runMany(ps, cache)
+}

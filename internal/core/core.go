@@ -21,6 +21,7 @@ import (
 	"hic/internal/mem"
 	"hic/internal/model"
 	"hic/internal/pkt"
+	"hic/internal/runcache"
 	"hic/internal/sim"
 	"hic/internal/telemetry"
 	"hic/internal/transport"
@@ -296,6 +297,11 @@ func RunInstrumented(p Params, spanRate float64) (Results, *telemetry.Run, error
 // goroutine with its own engine, preserving per-run determinism. The
 // first build/run error aborts the sweep.
 func RunMany(ps []Params) ([]Results, error) {
+	return runMany(ps, nil)
+}
+
+// runMany is the shared sweep executor; cache may be nil.
+func runMany(ps []Params, cache *runcache.Store) ([]Results, error) {
 	results := make([]Results, len(ps))
 	errs := make([]error, len(ps))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -306,7 +312,7 @@ func RunMany(ps []Params) ([]Results, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Run(p)
+			results[i], errs[i] = RunCached(p, cache)
 		}(i, p)
 	}
 	wg.Wait()

@@ -40,7 +40,7 @@ func ExtDDIO(o Options) (*Table, error) {
 			p.CopyReadFraction = v.frac
 			ps = append(ps, p)
 		}
-		rs, err := core.RunMany(ps)
+		rs, err := o.runMany(ps)
 		if err != nil {
 			return nil, err
 		}

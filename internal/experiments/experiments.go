@@ -12,6 +12,7 @@ import (
 
 	"hic/internal/asciiplot"
 	"hic/internal/core"
+	"hic/internal/runcache"
 	"hic/internal/sim"
 	"hic/internal/stats"
 )
@@ -28,6 +29,10 @@ type Options struct {
 	// Replicates > 1 runs every point that many times with derived
 	// seeds; numeric cells in Fig3/Fig6 then read "mean±ci95".
 	Replicates int
+	// Cache, when non-nil, memoizes every point through the
+	// content-addressed run cache: repeated figure runs replay stored
+	// results instead of re-simulating (hicfigs -cache).
+	Cache *runcache.Store
 }
 
 // replicated runs p Replicates times and returns all results.
@@ -36,7 +41,13 @@ func (o Options) replicated(p core.Params) ([]core.Results, error) {
 	if n < 1 {
 		n = 1
 	}
-	return core.RunReplicated(p, n)
+	return core.RunReplicatedCached(p, n, o.Cache)
+}
+
+// runMany sweeps the points through the options' cache (nil ⇒ plain
+// core.RunMany). Every figure definition funnels its grid through here.
+func (o Options) runMany(ps []core.Params) ([]core.Results, error) {
+	return core.RunManyCached(ps, o.Cache)
 }
 
 // pull extracts one field across replicated results.
@@ -179,7 +190,7 @@ func Fig4(o Options) (*Table, error) {
 		small.Hugepages = false
 		ps = append(ps, huge, small)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +232,7 @@ func Fig5(o Options) (*Table, error) {
 		off.IOMMU = false
 		ps = append(ps, on, off)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +274,7 @@ func Fig6(o Options) (*Table, error) {
 		off.IOMMU = false
 		ps = append(ps, on, off)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}

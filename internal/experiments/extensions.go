@@ -21,7 +21,7 @@ func ExtTargetDelay(o Options) (*Table, error) {
 		p.HostTarget = sim.Duration(us) * sim.Microsecond
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +63,7 @@ func ExtNICBuffer(o Options) (*Table, error) {
 		p.NICBufferBytes = kb << 10
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +99,7 @@ func ExtATS(o Options) (*Table, error) {
 		p.DeviceTLBEntries = n
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +137,7 @@ func ExtCXL(o Options) (*Table, error) {
 		p.LinkLatencyScale = s
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +172,7 @@ func ExtMBA(o Options) (*Table, error) {
 		p.MemoryIOReservedShare = s
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +220,7 @@ func ExtSubRTT(o Options) (*Table, error) {
 		p.SubRTTHostECN = sc.subRTT
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +273,7 @@ func ExtCCCompare(o Options) (*Table, error) {
 		}
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}

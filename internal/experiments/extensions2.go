@@ -21,7 +21,7 @@ func ExtStrictMode(o Options) (*Table, error) {
 		strict.StrictIOMMU = true
 		ps = append(ps, loose, strict)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func ExtTailLatency(o Options) (*Table, error) {
 		p.AntagonistCores = ac
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +111,7 @@ func ExtIsolation(o Options) (*Table, error) {
 		p.OfferedGbps = sc.offered
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}

@@ -41,7 +41,7 @@ func ExtSoftwareVsInterconnect(o Options) (*Table, error) {
 		sc.mut(&p)
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +86,7 @@ func ExtNUMAPlacement(o Options) (*Table, error) {
 		p.AntagonistRemoteNUMA = sc.remote
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func ExtFairness(o Options) (*Table, error) {
 	for _, sc := range scs {
 		ps = append(ps, o.params(sc.threads))
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}

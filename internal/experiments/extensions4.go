@@ -38,7 +38,7 @@ func ExtSenderSide(o Options) (*Table, error) {
 		sc.mut(&p)
 		ps = append(ps, p)
 	}
-	rs, err := core.RunMany(ps)
+	rs, err := o.runMany(ps)
 	if err != nil {
 		return nil, err
 	}

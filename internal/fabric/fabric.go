@@ -67,6 +67,7 @@ type Network struct {
 
 	toReceiver func(*pkt.Packet)
 	toSender   func(sender int, p *pkt.Packet)
+	pool       *pkt.Pool // packet free list; switch drops release here
 
 	senderBusy []sim.Time // per-sender egress serialization
 	portBusy   sim.Time   // receiver-facing switch port
@@ -112,6 +113,11 @@ func New(engine *sim.Engine, reg *metrics.Registry, senders int, cfg Config,
 // Senders returns the number of attached senders.
 func (n *Network) Senders() int { return len(n.senderBusy) }
 
+// SetPool installs the run's packet free list. A switch tail drop is a
+// point where a packet dies, so the fabric releases it there. Nil
+// disables releasing (packets are then garbage for the GC).
+func (n *Network) SetPool(pool *pkt.Pool) { n.pool = pool }
+
 // SendToReceiver carries a data packet from sender onto the fabric:
 // sender egress serialization, propagation, then the receiver-facing
 // switch port (queueing, optional ECN, tail drop), the access link, and
@@ -139,6 +145,7 @@ func (n *Network) SendToReceiver(sender int, p *pkt.Packet) {
 func (n *Network) arriveAtPort(p *pkt.Packet) {
 	if n.portQueue+p.WireBytes > n.cfg.SwitchBufferBytes {
 		n.switchDrops.Inc()
+		n.pool.Release(p)
 		return
 	}
 	if n.cfg.ECNThresholdBytes > 0 && n.portQueue >= n.cfg.ECNThresholdBytes {

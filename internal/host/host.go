@@ -285,6 +285,13 @@ type Testbed struct {
 	Conns        []*transport.Conn
 	Senders      []*sender.Host // non-nil when SenderHostModel is set
 
+	// Pool is the run's packet free list. The testbed owns the release
+	// points for packets that survive to the application: data packets
+	// are released after transport delivery, acks after the owning
+	// connection consumes them. The NIC and fabric release the packets
+	// they drop themselves.
+	Pool *pkt.Pool
+
 	cfg     Config
 	started bool
 }
@@ -351,6 +358,7 @@ func New(cfg Config) (*Testbed, error) {
 	t := &Testbed{
 		Engine:   sim.NewEngine(cfg.Seed),
 		Registry: metrics.NewRegistry(),
+		Pool:     pkt.NewPool(),
 		cfg:      cfg,
 	}
 	var err error
@@ -408,9 +416,12 @@ func New(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Receiver.SetPool(t.Pool)
 
 	// CPU pool: processing completes → transport delivery + descriptor
-	// replenish (host software returning buffers to the ring).
+	// replenish (host software returning buffers to the ring). Delivery
+	// is where a data packet dies: once the receiver has consumed it and
+	// the descriptor is back on the ring, the testbed releases it.
 	cpuCfg := cfg.CPU
 	if cfg.CPUCores > 0 {
 		cpuCfg.Cores = cfg.CPUCores
@@ -418,6 +429,7 @@ func New(cfg Config) (*Testbed, error) {
 	t.CPU, err = cpu.New(t.Engine, t.Registry, t.Memory, cpuCfg, func(p *pkt.Packet) {
 		t.Receiver.Deliver(p)
 		t.NIC.ReplenishDescriptors(p.Queue, 1)
+		t.Pool.Release(p)
 	})
 	if err != nil {
 		return nil, err
@@ -445,6 +457,7 @@ func New(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.NIC.SetPool(t.Pool)
 
 	t.Fabric, err = fabric.New(t.Engine, t.Registry, cfg.Senders, cfg.Fabric,
 		func(p *pkt.Packet) { t.NIC.Receive(p) },
@@ -452,6 +465,7 @@ func New(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Fabric.SetPool(t.Pool)
 
 	// Optional sender-side hosts: the TX datapath with backpressure.
 	emitFor := func(s int) func(int, *pkt.Packet) {
@@ -495,6 +509,7 @@ func New(cfg Config) (*Testbed, error) {
 			if err != nil {
 				return nil, err
 			}
+			conn.SetPool(t.Pool)
 			t.Conns = append(t.Conns, conn)
 		}
 	}
@@ -526,6 +541,8 @@ func (t *Testbed) ackToConn(a *pkt.Packet) {
 		panic(fmt.Sprintf("host: ack for unknown flow %#x", a.Flow))
 	}
 	t.Conns[idx].OnAck(a)
+	// Ack consumption is where an ack dies; the testbed owns it here.
+	t.Pool.Release(a)
 }
 
 // Start begins transmission, staggering connection starts across one

@@ -125,6 +125,7 @@ type NIC struct {
 	tap         func(*pkt.Packet) // capture hook, sees every arrival
 	tracer      *telemetry.Tracer // head-based span sampling (nil = off)
 	ledger      *telemetry.DropLedger
+	pool        *pkt.Pool // packet free list; tail drops release here
 	pumping     bool
 	stalled     bool // every serviceable buffer blocked on descriptors
 
@@ -243,6 +244,8 @@ func (n *NIC) Receive(p *pkt.Packet) {
 			// state active right now (§3's causal question).
 			n.ledger.Record(p.NICArrival, p.Flow, p.Queue)
 		}
+		// A tail drop is where this packet dies; the NIC owns it here.
+		n.pool.Release(p)
 		return
 	}
 	if n.cfg.HostECNThreshold > 0 && n.bufferUsed >= n.cfg.HostECNThreshold {
@@ -493,6 +496,12 @@ func (n *NIC) ReplenishDescriptors(queue, count int) {
 		n.pump()
 	}
 }
+
+// SetPool installs the run's packet free list; the NIC releases packets
+// it tail-drops (the only point in the Rx datapath where a packet dies
+// inside the NIC — delivered packets are released downstream, after the
+// application consumes them). Nil disables releasing.
+func (n *NIC) SetPool(pool *pkt.Pool) { n.pool = pool }
 
 // SetTap installs a capture hook invoked for every arriving packet
 // (including ones that will be dropped), before admission. Pass nil to

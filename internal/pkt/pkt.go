@@ -3,9 +3,20 @@
 // through the single-threaded simulation; layers annotate them in place
 // (arrival timestamps, host delay, ECN) the way real stacks annotate
 // packet metadata.
+//
+// Hot-path allocation is avoided with a per-run Pool: each testbed owns
+// one free list, packets are drawn from it at send time and Released at
+// the exact point they die (switch drop, NIC tail drop, delivery to the
+// application, ack consumption). A run is single-threaded, so the pool
+// needs no locking; concurrent runs each own their own pool. See
+// docs/PERFORMANCE.md for the ownership rules.
 package pkt
 
 import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
 	"hic/internal/sim"
 	"hic/internal/telemetry"
 )
@@ -71,6 +82,10 @@ type Packet struct {
 	// packet metadata. It never crosses the wire (the capture format
 	// ignores it).
 	Span *telemetry.Span
+
+	// freed marks a packet sitting on a pool free list; Release panics on
+	// a double release, the most common free-list ownership bug.
+	freed bool
 }
 
 // HeaderBytes is the protocol header overhead per data packet (Ethernet +
@@ -96,16 +111,149 @@ func NewData(id uint64, flow uint32, queue int, seq uint64, payload int) *Packet
 
 // NewAck returns an acknowledgement for the given data packet.
 func NewAck(id uint64, data *Packet) *Packet {
-	return &Packet{
-		ID:         id,
-		Flow:       data.Flow,
-		Queue:      data.Queue,
-		Kind:       Ack,
-		ReqID:      data.ReqID,
-		AckSeq:     data.Seq,
-		AckedBytes: data.PayloadBytes,
-		WireBytes:  AckWireBytes,
-		EchoECN:    data.ECN,
-		HostECN:    data.HostECN,
+	p := &Packet{}
+	fillAck(p, id, data)
+	return p
+}
+
+func fillAck(p *Packet, id uint64, data *Packet) {
+	p.ID = id
+	p.Flow = data.Flow
+	p.Queue = data.Queue
+	p.Kind = Ack
+	p.ReqID = data.ReqID
+	p.AckSeq = data.Seq
+	p.AckedBytes = data.PayloadBytes
+	p.WireBytes = AckWireBytes
+	p.EchoECN = data.ECN
+	p.HostECN = data.HostECN
+}
+
+// pooling and poison are process-wide debug knobs. pooling=false makes
+// every Pool allocate fresh packets and drop releases on the floor (so
+// determinism tests can prove pooled and unpooled runs are bit-identical);
+// poison=true scrambles released packets so any use-after-release crashes
+// loudly instead of silently corrupting a run. Poison can also be enabled
+// with the HIC_PKT_POISON environment variable.
+var (
+	pooling atomic.Bool
+	poison  atomic.Bool
+)
+
+func init() {
+	pooling.Store(true)
+	if os.Getenv("HIC_PKT_POISON") != "" {
+		poison.Store(true)
 	}
+}
+
+// SetPooling toggles packet recycling process-wide. Intended for tests
+// and debugging only; returns the previous setting.
+func SetPooling(enabled bool) bool { return pooling.Swap(enabled) }
+
+// SetPoison toggles poisoning of released packets process-wide. Returns
+// the previous setting.
+func SetPoison(enabled bool) bool { return poison.Swap(enabled) }
+
+// Pool is a per-run packet free list. A nil *Pool is valid: it allocates
+// fresh packets and makes Release a no-op, so components work unchanged
+// when no pool is wired (unit tests, standalone use).
+//
+// Ownership rule: exactly one component owns a packet at any time, and
+// the owner at the point a packet leaves the simulation calls Release —
+// the fabric for switch drops, the NIC for tail drops, the host glue for
+// delivered data (after transport.Receiver.Deliver returns) and consumed
+// acks (after transport.Conn.OnAck returns). Nothing may hold a packet
+// pointer across its Release.
+type Pool struct {
+	free []*Packet
+
+	allocs   uint64 // fresh heap allocations
+	reuses   uint64 // packets served from the free list
+	releases uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// get returns a zeroed packet, recycled when possible.
+func (pl *Pool) get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	if n := len(pl.free); n > 0 && pooling.Load() {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*p = Packet{} // full reset keeps pooled runs bit-identical to unpooled ones
+		pl.reuses++
+		return p
+	}
+	pl.allocs++
+	return &Packet{}
+}
+
+// Data returns a data packet like NewData, drawn from the pool.
+func (pl *Pool) Data(id uint64, flow uint32, queue int, seq uint64, payload int) *Packet {
+	p := pl.get()
+	p.ID = id
+	p.Flow = flow
+	p.Queue = queue
+	p.Kind = Data
+	p.Seq = seq
+	p.PayloadBytes = payload
+	p.WireBytes = payload + HeaderBytes
+	return p
+}
+
+// Ack returns an acknowledgement for data like NewAck, drawn from the pool.
+func (pl *Pool) Ack(id uint64, data *Packet) *Packet {
+	p := pl.get()
+	fillAck(p, id, data)
+	return p
+}
+
+// Release returns a dead packet to the pool. It panics on a double
+// release. With poisoning enabled the packet's fields are scrambled so a
+// stale pointer dereferenced later fails fast (a negative queue or wire
+// size trips the NIC and fabric invariants immediately).
+func (pl *Pool) Release(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	if p.freed {
+		panic(fmt.Sprintf("pkt: double release of packet id=%d flow=%#x", p.ID, p.Flow))
+	}
+	pl.releases++
+	p.Span = nil // never retain telemetry spans past packet death
+	if poison.Load() {
+		*p = Packet{
+			ID:           ^uint64(0),
+			Flow:         ^uint32(0),
+			Queue:        -1,
+			Kind:         Kind(0xff),
+			PayloadBytes: -1,
+			WireBytes:    -1,
+		}
+	}
+	p.freed = true
+	if pooling.Load() {
+		pl.free = append(pl.free, p)
+	}
+}
+
+// PoolStats reports pool activity, for benchmarks and leak hunting.
+type PoolStats struct {
+	Allocs   uint64 // fresh heap allocations
+	Reuses   uint64 // served from the free list
+	Releases uint64
+	FreeLen  int // packets currently on the free list
+}
+
+// Stats returns current pool counters. Safe on a nil pool.
+func (pl *Pool) Stats() PoolStats {
+	if pl == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Allocs: pl.allocs, Reuses: pl.reuses, Releases: pl.releases, FreeLen: len(pl.free)}
 }

@@ -1,0 +1,142 @@
+package pkt
+
+import (
+	"testing"
+)
+
+func TestPoolReusesReleasedPackets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Data(1, 2, 3, 4, 4096)
+	p.ECN = true
+	p.NICArrival = 42
+	pl.Release(p)
+	q := pl.Data(5, 6, 7, 8, 4096)
+	if q != p {
+		t.Fatalf("expected the released packet to be recycled")
+	}
+	// The recycled packet must be indistinguishable from a fresh one.
+	if q.ECN || q.NICArrival != 0 || q.freed {
+		t.Fatalf("recycled packet carries stale state: %+v", q)
+	}
+	if q.ID != 5 || q.Flow != 6 || q.Queue != 7 || q.Seq != 8 {
+		t.Fatalf("recycled packet misfilled: %+v", q)
+	}
+	st := pl.Stats()
+	if st.Allocs != 1 || st.Reuses != 1 || st.Releases != 1 {
+		t.Fatalf("stats = %+v, want 1 alloc / 1 reuse / 1 release", st)
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Data(1, 1, 0, 0, 100)
+	pl.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	pl.Release(p)
+}
+
+func TestNilPoolFallsBackToHeap(t *testing.T) {
+	var pl *Pool
+	p := pl.Data(1, 2, 3, 4, 4096)
+	if p == nil || p.WireBytes != 4096+HeaderBytes {
+		t.Fatalf("nil pool must still build packets: %+v", p)
+	}
+	a := pl.Ack(9, p)
+	if a == nil || a.Kind != Ack || a.AckSeq != p.Seq {
+		t.Fatalf("nil pool must still build acks: %+v", a)
+	}
+	pl.Release(p) // must not crash
+	if st := pl.Stats(); st != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v, want zero", st)
+	}
+}
+
+func TestPoolingDisabledAllocatesFresh(t *testing.T) {
+	prev := SetPooling(false)
+	defer SetPooling(prev)
+	pl := NewPool()
+	p := pl.Data(1, 1, 0, 0, 100)
+	pl.Release(p)
+	q := pl.Data(2, 2, 0, 1, 100)
+	if q == p {
+		t.Fatal("pooling disabled must not recycle packets")
+	}
+	if st := pl.Stats(); st.FreeLen != 0 {
+		t.Fatalf("free list populated with pooling off: %+v", st)
+	}
+}
+
+func TestPoisonScramblesReleasedPackets(t *testing.T) {
+	prevPoison := SetPoison(true)
+	prevPool := SetPooling(false) // keep the poisoned carcass out of reuse
+	defer func() {
+		SetPoison(prevPoison)
+		SetPooling(prevPool)
+	}()
+	pl := NewPool()
+	p := pl.Data(1, 1, 3, 0, 4096)
+	pl.Release(p)
+	// A component dereferencing this stale pointer now sees impossible
+	// values (negative queue and sizes) and trips its invariants.
+	if p.Queue != -1 || p.WireBytes != -1 || p.PayloadBytes != -1 {
+		t.Fatalf("released packet not poisoned: %+v", p)
+	}
+}
+
+// BenchmarkPacketPath measures one full packet lifetime through the
+// pool — data birth, ack birth, both deaths — which is the per-packet
+// pool cost a testbed run pays. Steady state must be allocation-free.
+func BenchmarkPacketPath(b *testing.B) {
+	pl := NewPool()
+	// Warm the free list with one lifetime.
+	p := pl.Data(0, 1, 0, 0, 4096)
+	a := pl.Ack(0, p)
+	pl.Release(p)
+	pl.Release(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pl.Data(uint64(i), 1, 0, uint64(i), 4096)
+		a := pl.Ack(uint64(i), p)
+		pl.Release(p)
+		pl.Release(a)
+	}
+}
+
+// BenchmarkPacketPathNoPool is the pre-rewrite baseline: fresh heap
+// packets every time, garbage collector cleans up. The sink forces the
+// packets to escape, as they do in the real simulator where they travel
+// through the fabric/NIC/transport layers.
+var benchSink *Packet
+
+func BenchmarkPacketPathNoPool(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewData(uint64(i), 1, 0, uint64(i), 4096)
+		a := NewAck(uint64(i), p)
+		benchSink = p
+		benchSink = a
+	}
+}
+
+// TestPacketPathZeroAllocs gates the allocation-free property under
+// `make check`.
+func TestPacketPathZeroAllocs(t *testing.T) {
+	pl := NewPool()
+	p := pl.Data(0, 1, 0, 0, 4096)
+	a := pl.Ack(0, p)
+	pl.Release(p)
+	pl.Release(a)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		p := pl.Data(1, 1, 0, 1, 4096)
+		a := pl.Ack(1, p)
+		pl.Release(p)
+		pl.Release(a)
+	}); allocs != 0 {
+		t.Errorf("packet lifetime allocates %.1f objects/op, want 0", allocs)
+	}
+}

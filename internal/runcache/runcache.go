@@ -1,0 +1,167 @@
+// Package runcache memoizes simulation results on disk, keyed by a
+// content address of the scenario parameters. Every paper figure is a
+// grid of independent core.Params points; re-running a figure after
+// touching one grid dimension should recompute only the changed points.
+// The cache makes that incremental: a point whose canonical parameter
+// encoding (plus a simulator-version salt) hashes to a stored entry is
+// served from disk, byte-identical to a cold run because the simulator
+// itself is bit-deterministic per seed.
+//
+// Entries are JSON files named <sha256>.json under the store directory
+// (default results/cache/). Invalidation is by key construction: the
+// canonical encoding includes every parameter field, and the version
+// salt (core.SimVersion) is bumped whenever simulator behavior changes,
+// so stale entries are simply never addressed again.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"hic/internal/host"
+)
+
+// DefaultDir is the conventional store location, relative to the
+// invocation directory of the cmd/ tools.
+const DefaultDir = "results/cache"
+
+// Key content-addresses a canonical parameter encoding under a
+// simulator-version salt. Same version + same canonical string ⇒ same
+// key; anything else ⇒ a different, never-before-seen key.
+func Key(version, canonical string) string {
+	h := sha256.New()
+	h.Write([]byte(version))
+	h.Write([]byte{0})
+	h.Write([]byte(canonical))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is the on-disk format. Canonical is stored alongside the results
+// so a cache directory is auditable (and hash collisions detectable).
+type entry struct {
+	Version   string       `json:"version"`
+	Canonical string       `json:"canonical"`
+	Results   host.Results `json:"results"`
+}
+
+// Store is a directory-backed result cache. It is safe for concurrent
+// use by the parallel sweep runners.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string]host.Results // write-through in-memory layer
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir, mem: make(map[string]host.Results)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Get returns the memoized results for key. A missing, unreadable, or
+// version/canonical-mismatched entry is a miss — the cache is purely an
+// accelerator and never an error source.
+func (s *Store) Get(key, version, canonical string) (host.Results, bool) {
+	s.mu.Lock()
+	if r, ok := s.mem[key]; ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return r, true
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return host.Results{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Version != version || e.Canonical != canonical {
+		s.misses.Add(1)
+		return host.Results{}, false
+	}
+	s.mu.Lock()
+	s.mem[key] = e.Results
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return e.Results, true
+}
+
+// Put stores results under key. The write is atomic (temp file + rename)
+// so concurrent sweep goroutines and interrupted runs never leave a
+// torn entry behind.
+func (s *Store) Put(key, version, canonical string, r host.Results) error {
+	s.mu.Lock()
+	s.mem[key] = r
+	s.mu.Unlock()
+
+	data, err := json.MarshalIndent(entry{Version: version, Canonical: canonical, Results: r}, "", " ")
+	if err != nil {
+		return fmt.Errorf("runcache: encoding entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Hits returns how many lookups were served from the cache.
+func (s *Store) Hits() uint64 { return s.hits.Load() }
+
+// Misses returns how many lookups fell through to a simulation run.
+func (s *Store) Misses() uint64 { return s.misses.Load() }
+
+// Summary renders "N hits, M misses" for the cmd/ tools' logs.
+func (s *Store) Summary() string {
+	return fmt.Sprintf("%d hits, %d misses", s.Hits(), s.Misses())
+}
+
+// Len reports how many entries the store directory currently holds.
+func (s *Store) Len() (int, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, de := range des {
+		if filepath.Ext(de.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,118 @@
+package runcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hic/internal/host"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := host.Results{AppThroughputGbps: 91.5, DropRatePct: 0.25}
+	key := Key("v1", "canon")
+	if _, ok := s.Get(key, "v1", "canon"); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	if err := s.Put(key, "v1", "canon", r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key, "v1", "canon")
+	if !ok || got.AppThroughputGbps != r.AppThroughputGbps || got.DropRatePct != r.DropRatePct {
+		t.Fatalf("round trip lost data: ok=%v got=%+v", ok, got)
+	}
+	if s.Hits() != 1 || s.Misses() != 1 {
+		t.Fatalf("counters = %d hits / %d misses, want 1/1", s.Hits(), s.Misses())
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d (%v), want 1", n, err)
+	}
+
+	// A fresh store over the same directory must serve the entry from
+	// disk (no in-memory state).
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key, "v1", "canon"); !ok {
+		t.Fatal("disk entry not served by a fresh store")
+	}
+}
+
+func TestVersionMismatchIsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", "canon")
+	if err := s.Put(key, "v1", "canon", host.Results{}); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(s.Dir())
+	// Same file name, older version recorded inside: must not be served.
+	if _, ok := s2.Get(key, "v2", "canon"); ok {
+		t.Fatal("version-mismatched entry served")
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", "canon")
+	if err := os.WriteFile(filepath.Join(s.Dir(), key+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key, "v1", "canon"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if s.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses())
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := Key("v1", "a=1;")
+	if Key("v2", "a=1;") == base {
+		t.Fatal("version does not change the key")
+	}
+	if Key("v1", "a=2;") == base {
+		t.Fatal("canonical does not change the key")
+	}
+	if Key("v1", "a=1;") != base {
+		t.Fatal("key is not deterministic")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			canon := string(rune('a' + i%4))
+			key := Key("v1", canon)
+			r := host.Results{AppThroughputGbps: float64(i % 4)}
+			if err := s.Put(key, "v1", canon, r); err != nil {
+				t.Error(err)
+			}
+			if _, ok := s.Get(key, "v1", canon); !ok {
+				t.Errorf("entry %q vanished", canon)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n, err := s.Len(); err != nil || n != 4 {
+		t.Fatalf("Len = %d (%v), want 4", n, err)
+	}
+}

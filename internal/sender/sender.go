@@ -100,6 +100,12 @@ func (h *Host) WaitingPackets() int { return len(h.waiting) }
 
 // Send transmits a packet through the TX path. If the NIC queue is
 // full, the packet waits in software — backpressure, never loss.
+//
+// Free-list ownership: Send takes ownership of p and hands it to emit
+// when it reaches the wire. Because the TX path backpressures instead of
+// dropping (the paper's footnote-1 asymmetry), no packet ever dies here
+// and the sender host never calls pkt.Pool.Release — death happens
+// downstream, at the fabric switch, the receiver NIC, or delivery.
 func (h *Host) Send(p *pkt.Packet) {
 	if h.queued >= h.cfg.TxQueuePackets {
 		h.backpressed.Inc()

@@ -15,6 +15,7 @@ import (
 
 	"hic/internal/asciiplot"
 	"hic/internal/core"
+	"hic/internal/runcache"
 	"hic/internal/sim"
 	"hic/internal/telemetry"
 )
@@ -134,11 +135,19 @@ func points(spec Spec) ([][]float64, []core.Params) {
 // Run executes the cross product. Points run in parallel via
 // core.RunMany; rows come back in axis order (last axis fastest).
 func Run(spec Spec) ([]Row, error) {
+	return RunCached(spec, nil)
+}
+
+// RunCached is Run with a content-addressed result cache: grid points
+// whose Params were simulated before (same SimVersion) replay from the
+// store, so editing one axis of a big sweep recomputes only the new
+// points. A nil cache degrades to Run.
+func RunCached(spec Spec, cache *runcache.Store) ([]Row, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	coords, ps := points(spec)
-	rs, err := core.RunMany(ps)
+	rs, err := core.RunManyCached(ps, cache)
 	if err != nil {
 		return nil, err
 	}

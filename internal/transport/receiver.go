@@ -18,6 +18,7 @@ type Receiver struct {
 	sendAck func(*pkt.Packet)
 
 	nextAckID uint64
+	pool      *pkt.Pool // packet free list; acks are drawn here
 	// seen de-duplicates (flow, seq) within a sliding window per flow.
 	seen map[uint32]*seqWindow
 
@@ -82,6 +83,12 @@ func NewReceiver(engine *sim.Engine, reg *metrics.Registry, cfg Config, sendAck 
 	}, nil
 }
 
+// SetPool installs the run's packet free list: acks are drawn from it
+// instead of the heap. The receiver does not release the delivered data
+// packet itself — Deliver's caller still owns it and releases it after
+// Deliver returns (the receiver only reads it).
+func (r *Receiver) SetPool(pool *pkt.Pool) { r.pool = pool }
+
 // Deliver consumes one fully processed packet. It is wired as the CPU
 // pool's completion callback.
 func (r *Receiver) Deliver(p *pkt.Packet) {
@@ -104,7 +111,7 @@ func (r *Receiver) Deliver(p *pkt.Packet) {
 			r.reads.Inc()
 		}
 	}
-	ack := pkt.NewAck(r.nextAckID, p)
+	ack := r.pool.Ack(r.nextAckID, p)
 	r.nextAckID++
 	ack.EchoFabric = p.EchoFabric
 	ack.EchoHostDelay = p.EchoHostDelay

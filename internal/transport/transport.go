@@ -137,6 +137,7 @@ type Conn struct {
 	nextID   uint64
 	inflight map[uint64]*sentInfo
 	srtt     sim.Duration
+	pool     *pkt.Pool // packet free list; data packets are drawn here
 
 	// Per-read (RPC) completion tracking for tail-latency measurement.
 	readStart map[uint64]sim.Time
@@ -188,6 +189,12 @@ func NewConn(engine *sim.Engine, reg *metrics.Registry, cfg Config, cc Congestio
 	engine.Every(cfg.RetxScan, c.scanRetransmits)
 	return c, nil
 }
+
+// SetPool installs the run's packet free list: new data packets
+// (including retransmissions) are drawn from it instead of the heap. The
+// connection never releases — ownership of an emitted packet passes to
+// the fabric and onward to whichever component sees it die.
+func (c *Conn) SetPool(pool *pkt.Pool) { c.pool = pool }
 
 // Start begins transmission.
 func (c *Conn) Start() { c.trySend() }
@@ -265,7 +272,7 @@ func (c *Conn) sendOne() {
 	}
 	seq := c.nextSeq
 	c.nextSeq++
-	p := pkt.NewData(c.nextID, c.flow, c.queue, seq, c.cfg.MTU)
+	p := c.pool.Data(c.nextID, c.flow, c.queue, seq, c.cfg.MTU)
 	c.nextID++
 	p.ReqID = seq / uint64(c.cfg.ReadSize/c.cfg.MTU)
 	if _, started := c.readStart[p.ReqID]; !started {
@@ -348,7 +355,7 @@ func (c *Conn) fastRetransmit(ackedSeq uint64) {
 		info.retx++
 		info.laterAcks = 0
 		c.retx.Inc()
-		p := pkt.NewData(c.nextID, c.flow, c.queue, seq, info.payload)
+		p := c.pool.Data(c.nextID, c.flow, c.queue, seq, info.payload)
 		c.nextID++
 		p.ReqID = seq / uint64(c.cfg.ReadSize/c.cfg.MTU)
 		c.emit(c.sender, p)
@@ -413,7 +420,7 @@ func (c *Conn) scanRetransmits() {
 		info.retx++
 		info.laterAcks = 0
 		c.retx.Inc()
-		p := pkt.NewData(c.nextID, c.flow, c.queue, seq, info.payload)
+		p := c.pool.Data(c.nextID, c.flow, c.queue, seq, info.payload)
 		c.nextID++
 		p.ReqID = seq / uint64(c.cfg.ReadSize/c.cfg.MTU)
 		c.emit(c.sender, p)
