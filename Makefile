@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json vet check figs cluster fuzz cover trace-demo clean
+.PHONY: all build test bench bench-json bench-fleet vet check figs cluster fuzz cover trace-demo clean
 
 all: build test
 
@@ -18,11 +18,14 @@ test-short:
 
 # check runs vet, the race-enabled test suite (which includes the
 # zero-allocs gates: TestEngineSteadyStateZeroAllocs and
-# TestPacketPathZeroAllocs), and a 1x smoke pass over the engine
-# benchmarks so a compile break in the hot-path benches fails CI.
+# TestPacketPathZeroAllocs), a focused race pass over the worker pool
+# and singleflight layers (their concurrency tests are the dedup/arena
+# safety gate), and a 1x smoke pass over the engine benchmarks so a
+# compile break in the hot-path benches fails CI.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/runner/ ./internal/runcache/
 	$(GO) test -run=NONE -bench=BenchmarkEngine -benchtime=1x ./internal/sim/
 
 trace-demo:
@@ -35,10 +38,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json runs the hot-path comparison harness (current engine vs the
-# preserved pre-rewrite engine, pooled vs heap packet path, and the
-# Figure 6 scenario end to end) and writes BENCH_hotpath.json.
+# preserved pre-rewrite engine, pooled vs heap packet path, the Figure 6
+# scenario end to end, and the fleet execution bench) and writes
+# BENCH_hotpath.json.
 bench-json:
 	$(GO) run ./cmd/hicbench -out BENCH_hotpath.json
+
+# bench-fleet is the fleet-execution smoke: a 10k-host Figure 1 fleet on
+# the pooled/deduplicated path against the goroutine-per-host baseline,
+# skipping the engine microbenchmarks.
+bench-fleet:
+	$(GO) run ./cmd/hicbench -fleet-only -fleet-hosts 10000
 
 figs:
 	$(GO) run ./cmd/hicfigs -outdir results

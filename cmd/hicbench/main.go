@@ -5,13 +5,16 @@
 //	hicbench                       # print BENCH_hotpath.json content
 //	hicbench -out BENCH_hotpath.json
 //
-// Three sections:
+// Four sections:
 //   - engine: schedule→fire and heap-churn microbenchmarks on both
 //     engines, with events/sec and the measured speedup ratio;
 //   - packet_path: one full pooled packet lifetime vs heap allocation;
 //   - fig6_scenario: the paper's Figure 6 memory-antagonist point run
 //     end to end, reporting wall-clock and simulated events/sec (the
-//     whole-simulator number the microbenchmarks feed into).
+//     whole-simulator number the microbenchmarks feed into);
+//   - fleet: a Figure 1 fleet on the pooled worker runner with
+//     singleflight dedup versus the pre-pool goroutine-per-host
+//     baseline, reporting hosts/sec, dedup rate, and peak memory.
 package main
 
 import (
@@ -21,11 +24,14 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"hic/internal/cluster"
 	"hic/internal/core"
 	"hic/internal/pkt"
+	"hic/internal/runner"
 	"hic/internal/sim"
 	"hic/internal/sim/legacy"
 )
@@ -146,6 +152,128 @@ func runFig6() (fig6Scenario, error) {
 	}, nil
 }
 
+// fleetBench compares the pooled, deduplicated fleet path against the
+// pre-pool execution model (one goroutine and one fresh engine per
+// host, no dedup). The baseline runs fewer hosts — its per-host cost is
+// host-count-independent, so hosts/sec extrapolates — and BaselineHosts
+// records how many were actually run. Peak memory is HeapInuse+
+// StackInuse sampled during the run (not VmHWM, which never shrinks).
+type fleetBench struct {
+	Hosts                int     `json:"hosts"`
+	WallSeconds          float64 `json:"wall_seconds"`
+	HostsPerSec          float64 `json:"hosts_per_sec"`
+	Simulated            uint64  `json:"simulated"`
+	Deduplicated         uint64  `json:"deduplicated"`
+	DedupRate            float64 `json:"dedup_rate"`
+	PeakMemBytes         uint64  `json:"peak_mem_bytes"`
+	BaselineHosts        int     `json:"baseline_hosts"`
+	BaselineWallSeconds  float64 `json:"baseline_wall_seconds"`
+	BaselineHostsPerSec  float64 `json:"baseline_hosts_per_sec"`
+	BaselinePeakMemBytes uint64  `json:"baseline_peak_mem_bytes"`
+	SpeedupRatio         float64 `json:"speedup_ratio"`
+}
+
+// memPeak samples the Go heap while a workload runs and keeps the max.
+type memPeak struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startMemPeak() *memPeak {
+	runtime.GC()
+	m := &memPeak{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if v := ms.HeapInuse + ms.StackInuse; v > m.peak {
+				m.peak = v
+			}
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return m
+}
+
+func (m *memPeak) Stop() uint64 {
+	close(m.stop)
+	<-m.done
+	return m.peak
+}
+
+func fleetConfig(hosts int) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = hosts
+	// Short windows: the bench compares execution models, not physics,
+	// and the dedup rate is window-independent.
+	cfg.Warmup, cfg.Measure = 2*sim.Millisecond, 3*sim.Millisecond
+	return cfg
+}
+
+func runFleet(hosts, baselineHosts int) (fleetBench, error) {
+	// Pooled path: shared worker pool, arena reuse, singleflight dedup.
+	cfg := fleetConfig(hosts)
+	cfg.Progress = runner.NewProgress(os.Stderr, "fleet bench", "hosts", hosts, 5*time.Second)
+	mp := startMemPeak()
+	start := time.Now()
+	st, err := cluster.RunStream(cfg, nil)
+	wall := time.Since(start).Seconds()
+	peak := mp.Stop()
+	cfg.Progress.Finish()
+	if err != nil {
+		return fleetBench{}, err
+	}
+	fb := fleetBench{
+		Hosts:        hosts,
+		WallSeconds:  wall,
+		HostsPerSec:  float64(hosts) / wall,
+		Simulated:    st.Simulated,
+		Deduplicated: st.Collapsed,
+		PeakMemBytes: peak,
+	}
+	if total := st.Simulated + st.Collapsed; total > 0 {
+		fb.DedupRate = float64(st.Collapsed) / float64(total)
+	}
+
+	// Baseline: the pre-pool model — one goroutine per host, a fresh
+	// engine each, every host simulated.
+	bcfg := fleetConfig(baselineHosts)
+	mp = startMemPeak()
+	start = time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, baselineHosts)
+	for i := 0; i < baselineHosts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _ := cluster.HostScenario(bcfg, i)
+			_, errs[i] = core.Run(p)
+		}(i)
+	}
+	wg.Wait()
+	fb.BaselineWallSeconds = time.Since(start).Seconds()
+	fb.BaselinePeakMemBytes = mp.Stop()
+	for _, err := range errs {
+		if err != nil {
+			return fleetBench{}, err
+		}
+	}
+	fb.BaselineHosts = baselineHosts
+	fb.BaselineHostsPerSec = float64(baselineHosts) / fb.BaselineWallSeconds
+	if fb.BaselineHostsPerSec > 0 {
+		fb.SpeedupRatio = fb.HostsPerSec / fb.BaselineHostsPerSec
+	}
+	return fb, nil
+}
+
 type report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
@@ -163,53 +291,68 @@ type report struct {
 	// whole-figure before/after for the allocation-free hot path.
 	Fig6        fig6Scenario `json:"fig6_scenario"`
 	Fig6NoPools fig6Scenario `json:"fig6_scenario_no_pools"`
+	Fleet       fleetBench   `json:"fleet"`
 }
 
 var heapSink *pkt.Packet
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	fleetHosts := flag.Int("fleet-hosts", 10000, "fleet-bench size on the pooled path (0 skips the fleet bench)")
+	fleetBaseline := flag.Int("fleet-baseline-hosts", 256, "hosts for the goroutine-per-host baseline (hosts/sec extrapolates)")
+	fleetOnly := flag.Bool("fleet-only", false, "run only the fleet bench, skipping the engine and packet microbenchmarks")
 	flag.Parse()
 
 	var rep report
 	rep.GoVersion = runtime.Version()
 	rep.GOARCH = runtime.GOARCH
 
-	// Each workload processes ~1 event per op (the churn fires one event
-	// and schedules one replacement plus a timer arm/cancel pair).
-	rep.Engine.New = toResult(testing.Benchmark(newEngineWorkload), 1)
-	rep.Engine.Legacy = toResult(testing.Benchmark(legacyEngineWorkload), 1)
-	if rep.Engine.New.NsPerOp > 0 {
-		rep.Engine.SpeedupRatio = rep.Engine.Legacy.NsPerOp / rep.Engine.New.NsPerOp
-	}
-
-	rep.PacketPath.Pooled = toResult(testing.Benchmark(packetPathWorkload), 0)
-	rep.PacketPath.Heap = toResult(testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			p := pkt.NewData(uint64(i), 1, 0, uint64(i), 4096)
-			a := pkt.NewAck(uint64(i), p)
-			heapSink = p
-			heapSink = a
+	if !*fleetOnly {
+		// Each workload processes ~1 event per op (the churn fires one event
+		// and schedules one replacement plus a timer arm/cancel pair).
+		rep.Engine.New = toResult(testing.Benchmark(newEngineWorkload), 1)
+		rep.Engine.Legacy = toResult(testing.Benchmark(legacyEngineWorkload), 1)
+		if rep.Engine.New.NsPerOp > 0 {
+			rep.Engine.SpeedupRatio = rep.Engine.Legacy.NsPerOp / rep.Engine.New.NsPerOp
 		}
-	}), 0)
 
-	fig6, err := runFig6()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hicbench: fig6 scenario: %v\n", err)
-		os.Exit(1)
-	}
-	rep.Fig6 = fig6
+		rep.PacketPath.Pooled = toResult(testing.Benchmark(packetPathWorkload), 0)
+		rep.PacketPath.Heap = toResult(testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pkt.NewData(uint64(i), 1, 0, uint64(i), 4096)
+				a := pkt.NewAck(uint64(i), p)
+				heapSink = p
+				heapSink = a
+			}
+		}), 0)
 
-	sim.SetEventPooling(false)
-	pkt.SetPooling(false)
-	noPools, err := runFig6()
-	sim.SetEventPooling(true)
-	pkt.SetPooling(true)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hicbench: fig6 scenario (no pools): %v\n", err)
-		os.Exit(1)
+		fig6, err := runFig6()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicbench: fig6 scenario: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Fig6 = fig6
+
+		sim.SetEventPooling(false)
+		pkt.SetPooling(false)
+		noPools, err := runFig6()
+		sim.SetEventPooling(true)
+		pkt.SetPooling(true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicbench: fig6 scenario (no pools): %v\n", err)
+			os.Exit(1)
+		}
+		rep.Fig6NoPools = noPools
 	}
-	rep.Fig6NoPools = noPools
+
+	if *fleetHosts > 0 {
+		fleet, err := runFleet(*fleetHosts, *fleetBaseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicbench: fleet bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Fleet = fleet
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -225,6 +368,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s)\n",
-		*out, rep.Engine.SpeedupRatio, rep.Fig6.EventsPerSec/1e6)
+	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s, %.2fx)\n",
+		*out, rep.Engine.SpeedupRatio, rep.Fig6.EventsPerSec/1e6,
+		rep.Fleet.HostsPerSec, rep.Fleet.SpeedupRatio)
 }

@@ -1,18 +1,22 @@
 // Command hiccluster regenerates Figure 1: the fleet-wide scatter of
 // access-link utilization versus host drop rate across many simulated
-// hosts with randomized workload mixes.
+// hosts with fleet-distribution workload mixes.
 //
 //	hiccluster -hosts 200
 //	hiccluster -hosts 300 -csv > fig1.csv
+//	hiccluster -hosts 100000 -csv -v > fig1.csv   # streaming, bounded RSS
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hic/internal/cluster"
 	"hic/internal/runcache"
+	"hic/internal/runner"
 	"hic/internal/sim"
 )
 
@@ -21,9 +25,13 @@ func main() {
 	windows := flag.Int("windows", 1, "measurement bins per host (10-minute-bin analogue)")
 	seed := flag.Uint64("seed", 1, "fleet seed")
 	measureMS := flag.Int("measure-ms", 12, "per-host measurement window (ms)")
-	csv := flag.Bool("csv", false, "emit per-host CSV instead of the scatter")
+	warmupMS := flag.Int("warmup-ms", 0, "override per-host warmup window (ms)")
+	csv := flag.Bool("csv", false, "emit per-host CSV instead of the scatter (streams: RSS stays bounded at any fleet size)")
 	useCache := flag.Bool("cache", false, "memoize per-host results in the content-addressed run cache (single-window fleets only)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	noDedup := flag.Bool("no-dedup", false, "disable singleflight dedup of byte-identical hosts (never changes results; for benchmarking)")
+	progress := flag.Bool("progress", true, "report progress, rate, and ETA on stderr")
+	verbose := flag.Bool("v", false, "print cache and dedup statistics on stderr")
 	flag.Parse()
 
 	cfg := cluster.DefaultConfig()
@@ -31,29 +39,78 @@ func main() {
 	cfg.WindowsPerHost = *windows
 	cfg.Seed = *seed
 	cfg.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	if *warmupMS > 0 {
+		cfg.Warmup = sim.Duration(*warmupMS) * sim.Millisecond
+	}
+	cfg.NoDedup = *noDedup
+	cfg.Log = os.Stderr
+
+	var store *runcache.Store
 	if *useCache {
-		store, err := runcache.Open(*cacheDir)
-		if err != nil {
+		var err error
+		if store, err = runcache.Open(*cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
 			os.Exit(1)
 		}
 		cfg.Cache = store
-		defer func() { fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary()) }()
+	}
+	if *progress {
+		cfg.Progress = runner.NewProgress(os.Stderr, "fleet", "hosts", cfg.Hosts, time.Second)
+		if store != nil {
+			cfg.Progress.SetNote(func() string { return "cache " + store.Summary() })
+		}
 	}
 
-	points, err := cluster.Run(cfg)
+	var stats cluster.Stats
+	var err error
+	if *csv {
+		// Streaming path: every point is written as it arrives, so memory
+		// stays bounded by the worker count regardless of fleet size.
+		out := bufio.NewWriter(os.Stdout)
+		fmt.Fprint(out, cluster.CSVHeader())
+		stats, err = cluster.RunStream(cfg, func(p cluster.Point) error {
+			_, werr := fmt.Fprint(out, cluster.CSVRow(p))
+			return werr
+		})
+		cfg.Progress.Finish()
+		if ferr := out.Flush(); err == nil {
+			err = ferr
+		}
+	} else {
+		var points []cluster.Point
+		stats, err = cluster.RunStream(cfg, func(p cluster.Point) error {
+			points = append(points, p)
+			return nil
+		})
+		cfg.Progress.Finish()
+		if err == nil {
+			fmt.Print(cluster.Scatter(points, 72, 20))
+			fmt.Printf("\nhosts=%d  mean utilization=%.2f  dropping=%d  dropping-below-60%%-util=%d\n",
+				stats.Hosts, stats.MeanUtilization, stats.DroppingHosts, stats.LowUtilDropping)
+			fmt.Printf("utilization–drop correlation (Pearson): %.2f\n", stats.Pearson)
+			fmt.Printf("drop rate: mean=%.4f p50=%.4f p99=%.4f max=%.4f\n",
+				stats.MeanDropRate, stats.DropRateP50, stats.DropRateP99, stats.MaxDropRate)
+			fmt.Println("\npaper claims: correlation positive; drops present even at low utilization.")
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
 		os.Exit(1)
 	}
-	if *csv {
-		fmt.Print(cluster.CSV(points))
-		return
+
+	if *verbose {
+		total := stats.Simulated + stats.Collapsed
+		fmt.Fprintf(os.Stderr, "fleet execution: %d single-window hosts, %d simulated, %d deduplicated",
+			total, stats.Simulated, stats.Collapsed)
+		if total > 0 {
+			fmt.Fprintf(os.Stderr, " (%.1f%% saved)", 100*float64(stats.Collapsed)/float64(total))
+		}
+		fmt.Fprintln(os.Stderr)
+		if stats.CacheSkipped > 0 {
+			fmt.Fprintf(os.Stderr, "fleet execution: %d multi-window hosts bypassed the run cache\n", stats.CacheSkipped)
+		}
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary())
+		}
 	}
-	fmt.Print(cluster.Scatter(points, 72, 20))
-	s := cluster.Summarize(points)
-	fmt.Printf("\nhosts=%d  mean utilization=%.2f  dropping=%d  dropping-below-60%%-util=%d\n",
-		s.Hosts, s.MeanUtilization, s.DroppingHosts, s.LowUtilDropping)
-	fmt.Printf("utilization–drop correlation (Pearson): %.2f\n", s.Pearson)
-	fmt.Println("\npaper claims: correlation positive; drops present even at low utilization.")
 }

@@ -39,6 +39,7 @@ func main() {
 	spanRate := flag.Float64("span-rate", 0.01, "span sampling rate per grid point (with -telemetry-out)")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache (ignored with -telemetry-out)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	verbose := flag.Bool("v", false, "print detailed run-cache counters on stderr (with -cache)")
 	flag.Parse()
 
 	if *listParams {
@@ -83,7 +84,15 @@ func main() {
 		rows, err = sweep.RunCached(spec, store)
 	}
 	if store != nil {
-		defer fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary())
+		defer func() {
+			fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary())
+			if *verbose {
+				st := store.Stats()
+				lookups := st.Hits + st.Misses + st.Collapses
+				fmt.Fprintf(os.Stderr, "run cache: %d lookups (%d hits, %d misses, %d singleflight collapses); %d simulations avoided\n",
+					lookups, st.Hits, st.Misses, st.Collapses, st.Hits+st.Collapses)
+			}
+		}()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)

@@ -6,6 +6,21 @@
 // antagonism) is drawn per-host from fleet-like distributions, each
 // measured over its own window with its own seed.
 //
+// The fleet distributions are discrete: each host is drawn from a
+// catalog of machine SKUs × workload classes × antagonist tiers × a
+// small seed pool, weighted to match the production mix the paper
+// describes. Discreteness is what makes fleet scale tractable — a
+// production fleet has far more hosts than distinct configurations, so
+// byte-identical scenarios repeat, and because every simulation is
+// deterministic per Params, repeats are collapsed to one run by
+// in-process singleflight (and, optionally, the content-addressed run
+// cache). A 100k-host fleet costs on the order of a thousand
+// simulations.
+//
+// Hosts are generated random-access (host i's parameters depend only on
+// Config.Seed and i, never on other hosts), so streaming runs need no
+// up-front materialization and any host can be re-derived in isolation.
+//
 // The two qualitative claims the figure supports are what Summary
 // checks: drop rate is positively correlated with utilization, and
 // drops occur even at low utilization (the memory-bus root cause).
@@ -13,15 +28,17 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"hic/internal/core"
 	"hic/internal/runcache"
+	"hic/internal/runner"
 	"hic/internal/sim"
+	"hic/internal/stats"
 )
 
 // Config controls the fleet sweep.
@@ -39,15 +56,41 @@ type Config struct {
 	// shorter than single-figure runs because the fleet is large).
 	Warmup, Measure sim.Duration
 	// Cache, when non-nil, memoizes single-window hosts through the
-	// content-addressed run cache. Hosts with WindowsPerHost > 1 always
-	// simulate: their later bins continue one testbed's state, which a
-	// per-Params cache cannot address.
+	// content-addressed run cache. Hosts with WindowsPerHost > 1 are
+	// NOT cached: their later bins continue one testbed's state, which
+	// a per-Params cache cannot address, so every multi-window host
+	// simulates in full. The number of hosts that bypassed the cache
+	// this way is reported in Stats.CacheSkipped and logged once per
+	// run on Log.
 	Cache *runcache.Store
+	// NoDedup disables the in-process singleflight that collapses
+	// byte-identical hosts into one simulation. Dedup never changes any
+	// output (the simulator is deterministic per Params); disabling it
+	// exists for benchmarking the non-deduplicated cost and for
+	// determinism tests.
+	NoDedup bool
+	// Log, when non-nil, receives one-line diagnostics (the
+	// multi-window cache-skip notice). nil is silent.
+	Log io.Writer
+	// Progress, when non-nil, is advanced by one unit per completed
+	// host (runner.NewProgress prints rate and ETA on stderr).
+	Progress *runner.Progress
 }
 
 // DefaultConfig returns a 200-host fleet.
 func DefaultConfig() Config {
 	return Config{Hosts: 200, Seed: 1}
+}
+
+func (cfg Config) windows() (warm, meas sim.Duration) {
+	warm, meas = cfg.Warmup, cfg.Measure
+	if warm == 0 {
+		warm = 8 * sim.Millisecond
+	}
+	if meas == 0 {
+		meas = 12 * sim.Millisecond
+	}
+	return warm, meas
 }
 
 // Point is one host's measurement over one time bin.
@@ -61,175 +104,371 @@ type Point struct {
 	AntagonistCores int
 }
 
-// Run simulates the fleet. Hosts run concurrently via core.RunMany.
+// The archetype catalog. Weights in each dimension sum to 1; the
+// catalog's cross product (5 SKUs × 10 workloads × 8 antagonist tiers ×
+// 3 seeds = 1200 combinations) bounds the number of distinct
+// simulations a fleet of any size can require.
+
+// sku is a machine shape: receiver threads and Rx provisioning.
+type sku struct {
+	threads  int
+	regionMB int
+}
+
+var skuWeights = []float64{0.15, 0.25, 0.30, 0.15, 0.15}
+var skus = []sku{
+	{4, 4},
+	{8, 8},
+	{12, 12},
+	{14, 12},
+	{16, 16},
+}
+
+// workload is an application class: protocol, sender fan-in, and offered
+// load shape. The production cluster runs both the Linux kernel stack
+// (TCP, loss-based — drops are its signal) and SNAP with Swift; the
+// three load shapes are the populations Figure 1 needs: bursty apps
+// (low binned average utilization, yet burst onsets still overflow the
+// NIC — the paper's low-utilization drops), saturating hosts (like the
+// paper's testbed workload), and application-limited hosts.
+type workload struct {
+	cc          core.CC
+	senders     int
+	offeredGbps float64
+	burstDuty   float64
+	burstPeriod sim.Duration
+	// maxAnt caps the antagonist tier for this class (0 = no cap) — the
+	// colocation-policy analogue: latency-sensitive bursty kernel-stack
+	// services are not scheduled next to the heaviest batch work.
+	maxAnt int
+}
+
+var workloadWeights = []float64{0.10, 0.08, 0.12, 0.10, 0.12, 0.08, 0.12, 0.10, 0.10, 0.08}
+var workloads = []workload{
+	{cc: core.CCSwift, senders: 40},
+	{cc: core.CCSwift, senders: 16},
+	{cc: core.CCSwift, senders: 24, offeredGbps: 25},
+	{cc: core.CCSwift, senders: 32, offeredGbps: 60},
+	{cc: core.CCSwift, senders: 40, burstDuty: 0.20, burstPeriod: 2 * sim.Millisecond},
+	{cc: core.CCSwift, senders: 24, burstDuty: 0.50, burstPeriod: sim.Millisecond},
+	{cc: core.CCDCTCP, senders: 40},
+	{cc: core.CCDCTCP, senders: 16, offeredGbps: 40},
+	{cc: core.CCDCTCP, senders: 24, burstDuty: 0.35, burstPeriod: 2 * sim.Millisecond, maxAnt: 8},
+	{cc: core.CCSwift, senders: 40, offeredGbps: 90},
+}
+
+// Antagonist tiers: most hosts run some co-located memory-hungry work; a
+// long tail runs a lot of it (the low-utilization-drops population).
+var antagonistWeights = []float64{0.22, 0.18, 0.15, 0.13, 0.12, 0.08, 0.07, 0.05}
+var antagonistTiers = []int{0, 2, 4, 6, 8, 10, 12, 15}
+
+// Each archetype cell is replicated under a small pool of simulation
+// seeds, adding per-host measurement noise without defeating dedup.
+var seedWeights = []float64{0.5, 0.3, 0.2}
+
+// pickIdx draws an index from a discrete weighted distribution.
+func pickIdx(r *sim.RNG, weights []float64) int {
+	x := r.Float64()
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// mix64 is the splitmix64 finalizer — full avalanche, so consecutive
+// inputs yield decorrelated outputs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HostScenario derives host i's scenario and point metadata from the
+// fleet config alone — random access, no shared RNG stream — so callers
+// can enumerate, stream, or re-derive any host independently.
+func HostScenario(cfg Config, i int) (core.Params, Point) {
+	warm, meas := cfg.windows()
+	r := sim.NewRNG(mix64(cfg.Seed) + uint64(i)*0x9e3779b97f4a7c15)
+	s := skus[pickIdx(r, skuWeights)]
+	w := workloads[pickIdx(r, workloadWeights)]
+	ant := antagonistTiers[pickIdx(r, antagonistWeights)]
+	if w.maxAnt > 0 && ant > w.maxAnt {
+		ant = w.maxAnt
+	}
+	seedK := pickIdx(r, seedWeights)
+
+	p := core.DefaultParams(s.threads)
+	p.Warmup, p.Measure = warm, meas
+	p.RxRegionBytes = uint64(s.regionMB) << 20
+	p.CC = w.cc
+	p.Senders = w.senders
+	p.OfferedGbps = w.offeredGbps
+	p.BurstDuty = w.burstDuty
+	p.BurstPeriod = w.burstPeriod
+	p.AntagonistCores = ant
+	p.Seed = mix64(cfg.Seed ^ (0xc0ffee + uint64(seedK)))
+
+	return p, Point{
+		Host:            i,
+		Threads:         p.Threads,
+		Senders:         p.Senders,
+		AntagonistCores: p.AntagonistCores,
+	}
+}
+
+// Run simulates the fleet on the shared worker pool and returns every
+// point, in host order (windows within a host in window order). It is
+// RunStream with an in-memory sink; fleets large enough that the point
+// slice matters should stream instead.
 func Run(cfg Config) ([]Point, error) {
+	windows := cfg.WindowsPerHost
+	if windows < 1 {
+		windows = 1
+	}
+	points := make([]Point, 0, cfg.Hosts*windows)
+	_, err := RunStream(cfg, func(p Point) error {
+		points = append(points, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// RunStream simulates the fleet, streaming each point to emit in host
+// order while aggregating the fleet statistics online — memory stays
+// proportional to the worker count, not the host count, which is what
+// makes 100k-host fleets runnable. emit may be nil (statistics only); a
+// non-nil emit error aborts the run. The returned Stats also report how
+// many simulations actually executed versus how many hosts were served
+// by dedup or the cache.
+func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 	if cfg.Hosts <= 0 {
-		return nil, fmt.Errorf("cluster: Hosts must be positive")
-	}
-	warm, meas := cfg.Warmup, cfg.Measure
-	if warm == 0 {
-		warm = 8 * sim.Millisecond
-	}
-	if meas == 0 {
-		meas = 12 * sim.Millisecond
-	}
-	rng := sim.NewRNG(cfg.Seed)
-	ps := make([]core.Params, cfg.Hosts)
-	meta := make([]Point, cfg.Hosts)
-	for i := range ps {
-		p := core.DefaultParams(2 + rng.Intn(15)) // 2..16 threads
-		// The production cluster runs both the Linux kernel stack (TCP,
-		// loss-based — drops are its signal) and SNAP with Swift.
-		if rng.Float64() < 0.4 {
-			p.CC = core.CCDCTCP // no switch ECN configured ⇒ loss-based
-		}
-		p.Seed = rng.Uint64()
-		p.Warmup, p.Measure = warm, meas
-		// Offered load varies with both the number of active senders and
-		// each host's application demand.
-		p.Senders = 4 + rng.Intn(37) // 4..40
-		// Three workload populations:
-		//   - bursty apps: saturating bursts at a low duty cycle; their
-		//     binned average utilization is low, yet burst onsets still
-		//     overflow the NIC buffer (the paper's low-utilization drops);
-		//   - saturating hosts (like the paper's testbed workload);
-		//   - application-limited hosts offered 15–100 Gbps.
-		switch workload := rng.Float64(); {
-		case workload < 0.30:
-			p.BurstDuty = 0.15 + 0.5*rng.Float64()
-			p.BurstPeriod = sim.Duration(1+rng.Intn(3)) * sim.Millisecond
-		case workload < 0.55:
-			// Saturating: leave OfferedGbps unlimited.
-		default:
-			p.OfferedGbps = 15 + 85*rng.Float64()
-		}
-		// Rx provisioning varies per host.
-		p.RxRegionBytes = uint64(4+rng.Intn(13)) << 20 // 4..16 MB
-		// Most hosts run some co-located memory-hungry work; a long
-		// tail runs a lot of it (the low-utilization-drops population).
-		switch {
-		case rng.Float64() < 0.5:
-			p.AntagonistCores = rng.Intn(4)
-		case rng.Float64() < 0.8:
-			p.AntagonistCores = 4 + rng.Intn(6)
-		default:
-			p.AntagonistCores = 10 + rng.Intn(6)
-		}
-		ps[i] = p
-		meta[i] = Point{
-			Host:            i,
-			Threads:         p.Threads,
-			Senders:         p.Senders,
-			AntagonistCores: p.AntagonistCores,
-		}
+		return Stats{}, fmt.Errorf("cluster: Hosts must be positive")
 	}
 	windows := cfg.WindowsPerHost
 	if windows < 1 {
 		windows = 1
 	}
 
-	// Each host runs on its own goroutine (each simulation is single-
-	// threaded and deterministic), contributing one point per window.
-	points := make([][]Point, cfg.Hosts)
-	errs := make([]error, cfg.Hosts)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range ps {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if windows == 1 && cfg.Cache != nil {
-				r, err := core.RunCached(ps[i], cfg.Cache)
-				if err != nil {
-					errs[i] = err
-					return
+	// Dedup layer. With a store, the store's own singleflight already
+	// collapses concurrent duplicates and memoizes completed ones; the
+	// batch-local flight (memoizing) covers store-less runs. Multi-window
+	// hosts never dedup: their later bins continue one testbed's state,
+	// which no per-Params key can address.
+	var flight *runcache.Flight
+	cache := cfg.Cache
+	if windows > 1 {
+		if cache != nil {
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log,
+					"cluster: %d multi-window hosts bypass the run cache (later bins continue one testbed's state)\n",
+					cfg.Hosts)
+			}
+			cache = nil
+		}
+	} else if !cfg.NoDedup && cache == nil {
+		flight = runcache.NewFlight(true)
+	}
+	var cacheBefore runcache.Stats
+	if cache != nil {
+		cacheBefore = cache.Stats()
+	}
+
+	var simulated atomic.Uint64
+	agg := newAggregator()
+	err := runner.MapOrdered(runner.Shared(), cfg.Hosts,
+		func(i int, a *runner.Arena) ([]Point, error) {
+			defer cfg.Progress.Add(1)
+			p, meta := HostScenario(cfg, i)
+			if windows == 1 {
+				compute := func() (core.Results, error) {
+					simulated.Add(1)
+					return core.RunOn(p, a)
 				}
-				pt := meta[i]
-				pt.Utilization = r.LinkUtilization
-				pt.DropRate = r.DropRatePct / 100
-				points[i] = append(points[i], pt)
-				return
+				var r core.Results
+				var err error
+				switch {
+				case cache != nil:
+					r, err = cache.GetOrCompute(p.CacheKey(), core.SimVersion, p.Canonical(), compute)
+				case flight != nil:
+					r, err = flight.Do(p.CacheKey(), compute)
+				default:
+					r, err = compute()
+				}
+				if err != nil {
+					return nil, err
+				}
+				meta.Utilization = r.LinkUtilization
+				meta.DropRate = r.DropRatePct / 100
+				return []Point{meta}, nil
 			}
-			tb, err := ps[i].Build()
+			// Multi-window: one testbed, consecutive bins.
+			simulated.Add(1)
+			tb, err := p.BuildOn(a)
 			if err != nil {
-				errs[i] = err
-				return
+				return nil, err
 			}
+			pts := make([]Point, 0, windows)
 			for w := 0; w < windows; w++ {
-				warm := ps[i].Warmup
+				warm := p.Warmup
 				if w > 0 {
 					warm = 0 // back-to-back bins after the first
 				}
-				r := tb.Run(warm, ps[i].Measure)
-				pt := meta[i]
+				r := tb.Run(warm, p.Measure)
+				pt := meta
 				pt.Window = w
 				pt.Utilization = r.LinkUtilization
 				pt.DropRate = r.DropRatePct / 100
-				points[i] = append(points[i], pt)
+				pts = append(pts, pt)
 			}
-		}(i)
+			return pts, nil
+		},
+		func(i int, pts []Point) error {
+			for _, pt := range pts {
+				agg.add(pt)
+				if emit != nil {
+					if err := emit(pt); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return Stats{}, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+
+	s := agg.stats()
+	s.Simulated = simulated.Load()
+	if flight != nil {
+		s.Collapsed = flight.Collapses()
+	} else if cache != nil {
+		after := cache.Stats()
+		s.Collapsed = (after.Hits - cacheBefore.Hits) + (after.Collapses - cacheBefore.Collapses)
 	}
-	var flat []Point
-	for _, hostPoints := range points {
-		flat = append(flat, hostPoints...)
+	if cfg.Cache != nil && windows > 1 {
+		s.CacheSkipped = cfg.Hosts
 	}
-	return flat, nil
+	return s, nil
 }
 
-// Stats summarizes the scatter against the paper's two claims.
+// Stats summarizes the scatter against the paper's two claims, plus the
+// execution accounting a fleet run reports.
 type Stats struct {
+	// Hosts counts scatter points (hosts × windows), matching the
+	// figure's population.
 	Hosts int
 	// Pearson is the utilization–drop-rate correlation coefficient.
 	Pearson float64
-	// DroppingHosts counts hosts with any drops.
+	// DroppingHosts counts points with any drops.
 	DroppingHosts int
-	// LowUtilDropping counts hosts dropping below 60% utilization —
+	// LowUtilDropping counts points dropping below 60% utilization —
 	// the paper's "drops happen even when utilization is low".
 	LowUtilDropping int
 	MeanUtilization float64
 	MaxDropRate     float64
+
+	// Distribution summaries, computed online (quantiles from a
+	// fixed-size deterministic reservoir; exact up to 4096 points,
+	// ±~1.6% rank error beyond).
+	MeanDropRate   float64
+	UtilizationP50 float64
+	UtilizationP99 float64
+	DropRateP50    float64
+	DropRateP99    float64
+
+	// Simulated counts simulations actually executed; Collapsed counts
+	// hosts served without simulating (singleflight dedup or run-cache
+	// hits). CacheSkipped counts hosts that bypassed a configured cache
+	// because WindowsPerHost > 1. Zero for plain Summarize calls.
+	Simulated    uint64
+	Collapsed    uint64
+	CacheSkipped int
 }
 
-// Summarize computes Stats for a scatter.
-func Summarize(points []Point) Stats {
-	s := Stats{Hosts: len(points)}
-	if len(points) == 0 {
+// aggregator folds points into Stats one at a time — the online path
+// RunStream uses, and the buffered path Summarize wraps around it.
+type aggregator struct {
+	n                     int
+	su, sd, suu, sdd, sud float64
+	util, drop            stats.Moments
+	utilQ, dropQ          *stats.Reservoir
+	dropping, lowUtil     int
+	maxDrop               float64
+}
+
+// reservoirCap bounds quantile-sketch memory; see stats.Reservoir for
+// the resulting rank-error bound.
+const reservoirCap = 4096
+
+func newAggregator() *aggregator {
+	return &aggregator{
+		utilQ: stats.NewReservoir(reservoirCap, 0x5eed0001),
+		dropQ: stats.NewReservoir(reservoirCap, 0x5eed0002),
+	}
+}
+
+func (a *aggregator) add(p Point) {
+	a.n++
+	a.su += p.Utilization
+	a.sd += p.DropRate
+	a.suu += p.Utilization * p.Utilization
+	a.sdd += p.DropRate * p.DropRate
+	a.sud += p.Utilization * p.DropRate
+	a.util.Add(p.Utilization)
+	a.drop.Add(p.DropRate)
+	a.utilQ.Add(p.Utilization)
+	a.dropQ.Add(p.DropRate)
+	if p.DropRate > 0 {
+		a.dropping++
+		if p.Utilization < 0.6 {
+			a.lowUtil++
+		}
+	}
+	if p.DropRate > a.maxDrop {
+		a.maxDrop = p.DropRate
+	}
+}
+
+func (a *aggregator) stats() Stats {
+	s := Stats{
+		Hosts:           a.n,
+		DroppingHosts:   a.dropping,
+		LowUtilDropping: a.lowUtil,
+		MaxDropRate:     a.maxDrop,
+	}
+	if a.n == 0 {
 		return s
 	}
-	var su, sd, suu, sdd, sud float64
-	for _, p := range points {
-		su += p.Utilization
-		sd += p.DropRate
-		suu += p.Utilization * p.Utilization
-		sdd += p.DropRate * p.DropRate
-		sud += p.Utilization * p.DropRate
-		if p.DropRate > 0 {
-			s.DroppingHosts++
-			if p.Utilization < 0.6 {
-				s.LowUtilDropping++
-			}
-		}
-		if p.DropRate > s.MaxDropRate {
-			s.MaxDropRate = p.DropRate
-		}
-	}
-	n := float64(len(points))
-	s.MeanUtilization = su / n
-	cov := sud/n - (su/n)*(sd/n)
-	vu := suu/n - (su/n)*(su/n)
-	vd := sdd/n - (sd/n)*(sd/n)
+	n := float64(a.n)
+	s.MeanUtilization = a.util.Mean()
+	s.MeanDropRate = a.drop.Mean()
+	s.UtilizationP50 = a.utilQ.Quantile(0.5)
+	s.UtilizationP99 = a.utilQ.Quantile(0.99)
+	s.DropRateP50 = a.dropQ.Quantile(0.5)
+	s.DropRateP99 = a.dropQ.Quantile(0.99)
+	cov := a.sud/n - (a.su/n)*(a.sd/n)
+	vu := a.suu/n - (a.su/n)*(a.su/n)
+	vd := a.sdd/n - (a.sd/n)*(a.sd/n)
 	if vu > 0 && vd > 0 {
 		s.Pearson = cov / math.Sqrt(vu*vd)
 	}
 	return s
+}
+
+// Summarize computes Stats for a scatter.
+func Summarize(points []Point) Stats {
+	a := newAggregator()
+	for _, p := range points {
+		a.add(p)
+	}
+	return a.stats()
 }
 
 // Scatter renders the normalized scatter as ASCII (utilization on x,
@@ -282,7 +521,7 @@ func Scatter(points []Point, width, height int) string {
 // CSV renders the scatter points for external plotting.
 func CSV(points []Point) string {
 	var b strings.Builder
-	b.WriteString("host,window,utilization,drop_rate,threads,senders,antagonist_cores\n")
+	b.WriteString(CSVHeader())
 	sorted := append([]Point(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Host != sorted[j].Host {
@@ -291,8 +530,19 @@ func CSV(points []Point) string {
 		return sorted[i].Window < sorted[j].Window
 	})
 	for _, p := range sorted {
-		fmt.Fprintf(&b, "%d,%d,%.4f,%.6f,%d,%d,%d\n",
-			p.Host, p.Window, p.Utilization, p.DropRate, p.Threads, p.Senders, p.AntagonistCores)
+		b.WriteString(CSVRow(p))
 	}
 	return b.String()
+}
+
+// CSVHeader and CSVRow expose the CSV encoding piecewise so streaming
+// callers (hiccluster at fleet scale) can write points as they arrive
+// instead of buffering the scatter.
+func CSVHeader() string {
+	return "host,window,utilization,drop_rate,threads,senders,antagonist_cores\n"
+}
+
+func CSVRow(p Point) string {
+	return fmt.Sprintf("%d,%d,%.4f,%.6f,%d,%d,%d\n",
+		p.Host, p.Window, p.Utilization, p.DropRate, p.Threads, p.Senders, p.AntagonistCores)
 }

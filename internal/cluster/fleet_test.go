@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hic/internal/runcache"
+	"hic/internal/sim"
+)
+
+func quickConfig(hosts int) Config {
+	return Config{Hosts: hosts, Seed: 1, Warmup: 3 * sim.Millisecond, Measure: 5 * sim.Millisecond}
+}
+
+// fleetHash fingerprints a scatter point-by-point (full float formatting,
+// so any bit-level drift shows).
+func fleetHash(points []Point) string {
+	h := sha256.New()
+	for _, p := range points {
+		fmt.Fprintf(h, "%+v\n", p)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// goldenFleetHash pins the 32-host quick fleet (the same population
+// TestFleetReproducesFig1Claims checks). Captured with dedup disabled on
+// fresh engines; the test asserts the deduplicated pooled path
+// reproduces it exactly. Recompute and repin (with a SimVersion bump)
+// only for deliberate simulator or catalog changes.
+const goldenFleetHash = "8fd1009b2e60bf3f"
+
+func TestFleetGoldenAndDedupInvisible(t *testing.T) {
+	cfg := quickConfig(32)
+
+	cfg.NoDedup = true
+	baseline, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fleetHash(baseline); got != goldenFleetHash {
+		t.Errorf("no-dedup fleet hash = %s, want %s", got, goldenFleetHash)
+	}
+
+	cfg.NoDedup = false
+	var streamed []Point
+	st, err := RunStream(cfg, func(p Point) error {
+		streamed = append(streamed, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fleetHash(streamed); got != goldenFleetHash {
+		t.Errorf("deduplicated fleet hash = %s, want %s (dedup must be invisible)", got, goldenFleetHash)
+	}
+	if st.Collapsed == 0 {
+		t.Error("32-host fleet collapsed nothing — catalog discreteness broken")
+	}
+	if st.Simulated+st.Collapsed != 32 {
+		t.Errorf("simulated %d + collapsed %d != 32 hosts", st.Simulated, st.Collapsed)
+	}
+	if st.Simulated >= 32 {
+		t.Errorf("simulated %d of 32 — dedup saved nothing", st.Simulated)
+	}
+}
+
+func TestRunStreamStatsMatchSummarize(t *testing.T) {
+	cfg := quickConfig(16)
+	var pts []Point
+	st, err := RunStream(cfg, func(p Point) error {
+		pts = append(pts, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summarize(pts)
+	// Execution accounting is RunStream-only; the scatter statistics must
+	// agree exactly (same aggregator, same insertion order).
+	want.Simulated, want.Collapsed, want.CacheSkipped = st.Simulated, st.Collapsed, st.CacheSkipped
+	if st != want {
+		t.Errorf("RunStream stats %+v\n != Summarize %+v", st, want)
+	}
+}
+
+func TestFleetWithCacheMatchesUncached(t *testing.T) {
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(24)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = store
+	cold, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleetHash(cold) != fleetHash(plain) || fleetHash(warm) != fleetHash(plain) {
+		t.Error("cached fleet diverges from uncached")
+	}
+	if store.Stats().Hits == 0 {
+		t.Error("warm fleet pass hit nothing")
+	}
+}
+
+// TestMultiWindowCacheSkipAccounted pins satellite behavior: a cache
+// configured on a multi-window fleet is skipped for every host, the skip
+// is logged once, and Stats report the count.
+func TestMultiWindowCacheSkipAccounted(t *testing.T) {
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	cfg := Config{Hosts: 4, WindowsPerHost: 2, Seed: 1,
+		Warmup: 2 * sim.Millisecond, Measure: 3 * sim.Millisecond,
+		Cache: store, Log: &log}
+	st, err := RunStream(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheSkipped != 4 {
+		t.Errorf("CacheSkipped = %d, want 4", st.CacheSkipped)
+	}
+	if n := strings.Count(log.String(), "bypass the run cache"); n != 1 {
+		t.Errorf("skip notice logged %d times, want once:\n%s", n, log.String())
+	}
+	if st.Simulated != 4 {
+		t.Errorf("Simulated = %d, want 4 (multi-window hosts must not dedup)", st.Simulated)
+	}
+	if hits, misses := store.Hits(), store.Misses(); hits != 0 || misses != 0 {
+		t.Errorf("store touched for multi-window hosts: %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestHostScenarioRandomAccess(t *testing.T) {
+	cfg := quickConfig(64)
+	// Deriving host 37 in isolation must equal deriving it after others.
+	p1, m1 := HostScenario(cfg, 37)
+	for i := 0; i < 64; i++ {
+		HostScenario(cfg, i)
+	}
+	p2, m2 := HostScenario(cfg, 37)
+	if p1 != p2 || m1 != m2 {
+		t.Error("HostScenario not random-access")
+	}
+	// Different fleet seeds must change the draw for at least some hosts.
+	cfg2 := cfg
+	cfg2.Seed = 2
+	diff := 0
+	for i := 0; i < 64; i++ {
+		a, _ := HostScenario(cfg, i)
+		b, _ := HostScenario(cfg2, i)
+		if a != b {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("fleet seed has no effect on host scenarios")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hic/internal/runcache"
+	"hic/internal/runner"
 )
 
 // SimVersion salts every cache key. Bump it whenever a change anywhere
@@ -75,27 +76,28 @@ func (p Params) CacheKey() string {
 // otherwise the scenario runs and the result is stored. A nil cache
 // degrades to Run.
 func RunCached(p Params, cache *runcache.Store) (Results, error) {
-	if cache == nil {
-		return Run(p)
+	return runCachedOn(p, cache, nil, nil)
+}
+
+// runCachedOn is the single execution funnel for the pool workers: it
+// normalizes the windows (so the key reflects what actually runs),
+// consults the store and/or a batch-local singleflight, and computes
+// misses on the worker's arena. cache, flight, and arena may each be
+// nil; with all three nil it degrades to Run. When a store is present
+// its own singleflight collapses concurrent duplicates, so the
+// batch-local flight is only used store-less.
+func runCachedOn(p Params, cache *runcache.Store, flight *runcache.Flight, a *runner.Arena) (Results, error) {
+	if cache == nil && flight == nil {
+		return RunOn(p, a)
 	}
-	// Normalize the windows first so the key reflects what actually runs.
-	if p.Warmup == 0 && p.Measure == 0 {
-		d := DefaultParams(1)
-		p.Warmup, p.Measure = d.Warmup, d.Measure
-	}
+	p.normalizeWindows()
 	canonical := p.Canonical()
 	key := runcache.Key(SimVersion, canonical)
-	if r, ok := cache.Get(key, SimVersion, canonical); ok {
-		return r, nil
+	compute := func() (Results, error) { return RunOn(p, a) }
+	if cache != nil {
+		return cache.GetOrCompute(key, SimVersion, canonical, compute)
 	}
-	r, err := Run(p)
-	if err != nil {
-		return Results{}, err
-	}
-	if err := cache.Put(key, SimVersion, canonical, r); err != nil {
-		return Results{}, err
-	}
-	return r, nil
+	return flight.Do(key, compute)
 }
 
 // RunManyCached is RunMany with a result cache: hits skip simulation

@@ -6,15 +6,16 @@
 // (application throughput, drop rate, IOTLB misses per packet, memory
 // bandwidth, host-delay percentiles).
 //
-// RunMany executes independent scenarios in parallel, one goroutine per
-// simulation; each simulation is single-threaded and deterministic for
-// its seed, so sweeps are both fast and reproducible.
+// RunMany executes independent scenarios on the shared bounded worker
+// pool (internal/runner): each worker owns a reusable arena — engine
+// free lists, packet pool, metrics registry — reset between runs, and
+// byte-identical duplicate scenarios are collapsed to one simulation by
+// in-process singleflight. Each simulation remains single-threaded and
+// deterministic for its seed, so sweeps are both fast and reproducible.
 package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"hic/internal/host"
 	"hic/internal/iommu"
@@ -22,6 +23,7 @@ import (
 	"hic/internal/model"
 	"hic/internal/pkt"
 	"hic/internal/runcache"
+	"hic/internal/runner"
 	"hic/internal/sim"
 	"hic/internal/telemetry"
 	"hic/internal/transport"
@@ -252,24 +254,52 @@ func (p Params) hostConfig() (host.Config, error) {
 // Build constructs the testbed without running it, for callers that want
 // to instrument or drive it manually.
 func (p Params) Build() (*host.Testbed, error) {
+	return p.BuildOn(nil)
+}
+
+// BuildOn constructs the testbed, reusing the arena's engine, packet
+// pool, and registry when a worker arena is supplied (nil builds fresh
+// substrate, identical to the pre-pool path). host.NewWith resets every
+// reused component to its post-construction state, so the two paths
+// produce bit-identical simulations.
+func (p Params) BuildOn(a *runner.Arena) (*host.Testbed, error) {
 	cfg, err := p.hostConfig()
 	if err != nil {
 		return nil, err
 	}
-	return host.New(cfg)
+	if a == nil {
+		return host.New(cfg)
+	}
+	engine, pool, registry := a.Acquire()
+	return host.NewWith(host.Runtime{Engine: engine, Pool: pool, Registry: registry}, cfg)
 }
 
 // Run executes one scenario: build, warm up, measure.
 func Run(p Params) (Results, error) {
-	if p.Warmup == 0 && p.Measure == 0 {
-		d := DefaultParams(1)
-		p.Warmup, p.Measure = d.Warmup, d.Measure
-	}
-	tb, err := p.Build()
+	return RunOn(p, nil)
+}
+
+// RunOn is Run on a worker arena: the arena's engine free lists, packet
+// pool, and metrics registry are reset and reused instead of
+// reallocated, which is what makes fleet-scale fan-out allocation-flat.
+// A nil arena is exactly Run.
+func RunOn(p Params, a *runner.Arena) (Results, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
 	if err != nil {
 		return Results{}, err
 	}
 	return tb.Run(p.Warmup, p.Measure), nil
+}
+
+// normalizeWindows fills in the default warmup/measure windows so every
+// execution (and cache-key computation) sees the windows that actually
+// run.
+func (p *Params) normalizeWindows() {
+	if p.Warmup == 0 && p.Measure == 0 {
+		d := DefaultParams(1)
+		p.Warmup, p.Measure = d.Warmup, d.Measure
+	}
 }
 
 // RunInstrumented executes one scenario with pipeline telemetry enabled
@@ -279,11 +309,14 @@ func Run(p Params) (Results, error) {
 // engine-forked RNG, so the same Params and rate reproduce the same
 // spans byte for byte.
 func RunInstrumented(p Params, spanRate float64) (Results, *telemetry.Run, error) {
-	if p.Warmup == 0 && p.Measure == 0 {
-		d := DefaultParams(1)
-		p.Warmup, p.Measure = d.Warmup, d.Measure
-	}
-	tb, err := p.Build()
+	return RunInstrumentedOn(p, spanRate, nil)
+}
+
+// RunInstrumentedOn is RunInstrumented on a worker arena (nil arena
+// builds fresh substrate).
+func RunInstrumentedOn(p Params, spanRate float64, a *runner.Arena) (Results, *telemetry.Run, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
 	if err != nil {
 		return Results{}, nil, err
 	}
@@ -292,36 +325,51 @@ func RunInstrumented(p Params, spanRate float64) (Results, *telemetry.Run, error
 	return res, run, nil
 }
 
-// RunMany executes scenarios concurrently (bounded by GOMAXPROCS) and
-// returns results in input order. Each simulation runs on its own
-// goroutine with its own engine, preserving per-run determinism. The
-// first build/run error aborts the sweep.
+// RunMany executes scenarios on the shared worker pool and returns
+// results in input order. Byte-identical Params are simulated once and
+// the result shared (the simulator is deterministic per seed, so this is
+// invisible in the output). The first build/run error aborts the sweep.
 func RunMany(ps []Params) ([]Results, error) {
 	return runMany(ps, nil)
 }
 
-// runMany is the shared sweep executor; cache may be nil.
+// runMany is the shared sweep executor; cache may be nil. Without a
+// store, a batch-local singleflight still collapses duplicate Params
+// within the batch.
 func runMany(ps []Params, cache *runcache.Store) ([]Results, error) {
 	results := make([]Results, len(ps))
-	errs := make([]error, len(ps))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, p := range ps {
-		wg.Add(1)
-		go func(i int, p Params) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = RunCached(p, cache)
-		}(i, p)
+	var flight *runcache.Flight
+	if cache == nil {
+		flight = runcache.NewFlight(true)
 	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runner.Shared().Map(len(ps), func(i int, a *runner.Arena) error {
+		r, err := runCachedOn(ps[i], cache, flight, a)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// RunEach executes scenarios on the shared worker pool and streams
+// results to emit in input order, without materializing the whole result
+// slice — the fleet-scale path where memory stays O(workers), not
+// O(scenarios). Duplicate Params are deduplicated exactly as in RunMany.
+// A non-nil emit error aborts the sweep and is returned.
+func RunEach(ps []Params, cache *runcache.Store, emit func(i int, r Results) error) error {
+	var flight *runcache.Flight
+	if cache == nil {
+		flight = runcache.NewFlight(true)
+	}
+	return runner.MapOrdered(runner.Shared(), len(ps),
+		func(i int, a *runner.Arena) (Results, error) {
+			return runCachedOn(ps[i], cache, flight, a)
+		}, emit)
 }
 
 // RunReplicated executes the scenario n times with derived seeds and

@@ -350,15 +350,59 @@ func flowID(sender, queue int) uint32 { return uint32(sender)<<16 | uint32(queue
 
 func flowSender(flow uint32) int { return int(flow >> 16) }
 
-// New builds and wires a testbed.
+// Runtime carries pre-allocated simulation state for reuse across runs:
+// the engine (with its event free list), the packet pool (with its free
+// list), and the metrics registry. The worker-pool arenas in
+// internal/runner own one Runtime's worth of state per worker; nil
+// fields mean "create fresh", so the zero Runtime reproduces New's
+// historical behavior exactly.
+type Runtime struct {
+	Engine   *sim.Engine
+	Registry *metrics.Registry
+	Pool     *pkt.Pool
+}
+
+// New builds and wires a testbed with fresh per-run state.
 func New(cfg Config) (*Testbed, error) {
+	return NewWith(Runtime{}, cfg)
+}
+
+// NewWith builds and wires a testbed on the given runtime. A non-nil
+// engine is Reset to the config's seed and a non-nil registry is
+// Zeroed, so a testbed built on a dirty arena behaves bit-identically
+// to one built on fresh state (the golden determinism tests prove
+// this). The packet pool is used as-is: recycled packets are fully
+// zeroed on reuse, so a warm free list is invisible to the simulation.
+//
+// One caveat of registry reuse: metric names registered by an earlier
+// run on the same arena remain registered (at zero) even if this run's
+// configuration never touches them. Results reads only well-known
+// names, so measurements are unaffected; callers that Dump or Snapshot
+// a registry for export should build on a fresh Runtime.
+func NewWith(rt Runtime, cfg Config) (*Testbed, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	engine := rt.Engine
+	if engine == nil {
+		engine = sim.NewEngine(cfg.Seed)
+	} else {
+		engine.Reset(cfg.Seed)
+	}
+	registry := rt.Registry
+	if registry == nil {
+		registry = metrics.NewRegistry()
+	} else {
+		registry.Zero()
+	}
+	pool := rt.Pool
+	if pool == nil {
+		pool = pkt.NewPool()
+	}
 	t := &Testbed{
-		Engine:   sim.NewEngine(cfg.Seed),
-		Registry: metrics.NewRegistry(),
-		Pool:     pkt.NewPool(),
+		Engine:   engine,
+		Registry: registry,
+		Pool:     pool,
 		cfg:      cfg,
 	}
 	var err error

@@ -311,6 +311,27 @@ func (r *Registry) ResetAll() {
 	}
 }
 
+// Zero returns every registered metric to its freshly created state,
+// keeping the registered names and their allocated structures (histogram
+// bucket arrays in particular) so a registry can be reused across
+// simulation runs by the worker-pool arenas without per-run allocation.
+// Unlike ResetAll — whose warmup-boundary semantics deliberately let a
+// gauge's instantaneous value survive — Zero clears gauges completely:
+// the next run's components must observe exactly what a fresh registry
+// would give them.
+func (r *Registry) Zero() {
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.v = 0
+		g.max = 0
+	}
+	for _, h := range r.histograms {
+		h.Reset()
+	}
+}
+
 // GaugeSnapshot is the typed view of one gauge.
 type GaugeSnapshot struct {
 	Value int64 `json:"value"`

@@ -1,0 +1,213 @@
+package runcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hic/internal/host"
+)
+
+// waitCollapses parks until the flight (or store) reports want collapsed
+// callers. Collapse counters increment before a caller parks on the
+// in-flight wait, so reaching want means exactly one caller is computing
+// and want callers are parked — the release below then provably
+// exercises the collapse path, not a lucky interleaving.
+func waitCollapses(t *testing.T, current func() uint64, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for current() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("collapses stuck at %d, want %d", current(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFlightCollapsesConcurrentCalls(t *testing.T) {
+	f := NewFlight(false)
+	const callers = 16
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]host.Results, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := f.Do("k", func() (host.Results, error) {
+				<-gate // hold every other caller in the in-flight wait
+				computes.Add(1)
+				return host.Results{RxPackets: 42}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = r
+		}(i)
+	}
+	waitCollapses(t, f.Collapses, callers-1)
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, r := range results {
+		if r.RxPackets != 42 {
+			t.Fatalf("caller %d got %+v", i, r)
+		}
+	}
+	if c := f.Collapses(); c != callers-1 {
+		t.Fatalf("Collapses() = %d, want %d", c, callers-1)
+	}
+}
+
+func TestFlightMemoization(t *testing.T) {
+	var computes atomic.Int32
+	compute := func() (host.Results, error) {
+		computes.Add(1)
+		return host.Results{Drops: 7}, nil
+	}
+
+	memo := NewFlight(true)
+	for i := 0; i < 5; i++ {
+		if _, err := memo.Do("k", compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("memoizing flight computed %d times, want 1", computes.Load())
+	}
+	if memo.Collapses() != 4 {
+		t.Fatalf("Collapses() = %d, want 4", memo.Collapses())
+	}
+
+	computes.Store(0)
+	plain := NewFlight(false)
+	for i := 0; i < 5; i++ {
+		if _, err := plain.Do("k", compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computes.Load() != 5 {
+		t.Fatalf("non-memoizing flight computed %d times, want 5 (sequential calls never overlap)", computes.Load())
+	}
+}
+
+func TestFlightErrorsNotMemoized(t *testing.T) {
+	f := NewFlight(true)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := f.Do("k", func() (host.Results, error) {
+		calls++
+		return host.Results{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	r, err := f.Do("k", func() (host.Results, error) {
+		calls++
+		return host.Results{Goodput: 9}, nil
+	})
+	if err != nil || r.Goodput != 9 {
+		t.Fatalf("retry after error: r=%+v err=%v", r, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute calls = %d, want 2 (error must not be memoized)", calls)
+	}
+}
+
+func TestFlightDistinctKeysDoNotCollapse(t *testing.T) {
+	f := NewFlight(true)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := f.Do(k, func() (host.Results, error) {
+			return host.Results{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Collapses() != 0 {
+		t.Fatalf("Collapses() = %d across distinct keys, want 0", f.Collapses())
+	}
+}
+
+// TestStoreGetOrComputeSingleflight drives the store-level entry point
+// concurrently: one simulation, one miss, and N-1 collapses for a cold
+// key; pure hits afterwards.
+func TestStoreGetOrComputeSingleflight(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.GetOrCompute("key1", "v1", "canon1", func() (host.Results, error) {
+				<-gate
+				computes.Add(1)
+				return host.Results{Reads: 5}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	waitCollapses(t, func() uint64 { return s.Stats().Collapses }, callers-1)
+	close(gate)
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times", computes.Load())
+	}
+	st := s.Stats()
+	if st.Collapses != callers-1 {
+		t.Fatalf("Collapses = %d, want %d", st.Collapses, callers-1)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", st.Misses)
+	}
+
+	// A later call is a plain memory-layer hit, no new compute.
+	if _, err := s.GetOrCompute("key1", "v1", "canon1", func() (host.Results, error) {
+		t.Fatal("computed despite stored entry")
+		return host.Results{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.Hits != st.Hits+1 {
+		t.Fatalf("Hits = %d, want %d", got.Hits, st.Hits+1)
+	}
+}
+
+func TestSummaryMentionsCollapses(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Summary(); got != "0 hits, 0 misses" {
+		t.Fatalf("Summary() = %q", got)
+	}
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.GetOrCompute("k", "v", "c", func() (host.Results, error) {
+				<-gate
+				return host.Results{}, nil
+			})
+		}()
+	}
+	waitCollapses(t, func() uint64 { return s.Stats().Collapses }, 1)
+	close(gate)
+	wg.Wait()
+	if got := s.Summary(); got != "0 hits, 1 misses, 1 singleflight collapses" {
+		t.Fatalf("Summary() = %q", got)
+	}
+}

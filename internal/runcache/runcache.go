@@ -60,6 +60,11 @@ type Store struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// flight collapses concurrent computations of one key into a single
+	// simulation; its memo layer is disabled because mem above already
+	// memoizes completed entries.
+	flight *Flight
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -70,7 +75,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runcache: creating %s: %w", dir, err)
 	}
-	return &Store{dir: dir, mem: make(map[string]host.Results)}, nil
+	return &Store{dir: dir, mem: make(map[string]host.Results), flight: NewFlight(false)}, nil
 }
 
 // Dir returns the store's root directory.
@@ -140,15 +145,55 @@ func (s *Store) Put(key, version, canonical string, r host.Results) error {
 	return nil
 }
 
+// GetOrCompute returns the results for key, computing and storing them
+// at most once across concurrent callers: a lookup miss runs compute
+// under the store's singleflight, so N workers hitting the same cold
+// key cost one simulation, one Put, and N-1 collapses. Put failures are
+// returned (a broken cache directory should not be silently recomputed
+// forever); compute errors propagate to every collapsed caller.
+func (s *Store) GetOrCompute(key, version, canonical string, compute func() (host.Results, error)) (host.Results, error) {
+	return s.flight.Do(key, func() (host.Results, error) {
+		if r, ok := s.Get(key, version, canonical); ok {
+			return r, nil
+		}
+		r, err := compute()
+		if err != nil {
+			return host.Results{}, err
+		}
+		if err := s.Put(key, version, canonical, r); err != nil {
+			return host.Results{}, err
+		}
+		return r, nil
+	})
+}
+
 // Hits returns how many lookups were served from the cache.
 func (s *Store) Hits() uint64 { return s.hits.Load() }
 
 // Misses returns how many lookups fell through to a simulation run.
 func (s *Store) Misses() uint64 { return s.misses.Load() }
 
-// Summary renders "N hits, M misses" for the cmd/ tools' logs.
+// Stats is the counter bundle the cmd/ tools print with -v.
+type Stats struct {
+	// Hits and Misses count store lookups (memory layer + disk).
+	Hits, Misses uint64
+	// Collapses counts simulations avoided by in-process singleflight:
+	// GetOrCompute calls that shared another caller's in-flight run.
+	Collapses uint64
+}
+
+// Stats returns the store's lookup and singleflight counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.Hits(), Misses: s.Misses(), Collapses: s.flight.Collapses()}
+}
+
+// Summary renders the stats on one line for the cmd/ tools' logs.
 func (s *Store) Summary() string {
-	return fmt.Sprintf("%d hits, %d misses", s.Hits(), s.Misses())
+	st := s.Stats()
+	if st.Collapses == 0 {
+		return fmt.Sprintf("%d hits, %d misses", st.Hits, st.Misses)
+	}
+	return fmt.Sprintf("%d hits, %d misses, %d singleflight collapses", st.Hits, st.Misses, st.Collapses)
 }
 
 // Len reports how many entries the store directory currently holds.

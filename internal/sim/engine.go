@@ -226,6 +226,27 @@ func (e *Engine) recycle(ev *event) {
 	}
 }
 
+// Reset returns the engine to a pristine time-zero state seeded with
+// seed, while keeping its allocated capacity: every still-queued event
+// is recycled into the free list (exactly as if it had been cancelled,
+// so outstanding EventIDs are invalidated by the generation bump and
+// retained callbacks are dropped), the queue's backing array is kept,
+// and the RNG is reseeded in place. A reset engine behaves bit-
+// identically to a fresh NewEngine(seed) — recycled events are fully
+// re-initialized on allocation — which is what lets worker-pool arenas
+// reuse one engine across many runs without setup GC churn.
+func (e *Engine) Reset(seed uint64) {
+	for _, ev := range e.queue.s {
+		e.recycle(ev)
+	}
+	e.queue.s = e.queue.s[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.stopped = false
+	e.rng.Seed(seed)
+}
+
 // At schedules fn to run at absolute time at. Scheduling into the past
 // panics: it always indicates a component bug.
 func (e *Engine) At(at Time, fn func()) EventID {

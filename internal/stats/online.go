@@ -1,0 +1,121 @@
+package stats
+
+import "math"
+
+// Online aggregation for fleet-scale streams: cluster runs feed each
+// host's results through these accumulators instead of materializing
+// per-host slices, keeping memory independent of fleet size. Both
+// structures are deterministic given insertion order, which the runner's
+// ordered emission guarantees.
+
+// Moments accumulates count, mean, and variance with Welford's update —
+// numerically stable at any stream length, O(1) memory.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		m.min = math.Min(m.min, x)
+		m.max = math.Max(m.max, x)
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the observation count.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Stddev returns the sample standard deviation (n-1 denominator, 0 for
+// n < 2).
+func (m *Moments) Stddev() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return math.Sqrt(m.m2 / float64(m.n-1))
+}
+
+// Min and Max return the stream extremes (0 when empty).
+func (m *Moments) Min() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.min
+}
+
+func (m *Moments) Max() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.max
+}
+
+// Reservoir is a fixed-capacity uniform sample of a stream (Vitter's
+// Algorithm R) for approximate quantiles over fleets too large to hold
+// in memory. Replacement decisions come from an internal splitmix64
+// generator seeded at construction, so the same seed and insertion
+// order always select the same sample. With capacity k, the q-quantile
+// estimate's error concentrates like O(1/sqrt(k)) in rank space —
+// k = 4096 bounds rank error to about 1.6% at 95% confidence,
+// independent of stream length.
+type Reservoir struct {
+	cap    int
+	seen   int64
+	sample []float64
+	rng    uint64
+}
+
+// NewReservoir returns a reservoir holding at most capacity values
+// (minimum 1), seeded deterministically.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{cap: capacity, sample: make([]float64, 0, capacity), rng: seed}
+}
+
+// next is splitmix64: a full-period 64-bit generator, the same family
+// the simulator's RNG seeds from.
+func (r *Reservoir) next() uint64 {
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.sample) < r.cap {
+		r.sample = append(r.sample, x)
+		return
+	}
+	// Replace a random slot with probability cap/seen: pick an index
+	// uniform in [0, seen) and keep x only if it lands in the reservoir.
+	if j := r.next() % uint64(r.seen); j < uint64(r.cap) {
+		r.sample[j] = x
+	}
+}
+
+// Seen returns how many observations were offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Quantile returns the q-quantile (0..1) of the sampled values by the
+// same linear interpolation as Percentile. Exact while the stream fits
+// in the reservoir; approximate beyond.
+func (r *Reservoir) Quantile(q float64) float64 {
+	return Percentile(r.sample, q)
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMomentsMatchesSummarize(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	want := Summarize(xs)
+	if m.N() != int64(want.N) {
+		t.Errorf("N = %d, want %d", m.N(), want.N)
+	}
+	if math.Abs(m.Mean()-want.Mean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", m.Mean(), want.Mean)
+	}
+	if math.Abs(m.Stddev()-want.Stddev) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", m.Stddev(), want.Stddev)
+	}
+	if m.Min() != want.Min || m.Max() != want.Max {
+		t.Errorf("min/max = %v/%v, want %v/%v", m.Min(), m.Max(), want.Min, want.Max)
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Stddev() != 0 || m.Min() != 0 || m.Max() != 0 || m.N() != 0 {
+		t.Error("empty moments not all zero")
+	}
+	m.Add(2)
+	if m.Stddev() != 0 {
+		t.Error("single-sample stddev not 0")
+	}
+}
+
+func TestReservoirExactWhileSmall(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.Quantile(0.5); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("median = %v, want 50.5 (reservoir must be exact under capacity)", got)
+	}
+	if got := r.Quantile(1); got != 100 {
+		t.Errorf("max = %v", got)
+	}
+	if r.Seen() != 100 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a := NewReservoir(64, 42)
+	b := NewReservoir(64, 42)
+	for i := 0; i < 10000; i++ {
+		x := float64(i%977) * 0.5
+		a.Add(x)
+		b.Add(x)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q=%v diverges: %v vs %v (reservoir not deterministic)", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestReservoirApproximatesLargeStream(t *testing.T) {
+	r := NewReservoir(4096, 7)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r.Add(float64(i) / n) // uniform on [0,1)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got := r.Quantile(q); math.Abs(got-q) > 0.05 {
+			t.Errorf("q=%v estimate %v off by more than 0.05", q, got)
+		}
+	}
+	if r.Seen() != n {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirCapacityFloor(t *testing.T) {
+	r := NewReservoir(0, 1)
+	r.Add(3)
+	r.Add(4)
+	if got := r.Quantile(0.5); got != 3 && got != 4 {
+		t.Errorf("capacity-1 reservoir holds %v", got)
+	}
+}

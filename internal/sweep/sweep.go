@@ -8,14 +8,13 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"hic/internal/asciiplot"
 	"hic/internal/core"
 	"hic/internal/runcache"
+	"hic/internal/runner"
 	"hic/internal/sim"
 	"hic/internal/telemetry"
 )
@@ -158,40 +157,44 @@ func RunCached(spec Spec, cache *runcache.Store) ([]Row, error) {
 	return rows, nil
 }
 
+// RunStream executes the cross product and hands each Row to emit in
+// axis order (last axis fastest) without holding the full row slice —
+// the path hicsweep uses to write CSV/JSONL with memory bounded by the
+// worker count rather than the grid size. A non-nil emit error aborts
+// the sweep.
+func RunStream(spec Spec, cache *runcache.Store, emit func(Row) error) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	coords, ps := points(spec)
+	return core.RunEach(ps, cache, func(i int, r core.Results) error {
+		return emit(Row{Coords: coords[i], Results: r})
+	})
+}
+
 // RunDetailed is Run with per-point pipeline telemetry: every grid point
 // executes with span sampling at spanRate and its Row carries the
 // telemetry summary (per-stage latency breakdown + drop attribution).
-// Points run in parallel like Run; each point's spans stay deterministic
-// because sampling draws from that point's own engine-forked RNG.
+// Points run on the shared worker pool like Run; each point's spans stay
+// deterministic because sampling draws from that point's own
+// engine-forked RNG.
 func RunDetailed(spec Spec, spanRate float64) ([]Row, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	coords, ps := points(spec)
 	rows := make([]Row, len(coords))
-	errs := make([]error, len(coords))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, p := range ps {
-		wg.Add(1)
-		go func(i int, p core.Params) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, run, err := core.RunInstrumented(p, spanRate)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			s := run.Summary()
-			rows[i] = Row{Coords: coords[i], Results: res, Telemetry: &s}
-		}(i, p)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runner.Shared().Map(len(ps), func(i int, a *runner.Arena) error {
+		res, run, err := core.RunInstrumentedOn(ps[i], spanRate, a)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		s := run.Summary()
+		rows[i] = Row{Coords: coords[i], Results: res, Telemetry: &s}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
