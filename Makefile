@@ -16,16 +16,20 @@ test: vet
 test-short:
 	$(GO) test -short ./...
 
-# check runs vet, the race-enabled test suite (which includes the
-# zero-allocs gates: TestEngineSteadyStateZeroAllocs and
-# TestPacketPathZeroAllocs), a focused race pass over the worker pool
-# and singleflight layers (their concurrency tests are the dedup/arena
-# safety gate), and a 1x smoke pass over the engine benchmarks so a
-# compile break in the hot-path benches fails CI.
+# check is the CI gate (.github/workflows/ci.yml runs exactly this):
+# vet, the race-enabled test suite, a focused race pass over the worker
+# pool and singleflight layers (their concurrency tests are the
+# dedup/arena safety gate), an explicit non-race pass over the
+# zero-alloc gates (TestEngineSteadyStateZeroAllocs,
+# TestPacketPathZeroAllocs) so the allocation-free hot-path property is
+# enforced by name under the plain runtime, and a 1x smoke pass over
+# the engine benchmarks so a compile break in the hot-path benches
+# fails CI.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 	$(GO) test -race -count=2 ./internal/runner/ ./internal/runcache/
+	$(GO) test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/pkt/
 	$(GO) test -run=NONE -bench=BenchmarkEngine -benchtime=1x ./internal/sim/
 
 trace-demo:
@@ -39,8 +43,9 @@ bench:
 
 # bench-json runs the hot-path comparison harness (current engine vs the
 # preserved pre-rewrite engine, pooled vs heap packet path, the Figure 6
-# scenario end to end, and the fleet execution bench) and writes
-# BENCH_hotpath.json.
+# scenario end to end, the fleet execution bench, and the multi-fidelity
+# section: fluid vs DES per-point cost plus the -fidelity=auto fleet
+# against the pure-DES fleet) and writes BENCH_hotpath.json.
 bench-json:
 	$(GO) run ./cmd/hicbench -out BENCH_hotpath.json
 

@@ -14,7 +14,12 @@
 //     whole-simulator number the microbenchmarks feed into);
 //   - fleet: a Figure 1 fleet on the pooled worker runner with
 //     singleflight dedup versus the pre-pool goroutine-per-host
-//     baseline, reporting hosts/sec, dedup rate, and peak memory.
+//     baseline, reporting hosts/sec, dedup rate, and peak memory;
+//   - fidelity: the multi-fidelity execution layer — per-point cost of
+//     the fluid solver vs full DES, and the same fleet re-run with
+//     -fidelity=auto routing (calibrated fluid + early stopping +
+//     audit), reporting hosts/sec, the routing counters, and the
+//     speedup over the pure-DES fleet section above.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 	"hic/internal/cluster"
 	"hic/internal/core"
+	"hic/internal/fidelity"
 	"hic/internal/pkt"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -212,9 +218,12 @@ func (m *memPeak) Stop() uint64 {
 func fleetConfig(hosts int) cluster.Config {
 	cfg := cluster.DefaultConfig()
 	cfg.Hosts = hosts
-	// Short windows: the bench compares execution models, not physics,
-	// and the dedup rate is window-independent.
-	cfg.Warmup, cfg.Measure = 2*sim.Millisecond, 3*sim.Millisecond
+	// Shortened windows (the defaults are 8 ms + 12 ms): the bench
+	// compares execution models, not physics, and the dedup rate is
+	// window-independent. The measure still spans several burst
+	// periods (1-2 ms in the catalog) so duty-cycled workloads behave
+	// like they do at full length.
+	cfg.Warmup, cfg.Measure = 4*sim.Millisecond, 8*sim.Millisecond
 	return cfg
 }
 
@@ -274,6 +283,105 @@ func runFleet(hosts, baselineHosts int) (fleetBench, error) {
 	return fb, nil
 }
 
+// fidelityBench is the multi-fidelity section: what one point costs
+// under the fluid solver vs full DES, and what the fleet gains from
+// -fidelity=auto routing over the pure-DES fleet section.
+type fidelityBench struct {
+	// FluidPointNs is one fluid solve of the Figure 6 point;
+	// DESPointMs is the same point under full DES (the fig6 scenario
+	// wall-clock), so PointSpeedup is the raw per-point model ratio.
+	FluidPointNs float64 `json:"fluid_point_ns"`
+	DESPointMs   float64 `json:"des_point_ms"`
+	PointSpeedup float64 `json:"point_speedup"`
+
+	// The auto-routed fleet (same size and windows as the fleet
+	// section): routing tolerance, execution accounting, and audit
+	// outcome. SpeedupVsDES compares hosts/sec against the pure-DES
+	// fleet section measured in the same process.
+	Tol          float64 `json:"tol"`
+	AuditRate    float64 `json:"audit_rate"`
+	Hosts        int     `json:"hosts"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	HostsPerSec  float64 `json:"hosts_per_sec"`
+	Simulated    uint64  `json:"simulated"`
+	Deduplicated uint64  `json:"deduplicated"`
+	FluidRouted  uint64  `json:"fluid_routed"`
+	EarlyStopped uint64  `json:"early_stopped"`
+	AnchorRuns   uint64  `json:"anchor_runs"`
+	Audited      uint64  `json:"audited"`
+	AuditOverTol uint64  `json:"audit_over_tol"`
+	AuditMaxErr  float64 `json:"audit_max_err"`
+	PeakMemBytes uint64  `json:"peak_mem_bytes"`
+	SpeedupVsDES float64 `json:"speedup_vs_des"`
+}
+
+// runFleetFidelity re-runs the fleet with ModeAuto routing (calibrated
+// fluid fast path, steady-state early stopping, deterministic audits)
+// and compares against desHostsPerSec from the pure-DES fleet section.
+func runFleetFidelity(hosts int, tol, auditRate, desHostsPerSec float64) (fidelityBench, error) {
+	p := core.DefaultParams(12)
+	p.AntagonistCores = 8
+	p.Warmup, p.Measure = 4*sim.Millisecond, 6*sim.Millisecond
+	fb := fidelityBench{Tol: tol, AuditRate: auditRate, Hosts: hosts}
+	fluidRes := toResult(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunFluid(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0)
+	fb.FluidPointNs = fluidRes.NsPerOp
+
+	des, err := runFig6()
+	if err != nil {
+		return fidelityBench{}, err
+	}
+	fb.DESPointMs = des.WallSeconds * 1e3
+	if fb.FluidPointNs > 0 {
+		fb.PointSpeedup = des.WallSeconds * 1e9 / fb.FluidPointNs
+	}
+
+	cfg := fleetConfig(hosts)
+	router, err := fidelity.New(fidelity.Config{
+		Mode:        fidelity.ModeAuto,
+		Tol:         tol,
+		AuditRate:   auditRate,
+		EarlyStop:   true,
+		AnchorSeeds: cluster.SeedPool(cfg),
+	})
+	if err != nil {
+		return fidelityBench{}, err
+	}
+	cfg.Exec = router
+	cfg.Progress = runner.NewProgress(os.Stderr, "fleet auto", "hosts", hosts, 5*time.Second)
+	mp := startMemPeak()
+	start := time.Now()
+	st, err := cluster.RunStream(cfg, nil)
+	fb.WallSeconds = time.Since(start).Seconds()
+	fb.PeakMemBytes = mp.Stop()
+	cfg.Progress.Finish()
+	if err != nil {
+		return fidelityBench{}, err
+	}
+	fb.HostsPerSec = float64(hosts) / fb.WallSeconds
+	fb.Simulated = st.Simulated
+	fb.Deduplicated = st.Collapsed
+	fb.FluidRouted = st.FluidRouted
+	fb.EarlyStopped = st.EarlyStopped
+	fb.AnchorRuns = st.AnchorRuns
+	fb.Audited = st.Audited
+	fb.AuditOverTol = st.AuditOverTol
+	fb.AuditMaxErr = st.AuditMaxErr
+	if desHostsPerSec > 0 {
+		fb.SpeedupVsDES = fb.HostsPerSec / desHostsPerSec
+	}
+	if fb.AuditOverTol > 0 {
+		fmt.Fprintf(os.Stderr, "hicbench: WARNING: %d/%d audited points exceeded tol %.3f (max err %.4f)\n",
+			fb.AuditOverTol, fb.Audited, tol, fb.AuditMaxErr)
+	}
+	return fb, nil
+}
+
 type report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
@@ -289,9 +397,10 @@ type report struct {
 	// Fig6 runs with the free lists on (the default); Fig6NoPools runs
 	// the same scenario with event and packet recycling disabled, the
 	// whole-figure before/after for the allocation-free hot path.
-	Fig6        fig6Scenario `json:"fig6_scenario"`
-	Fig6NoPools fig6Scenario `json:"fig6_scenario_no_pools"`
-	Fleet       fleetBench   `json:"fleet"`
+	Fig6        fig6Scenario  `json:"fig6_scenario"`
+	Fig6NoPools fig6Scenario  `json:"fig6_scenario_no_pools"`
+	Fleet       fleetBench    `json:"fleet"`
+	Fidelity    fidelityBench `json:"fidelity"`
 }
 
 var heapSink *pkt.Packet
@@ -301,6 +410,13 @@ func main() {
 	fleetHosts := flag.Int("fleet-hosts", 10000, "fleet-bench size on the pooled path (0 skips the fleet bench)")
 	fleetBaseline := flag.Int("fleet-baseline-hosts", 256, "hosts for the goroutine-per-host baseline (hosts/sec extrapolates)")
 	fleetOnly := flag.Bool("fleet-only", false, "run only the fleet bench, skipping the engine and packet microbenchmarks")
+	// 0.10 is the bench's routing tolerance (the CLIs default to a more
+	// conservative 0.05): the routing gate only admits points bounded
+	// under 0.7×tol = 7%, and the audit verifies the observed error
+	// stays under tol on every sampled point.
+	fidelityTol := flag.Float64("fidelity-tol", 0.10, "auto-routing tolerance for the fidelity fleet bench")
+	auditRate := flag.Float64("audit-rate", 0.05, "fraction of fluid-routed hosts shadow-run under DES in the fidelity fleet bench")
+	noFidelity := flag.Bool("no-fidelity", false, "skip the fidelity (auto-routed fleet) section")
 	flag.Parse()
 
 	var rep report
@@ -352,6 +468,15 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Fleet = fleet
+
+		if !*noFidelity {
+			fid, err := runFleetFidelity(*fleetHosts, *fidelityTol, *auditRate, fleet.HostsPerSec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hicbench: fidelity bench: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Fidelity = fid
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -368,7 +493,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s, %.2fx)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s %.2fx, auto %.1f hosts/s %.2fx)\n",
 		*out, rep.Engine.SpeedupRatio, rep.Fig6.EventsPerSec/1e6,
-		rep.Fleet.HostsPerSec, rep.Fleet.SpeedupRatio)
+		rep.Fleet.HostsPerSec, rep.Fleet.SpeedupRatio,
+		rep.Fidelity.HostsPerSec, rep.Fidelity.SpeedupVsDES)
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hic/internal/cluster"
+	"hic/internal/fidelity"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -32,6 +33,7 @@ func main() {
 	noDedup := flag.Bool("no-dedup", false, "disable singleflight dedup of byte-identical hosts (never changes results; for benchmarking)")
 	progress := flag.Bool("progress", true, "report progress, rate, and ETA on stderr")
 	verbose := flag.Bool("v", false, "print cache and dedup statistics on stderr")
+	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
 	flag.Parse()
 
 	cfg := cluster.DefaultConfig()
@@ -54,6 +56,14 @@ func main() {
 		}
 		cfg.Cache = store
 	}
+	router, err := fid.Router(store, cluster.SeedPool(cfg), nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
+		os.Exit(1)
+	}
+	if router != nil {
+		cfg.Exec = router
+	}
 	if *progress {
 		cfg.Progress = runner.NewProgress(os.Stderr, "fleet", "hosts", cfg.Hosts, time.Second)
 		if store != nil {
@@ -62,7 +72,6 @@ func main() {
 	}
 
 	var stats cluster.Stats
-	var err error
 	if *csv {
 		// Streaming path: every point is written as it arrives, so memory
 		// stays bounded by the worker count regardless of fleet size.
@@ -99,7 +108,10 @@ func main() {
 	}
 
 	if *verbose {
-		total := stats.Simulated + stats.Collapsed
+		// Simulated counts every DES execution including calibration
+		// anchors; hosts served by the fluid model appear only in
+		// FluidRouted. Reconstruct the host count for the summary line.
+		total := stats.Simulated - stats.AnchorRuns + stats.FluidRouted + stats.Collapsed
 		fmt.Fprintf(os.Stderr, "fleet execution: %d single-window hosts, %d simulated, %d deduplicated",
 			total, stats.Simulated, stats.Collapsed)
 		if total > 0 {
@@ -108,6 +120,15 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		if stats.CacheSkipped > 0 {
 			fmt.Fprintf(os.Stderr, "fleet execution: %d multi-window hosts bypassed the run cache\n", stats.CacheSkipped)
+		}
+		if router != nil {
+			fmt.Fprintf(os.Stderr, "fidelity: %d fluid-routed, %d early-stopped, %d anchor runs",
+				stats.FluidRouted, stats.EarlyStopped, stats.AnchorRuns)
+			if stats.Audited > 0 {
+				fmt.Fprintf(os.Stderr, "; audited %d max-err %.4f (%d over tol %.3f)",
+					stats.Audited, stats.AuditMaxErr, stats.AuditOverTol, router.Tol())
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 		if store != nil {
 			fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary())

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"hic/internal/experiments"
+	"hic/internal/fidelity"
 	"hic/internal/runcache"
 	"hic/internal/sim"
 )
@@ -33,6 +34,7 @@ func main() {
 	outdir := flag.String("outdir", "", "also write per-experiment CSV files here")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
 	flag.Parse()
 
 	opt := experiments.Options{
@@ -51,6 +53,21 @@ func main() {
 		}
 		opt.Cache = store
 		defer func() { fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary()) }()
+	}
+	// Default -fidelity=des keeps published figures exact; Router returns
+	// nil in that case and the pre-fidelity path runs byte-identically.
+	router, err := fid.Router(opt.Cache, nil, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicfigs: %v\n", err)
+		os.Exit(1)
+	}
+	if router != nil {
+		opt.Exec = router
+		defer func() {
+			c := router.Counters()
+			fmt.Fprintf(os.Stderr, "fidelity: %d fluid, %d DES (%d early-stopped), %d anchors\n",
+				c.FluidRouted, c.DESRouted, c.EarlyStopped, c.AnchorRuns)
+		}()
 	}
 
 	var ids []string

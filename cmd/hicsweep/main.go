@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"hic/internal/fidelity"
 	"hic/internal/runcache"
 	"hic/internal/sim"
 	"hic/internal/sweep"
@@ -40,6 +41,7 @@ func main() {
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache (ignored with -telemetry-out)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
 	verbose := flag.Bool("v", false, "print detailed run-cache counters on stderr (with -cache)")
+	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
 	flag.Parse()
 
 	if *listParams {
@@ -75,13 +77,34 @@ func main() {
 		}
 	}
 
+	router, err := fid.Router(store, nil, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+		os.Exit(1)
+	}
+
 	var rows []sweep.Row
 	if *telemetryOut != "" {
 		// Telemetry sweeps always simulate: spans are a per-run byproduct
-		// the result cache does not store.
+		// the result cache does not store (and the fluid solver cannot
+		// produce).
 		rows, err = sweep.RunDetailed(spec, *spanRate)
+	} else if router != nil {
+		rows, err = sweep.RunCachedVia(spec, router, store)
 	} else {
 		rows, err = sweep.RunCached(spec, store)
+	}
+	if router != nil {
+		defer func() {
+			c := router.Counters()
+			fmt.Fprintf(os.Stderr, "fidelity: %d fluid, %d DES (%d early-stopped), %d anchors, %d reused",
+				c.FluidRouted, c.DESRouted, c.EarlyStopped, c.AnchorRuns, c.AnchorReused)
+			if c.Audited > 0 {
+				fmt.Fprintf(os.Stderr, "; audited %d max-err %.4f (%d over tol)",
+					c.Audited, c.AuditMaxErr, c.AuditOverTol)
+			}
+			fmt.Fprintln(os.Stderr)
+		}()
 	}
 	if store != nil {
 		defer func() {

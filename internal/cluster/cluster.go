@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"hic/internal/core"
+	"hic/internal/fidelity"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -63,6 +64,14 @@ type Config struct {
 	// this way is reported in Stats.CacheSkipped and logged once per
 	// run on Log.
 	Cache *runcache.Store
+	// Exec, when non-nil, routes each single-window host through an
+	// execution strategy (see core.Executor; internal/fidelity.Router
+	// adds the calibrated fluid fast path and early stopping). Hosts
+	// with WindowsPerHost > 1 always run full DES — their later bins
+	// continue one testbed's state, which neither the fluid solver nor
+	// an early-stopped window can reproduce. When Exec is a
+	// *fidelity.Router, Stats reports its routing counters.
+	Exec core.Executor
 	// NoDedup disables the in-process singleflight that collapses
 	// byte-identical hosts into one simulation. Dedup never changes any
 	// output (the simulator is deterministic per Params); disabling it
@@ -210,7 +219,7 @@ func HostScenario(cfg Config, i int) (core.Params, Point) {
 	p.BurstDuty = w.burstDuty
 	p.BurstPeriod = w.burstPeriod
 	p.AntagonistCores = ant
-	p.Seed = mix64(cfg.Seed ^ (0xc0ffee + uint64(seedK)))
+	p.Seed = SeedPool(cfg)[seedK]
 
 	return p, Point{
 		Host:            i,
@@ -218,6 +227,18 @@ func HostScenario(cfg Config, i int) (core.Params, Point) {
 		Senders:         p.Senders,
 		AntagonistCores: p.AntagonistCores,
 	}
+}
+
+// SeedPool returns the fleet's simulation seed pool in descending
+// weight order. Fidelity routing should calibrate its anchors under
+// these seeds (fidelity.Config.AnchorSeeds) so anchor runs coincide
+// with — and are shared by — real fleet points.
+func SeedPool(cfg Config) []uint64 {
+	pool := make([]uint64, len(seedWeights))
+	for k := range pool {
+		pool[k] = mix64(cfg.Seed ^ (0xc0ffee + uint64(k)))
+	}
+	return pool
 }
 
 // Run simulates the fleet on the shared worker pool and returns every
@@ -279,6 +300,14 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 	if cache != nil {
 		cacheBefore = cache.Stats()
 	}
+	var router *fidelity.Router
+	var routerBefore fidelity.Counters
+	if cfg.Exec != nil {
+		if r, ok := cfg.Exec.(*fidelity.Router); ok {
+			router = r
+			routerBefore = r.Counters()
+		}
+	}
 
 	var simulated atomic.Uint64
 	agg := newAggregator()
@@ -287,19 +316,25 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 			defer cfg.Progress.Add(1)
 			p, meta := HostScenario(cfg, i)
 			if windows == 1 {
-				compute := func() (core.Results, error) {
-					simulated.Add(1)
-					return core.RunOn(p, a)
-				}
 				var r core.Results
 				var err error
-				switch {
-				case cache != nil:
-					r, err = cache.GetOrCompute(p.CacheKey(), core.SimVersion, p.Canonical(), compute)
-				case flight != nil:
-					r, err = flight.Do(p.CacheKey(), compute)
-				default:
-					r, err = compute()
+				if cfg.Exec != nil {
+					// The executor decides strategy and cache salt per
+					// host; its own counters account the executions.
+					r, err = core.RunOnVia(cfg.Exec, p, cache, flight, a)
+				} else {
+					compute := func() (core.Results, error) {
+						simulated.Add(1)
+						return core.RunOn(p, a)
+					}
+					switch {
+					case cache != nil:
+						r, err = cache.GetOrCompute(p.CacheKey(), core.SimVersion, p.Canonical(), compute)
+					case flight != nil:
+						r, err = flight.Do(p.CacheKey(), compute)
+					default:
+						r, err = compute()
+					}
 				}
 				if err != nil {
 					return nil, err
@@ -346,11 +381,25 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 
 	s := agg.stats()
 	s.Simulated = simulated.Load()
+	if router != nil {
+		d := router.Counters()
+		s.Simulated += (d.DESRouted - routerBefore.DESRouted) +
+			(d.AnchorRuns - routerBefore.AnchorRuns)
+		s.FluidRouted = d.FluidRouted - routerBefore.FluidRouted
+		s.EarlyStopped = d.EarlyStopped - routerBefore.EarlyStopped
+		s.AnchorRuns = d.AnchorRuns - routerBefore.AnchorRuns
+		s.Audited = d.Audited - routerBefore.Audited
+		s.AuditOverTol = d.AuditOverTol - routerBefore.AuditOverTol
+		s.AuditMaxErr = d.AuditMaxErr
+		// Points served from a coinciding anchor's memoized result were
+		// not re-simulated — account them with the dedup collapses.
+		s.Collapsed += d.AnchorReused - routerBefore.AnchorReused
+	}
 	if flight != nil {
-		s.Collapsed = flight.Collapses()
+		s.Collapsed += flight.Collapses()
 	} else if cache != nil {
 		after := cache.Stats()
-		s.Collapsed = (after.Hits - cacheBefore.Hits) + (after.Collapses - cacheBefore.Collapses)
+		s.Collapsed += (after.Hits - cacheBefore.Hits) + (after.Collapses - cacheBefore.Collapses)
 	}
 	if cfg.Cache != nil && windows > 1 {
 		s.CacheSkipped = cfg.Hosts
@@ -383,13 +432,28 @@ type Stats struct {
 	DropRateP50    float64
 	DropRateP99    float64
 
-	// Simulated counts simulations actually executed; Collapsed counts
-	// hosts served without simulating (singleflight dedup or run-cache
-	// hits). CacheSkipped counts hosts that bypassed a configured cache
-	// because WindowsPerHost > 1. Zero for plain Summarize calls.
+	// Simulated counts simulations actually executed (including fidelity
+	// anchor and audit runs); Collapsed counts hosts served without
+	// simulating (singleflight dedup or run-cache hits). CacheSkipped
+	// counts hosts that bypassed a configured cache because
+	// WindowsPerHost > 1. Zero for plain Summarize calls.
 	Simulated    uint64
 	Collapsed    uint64
 	CacheSkipped int
+
+	// Fidelity routing accounting, non-zero only when Config.Exec is a
+	// *fidelity.Router: FluidRouted hosts were served by the calibrated
+	// fluid solver, EarlyStopped DES runs terminated at steady state,
+	// AnchorRuns calibration anchors were simulated, and Audited
+	// fluid-routed hosts were shadow-run under DES (AuditMaxErr is the
+	// largest observed fluid-vs-DES error, AuditOverTol how many audits
+	// exceeded the router's tolerance).
+	FluidRouted  uint64
+	EarlyStopped uint64
+	AnchorRuns   uint64
+	Audited      uint64
+	AuditOverTol uint64
+	AuditMaxErr  float64
 }
 
 // aggregator folds points into Stats one at a time — the online path

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"hic/internal/fidelity"
 	"hic/internal/runcache"
 	"hic/internal/sim"
 )
@@ -166,5 +167,85 @@ func TestHostScenarioRandomAccess(t *testing.T) {
 	}
 	if diff == 0 {
 		t.Error("fleet seed has no effect on host scenarios")
+	}
+}
+
+// TestFleetDESRouterGolden: a fidelity router in ModeDES (no early stop)
+// must be invisible — the golden fleet hash is unchanged with the
+// routing layer compiled in and enabled.
+func TestFleetDESRouterGolden(t *testing.T) {
+	cfg := quickConfig(32)
+	router, err := fidelity.New(fidelity.Config{Mode: fidelity.ModeDES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exec = router
+	var points []Point
+	st, err := RunStream(cfg, func(p Point) error {
+		points = append(points, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fleetHash(points); got != goldenFleetHash {
+		t.Errorf("ModeDES-routed fleet hash = %s, want %s (router must be invisible)", got, goldenFleetHash)
+	}
+	if st.FluidRouted != 0 || st.EarlyStopped != 0 || st.Audited != 0 {
+		t.Errorf("ModeDES routed approximately: %+v", st)
+	}
+	if st.Simulated+st.Collapsed != 32 {
+		t.Errorf("simulated %d + collapsed %d != 32 hosts", st.Simulated, st.Collapsed)
+	}
+}
+
+// TestFleetAutoRouterAccounting: ModeAuto with audit and early stopping
+// on a mid-size fleet — accounting must add up, qualitative Figure 1
+// claims must survive, and every audited point must be within tolerance.
+func TestFleetAutoRouterAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run is slow")
+	}
+	// Small fleet and coarse anchor grid: the anchor calibration runs
+	// |signatures|×|ants|×|seeds| DES points up front, which must stay
+	// affordable under -race (make check runs this suite race-enabled).
+	cfg := quickConfig(120)
+	cfg.Warmup, cfg.Measure = 2*sim.Millisecond, 4*sim.Millisecond
+	router, err := fidelity.New(fidelity.Config{
+		Mode:        fidelity.ModeAuto,
+		Tol:         0.08,
+		AuditRate:   0.25,
+		EarlyStop:   true,
+		AnchorSeeds: SeedPool(cfg),
+		AnchorAnts:  []int{0, 8, 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exec = router
+	st, err := RunStream(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stats: %+v", st)
+	if st.Hosts != 120 {
+		t.Fatalf("Hosts = %d", st.Hosts)
+	}
+	// Every host is either executed under some strategy, served from a
+	// memoized anchor, or collapsed by dedup; anchor runs are extra
+	// simulations beyond the host count.
+	if got := st.Simulated - st.AnchorRuns + st.FluidRouted + st.Collapsed; got != 120 {
+		t.Errorf("execution accounting does not add up: sim %d - anchors %d + fluid %d + collapsed %d = %d, want 120",
+			st.Simulated, st.AnchorRuns, st.FluidRouted, st.Collapsed, got)
+	}
+	if st.FluidRouted == 0 {
+		t.Error("no host fluid-routed — auto routing is vacuous on the fleet mix")
+	}
+	if st.Pearson <= 0 {
+		t.Errorf("utilization–drop correlation = %v, want positive", st.Pearson)
+	}
+	if st.Audited > 0 && st.AuditMaxErr > router.Tol() {
+		t.Errorf("audit max error %.4f exceeds tolerance %.3f (%d/%d over)",
+			st.AuditMaxErr, router.Tol(), st.AuditOverTol, st.Audited)
 	}
 }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hic/internal/fluid"
+	"hic/internal/host"
+	"hic/internal/runcache"
+	"hic/internal/runner"
+)
+
+// Executor routes one scenario to an execution strategy. The default
+// (nil, or DES{}) is full packet-level simulation; internal/fidelity
+// provides a router that substitutes the calibrated fluid model where
+// it is sound and adds steady-state early termination to DES points.
+//
+// Plan must be deterministic for a given Params and must return the
+// cache version salt the chosen execution's result is stored under:
+// exactly SimVersion when (and only when) the result is bit-identical
+// to pure DES, a distinct salt otherwise. The singleflight and run
+// cache key on that salt, so approximate results can never be returned
+// to (or collapsed with) a pure-DES request — see internal/runcache's
+// package documentation.
+type Executor interface {
+	Plan(p Params) (version string, run func(*runner.Arena) (Results, error), err error)
+}
+
+// DES is the pure packet-level executor. Routing through it is
+// byte-identical (same results, same cache keys) to no executor at all.
+type DES struct{}
+
+func (DES) Plan(p Params) (string, func(*runner.Arena) (Results, error), error) {
+	return SimVersion, func(a *runner.Arena) (Results, error) { return RunOn(p, a) }, nil
+}
+
+// EarlyStop executes DES with the steady-state sequential stopping rule
+// (host.Testbed.RunAdaptive): the measurement window ends as soon as
+// per-window goodput and drop moments converge, and counters are scaled
+// to the full window. Results may therefore differ from a full-window
+// run, so keys are salted with the rule.
+type EarlyStop struct {
+	Rule host.StopRule
+	// Stopped counts executions the rule actually terminated early
+	// (cache hits and unconverged runs excluded).
+	Stopped atomic.Uint64
+}
+
+// Version is the cache salt: pure-DES results and early-stopped results
+// never share an entry, and neither do runs under different rules. The
+// "estop2" revision marks the adaptive-warmup variant of the rule —
+// bump the prefix whenever RunAdaptive's procedure changes.
+func (e *EarlyStop) Version() string {
+	return fmt.Sprintf("%s+estop2(%d,%d,%g)", SimVersion,
+		int64(e.Rule.Window), e.Rule.MinWindows, e.Rule.RelTol)
+}
+
+func (e *EarlyStop) Plan(p Params) (string, func(*runner.Arena) (Results, error), error) {
+	return e.Version(), func(a *runner.Arena) (Results, error) {
+		r, stopped, err := RunAdaptiveOn(p, a, e.Rule)
+		if stopped {
+			e.Stopped.Add(1)
+		}
+		return r, err
+	}, nil
+}
+
+// RunAdaptiveOn is RunOn under a steady-state stopping rule; the
+// boolean reports whether the window was terminated early. The rule's
+// window is fitted to the scenario's measure (host.StopRule.Fit) so
+// short fleet windows still stop early; the fit is deterministic per
+// Params, so the EarlyStop version salt (which records the configured
+// rule) still uniquely describes each point's behavior.
+func RunAdaptiveOn(p Params, a *runner.Arena, rule host.StopRule) (Results, bool, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
+	if err != nil {
+		return Results{}, false, err
+	}
+	r, stopped := tb.RunAdaptive(p.Warmup, p.Measure, rule.Fit(p.Measure))
+	return r, stopped, nil
+}
+
+// FluidVersion salts cache entries produced by the fluid solver (via
+// fidelity routing). Bump its suffix whenever the solver's output for a
+// given Params can change.
+const FluidVersion = SimVersion + "+fluid-1"
+
+// RunFluid evaluates the scenario with the analytical fluid solver
+// (internal/fluid) instead of simulating it: the Params are lowered
+// onto the same substrate configuration DES would use, and the solver
+// returns the steady-state operating point in the Results shape plus
+// the regime diagnostics the fidelity router needs. Scenarios outside
+// the fluid model's domain return fluid.ErrUnsupported.
+func RunFluid(p Params) (fluid.Prediction, error) {
+	p.normalizeWindows()
+	cfg, err := p.hostConfig()
+	if err != nil {
+		return fluid.Prediction{}, err
+	}
+	var cc fluid.Protocol
+	switch p.CC {
+	case CCSwift, "":
+		cc = fluid.Swift
+	case CCDCTCP:
+		cc = fluid.DCTCP
+	case CCFixed:
+		cc = fluid.Fixed
+	default:
+		return fluid.Prediction{}, fmt.Errorf("core: unknown congestion control %q", p.CC)
+	}
+	return fluid.Predict(cfg, cc, p.HostTarget, p.Measure)
+}
+
+// runVia is runCachedOn with an executor deciding strategy and cache
+// salt per point. A nil executor is the pure-DES path, byte-identical
+// to the pre-fidelity funnel.
+func runVia(exec Executor, p Params, cache *runcache.Store, flight *runcache.Flight, a *runner.Arena) (Results, error) {
+	if exec == nil {
+		return runCachedOn(p, cache, flight, a)
+	}
+	p.normalizeWindows()
+	version, run, err := exec.Plan(p)
+	if err != nil {
+		return Results{}, err
+	}
+	if cache == nil && flight == nil {
+		return run(a)
+	}
+	canonical := p.Canonical()
+	key := runcache.Key(version, canonical)
+	compute := func() (Results, error) { return run(a) }
+	if cache != nil {
+		return cache.GetOrCompute(key, version, canonical, compute)
+	}
+	return flight.Do(key, compute)
+}
+
+// RunVia executes one scenario through the executor and (optional)
+// cache. A nil executor degrades to RunCached.
+func RunVia(exec Executor, p Params, cache *runcache.Store) (Results, error) {
+	return runVia(exec, p, cache, nil, nil)
+}
+
+// RunOnVia is RunVia on a caller-managed arena with an optional
+// batch-local singleflight — the building block streaming drivers
+// (internal/cluster) use to route points while keeping their own
+// dedup accounting. flight is consulted only when cache is nil.
+func RunOnVia(exec Executor, p Params, cache *runcache.Store, flight *runcache.Flight, a *runner.Arena) (Results, error) {
+	return runVia(exec, p, cache, flight, a)
+}
+
+// RunManyVia is RunMany with an executor routing each point. Results
+// come back in input order; duplicate Params still collapse to one
+// execution, but only within the same cache version (a fluid-routed
+// point can never satisfy a DES-routed one).
+func RunManyVia(exec Executor, ps []Params, cache *runcache.Store) ([]Results, error) {
+	results := make([]Results, len(ps))
+	var flight *runcache.Flight
+	if cache == nil {
+		flight = runcache.NewFlight(true)
+	}
+	err := runner.Shared().Map(len(ps), func(i int, a *runner.Arena) error {
+		r, err := runVia(exec, ps[i], cache, flight, a)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunEachVia is RunEach with an executor routing each point.
+func RunEachVia(exec Executor, ps []Params, cache *runcache.Store, emit func(i int, r Results) error) error {
+	var flight *runcache.Flight
+	if cache == nil {
+		flight = runcache.NewFlight(true)
+	}
+	return runner.MapOrdered(runner.Shared(), len(ps),
+		func(i int, a *runner.Arena) (Results, error) {
+			return runVia(exec, ps[i], cache, flight, a)
+		}, emit)
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"testing"
+
+	"hic/internal/core"
+	"hic/internal/fidelity"
+	"hic/internal/runcache"
+)
+
+// TestGoldenDeterminismViaDESRouter proves the fidelity layer is
+// invisible when disabled: routing the golden scenarios through a
+// ModeDES router (the -fidelity=des CLI path) reproduces the exact
+// pre-fidelity hashes pinned in determinism_test.go.
+func TestGoldenDeterminismViaDESRouter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs take a few seconds")
+	}
+	router, err := fidelity.New(fidelity.Config{Mode: fidelity.ModeDES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7} {
+		for _, name := range []string{"fig3", "fig6"} {
+			p := goldenParams(name, seed)
+			r, err := core.RunVia(router, p, nil)
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", name, seed, err)
+			}
+			key := name + "/seed=" + map[uint64]string{1: "1", 7: "7"}[seed]
+			if got := resultHash(r); got != goldenHashes[key] {
+				t.Errorf("DES router: %s results hash = %s, want %s (router not transparent)",
+					key, got, goldenHashes[key])
+			}
+		}
+	}
+	c := router.Counters()
+	if c.FluidRouted != 0 || c.EarlyStopped != 0 {
+		t.Errorf("ModeDES router took an approximate path: %+v", c)
+	}
+}
+
+// TestFluidAndDESNeverShareCacheEntry pins the cache-salt separation the
+// runcache package documents: a fluid-computed result stored in a cache
+// directory can never satisfy a pure-DES lookup for the same Params.
+// The DES run after a fluid run of the identical scenario must miss,
+// simulate, and still produce the golden hash.
+func TestFluidAndDESNeverShareCacheEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs DES")
+	}
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := goldenParams("fig3", 1)
+
+	router, err := fidelity.New(fidelity.Config{Mode: fidelity.ModeFluid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, _, err := router.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version == core.SimVersion {
+		t.Fatalf("fig3 point fell back to DES (version %q); fluid domain regressed", version)
+	}
+	if runcache.Key(version, p.Canonical()) == p.CacheKey() {
+		t.Fatal("fluid version salt produced the pure-DES cache key")
+	}
+	if _, err := core.RunVia(router, p, store); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Misses != 1 {
+		t.Fatalf("fluid run: misses=%d, want 1", st.Misses)
+	}
+
+	des, err := core.RunCached(p, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Hits != 0 {
+		t.Fatalf("pure-DES lookup hit a fluid entry: %+v", st)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("misses=%d, want 2 (fluid and DES entries are distinct)", st.Misses)
+	}
+	if got := resultHash(des); got != goldenHashes["fig3/seed=1"] {
+		t.Fatalf("DES result after fluid run hashes %s, want golden %s", got, goldenHashes["fig3/seed=1"])
+	}
+}

@@ -33,6 +33,12 @@ type Options struct {
 	// content-addressed run cache: repeated figure runs replay stored
 	// results instead of re-simulating (hicfigs -cache).
 	Cache *runcache.Store
+	// Exec, when non-nil, routes grid points through an execution
+	// strategy (see core.Executor and internal/fidelity). Published
+	// figures use nil — pure DES — so their numbers stay exact;
+	// Replicates always run pure DES regardless, because replication
+	// measures seed noise and the fluid solver is seed-independent.
+	Exec core.Executor
 }
 
 // replicated runs p Replicates times and returns all results.
@@ -47,6 +53,9 @@ func (o Options) replicated(p core.Params) ([]core.Results, error) {
 // runMany sweeps the points through the options' cache (nil ⇒ plain
 // core.RunMany). Every figure definition funnels its grid through here.
 func (o Options) runMany(ps []core.Params) ([]core.Results, error) {
+	if o.Exec != nil {
+		return core.RunManyVia(o.Exec, ps, o.Cache)
+	}
 	return core.RunManyCached(ps, o.Cache)
 }
 

@@ -1,0 +1,56 @@
+package fidelity
+
+import (
+	"flag"
+	"io"
+
+	"hic/internal/runcache"
+)
+
+// Flags bundles the standard command-line fidelity knobs so every
+// driver (hicsweep, hiccluster, hicfigs) exposes the same interface.
+type Flags struct {
+	Mode      string
+	Tol       float64
+	AuditRate float64
+	EarlyStop bool
+}
+
+// RegisterFlags installs the fidelity flags on fs with the given
+// default mode ("des" keeps published-figure paths exact by default).
+func RegisterFlags(fs *flag.FlagSet, defaultMode Mode) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Mode, "fidelity", string(defaultMode),
+		"execution fidelity: des (exact simulation), fluid (uncalibrated analytic preview), auto (calibrated fluid where sound, DES elsewhere)")
+	fs.Float64Var(&f.Tol, "fidelity-tol", 0.05,
+		"auto-mode routing tolerance: max acceptable calibrated error (fraction)")
+	fs.Float64Var(&f.AuditRate, "audit-rate", 0,
+		"shadow-run DES on this fraction of fluid-routed points and record the observed error (auto mode)")
+	fs.BoolVar(&f.EarlyStop, "early-stop", false,
+		"terminate DES measurement windows once goodput and drop moments reach steady state (approximate)")
+	return f
+}
+
+// Router builds the configured router, or nil when the flags select the
+// pure-DES legacy path (mode des, no early stop) — callers should leave
+// their executor unset in that case so results and cache keys stay
+// byte-identical to the pre-fidelity binaries. anchorSeeds may be nil
+// (defaults apply); fleet drivers pass their own seed pool.
+func (f *Flags) Router(cache *runcache.Store, anchorSeeds []uint64, log io.Writer) (*Router, error) {
+	mode, err := ParseMode(f.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeDES && !f.EarlyStop {
+		return nil, nil
+	}
+	return New(Config{
+		Mode:        mode,
+		Tol:         f.Tol,
+		AuditRate:   f.AuditRate,
+		EarlyStop:   f.EarlyStop,
+		Cache:       cache,
+		AnchorSeeds: anchorSeeds,
+		Log:         log,
+	})
+}

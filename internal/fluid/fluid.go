@@ -1,0 +1,362 @@
+// Package fluid is the analytical fast path of the multi-fidelity
+// execution layer: a fixed-point solver that composes the paper's
+// closed-form models — the PCIe credit Little's-law bound (§3.1), the
+// IOTLB working-set/LRU miss approximation, the memory load–latency
+// curve (§3.2), and the congestion-control blind-spot threshold — into
+// a steady-state predictor for one full scenario, returning the same
+// Results shape the packet-level simulator produces.
+//
+// The solver is deliberately a *smooth-regime* model: far from the
+// regime knees (IOTLB overflow at the 128-entry boundary, memory-bus
+// load factor ≈ 1, the CC blind threshold) host behavior is set by
+// which closed-form bound binds, and the fixed point over
+//
+//	throughput T  →  memory load ρ(T)  →  loaded access latency
+//	             →  credit-bound capacity(ρ)  →  T' = min(demand, capacity)
+//
+// converges in a handful of damped iterations. Near a knee the discrete
+// dynamics (burst onsets, sawtooth window oscillation, LRU churn) that
+// DES captures dominate, which is exactly when internal/fidelity routes
+// the point to DES instead. Accuracy inside the smooth regime is
+// further tightened by per-signature calibration against DES anchors
+// (see internal/fidelity); Predict itself is uncalibrated physics.
+//
+// Predict is pure floating-point arithmetic: deterministic, seed-
+// independent, and ~10⁶× cheaper than simulating the scenario.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"hic/internal/host"
+	"hic/internal/iommu"
+	"hic/internal/model"
+	"hic/internal/pkt"
+	"hic/internal/sim"
+	"hic/internal/transport/swift"
+)
+
+// Protocol names the congestion-control family for the drop model.
+// (host.Config carries the CC only as an opaque factory.)
+type Protocol string
+
+const (
+	Swift Protocol = "swift"
+	DCTCP Protocol = "dctcp"
+	Fixed Protocol = "fixed"
+)
+
+// Prediction is a fluid steady-state operating point: the DES-shaped
+// Results plus the diagnostics the fidelity router uses for its
+// regime-distance (knee) checks.
+type Prediction struct {
+	host.Results
+
+	// Rho is the memory-bus load factor (offered/achievable) at the
+	// fixed point; the ρ≈1 knee check reads this.
+	Rho float64
+	// WorkingSet is the IOTLB entry footprint; WorkingSet/TLBEntries≈1
+	// is the Figure 3 knee.
+	WorkingSet int
+	// TLBEntries echoes the IOTLB capacity used for WorkingSet.
+	TLBEntries int
+	// CapacityGbps is the host's service capacity (app payload Gbps) at
+	// the fixed point — the min over wire, PCIe, CPU, and credit bounds.
+	CapacityGbps float64
+	// DemandGbps is the offered arrival rate (app payload Gbps) the
+	// capacity is compared against (on-phase rate for bursty loads).
+	DemandGbps float64
+	// BlindGbps is the CC blind-spot threshold for this buffer/target.
+	BlindGbps float64
+	// Blind reports whether the drop model took the blind-zone branch.
+	Blind bool
+	// Iterations and Converged describe the fixed-point loop.
+	Iterations int
+	Converged  bool
+}
+
+// ErrUnsupported marks scenarios whose behavior is set by mechanisms the
+// fluid model does not represent; the router must run them under DES.
+type ErrUnsupported struct{ Reason string }
+
+func (e ErrUnsupported) Error() string { return "fluid: unsupported scenario: " + e.Reason }
+
+// unsupported returns the first config knob that takes the scenario
+// outside the fluid model's domain, or "".
+func unsupported(cfg host.Config) string {
+	switch {
+	case cfg.DynamicCoreScaling || cfg.InitialActiveCores > 0:
+		return "dynamic core scaling (queue-depth feedback loop)"
+	case cfg.VictimConnGbps > 0:
+		return "asymmetric victim/aggressor workload"
+	case cfg.SenderHostModel:
+		return "sender-side host model (TX backpressure)"
+	case cfg.IOMMU.Enabled && cfg.IOMMU.Mode == iommu.StrictMode:
+		return "strict IOMMU (per-DMA map/unmap + invalidations)"
+	case cfg.IOMMU.DeviceTLBEntries > 0:
+		return "device TLB (ATS) hit dynamics"
+	case cfg.NIC.PerQueueBuffers:
+		return "per-queue NIC buffer partitioning"
+	case cfg.NIC.HostECNThreshold > 0:
+		return "sub-RTT host ECN feedback"
+	case cfg.Fabric.ECNThresholdBytes > 0:
+		return "fabric ECN marking dynamics"
+	}
+	return ""
+}
+
+// Per-thread control-structure footprint in 4 KB pages (descriptor ring,
+// completion ring, Tx descriptor ring, ACK buffers) — must match the
+// layout constants in internal/host.
+const controlPages = 10
+
+// translationsPerPacket is the paper's footnote-3 count: 3 Rx-side
+// (descriptor, payload, completion) + 2 Tx/ACK-side. Only the Rx three
+// hold PCIe credits while resolving.
+const (
+	translationsPerPacket   = 5
+	rxTranslationsPerPacket = 3
+)
+
+// memQueueAllowance mirrors the steady-state FIFO queueing allowance
+// baked into core.ModeledThroughput's calibrated Tbase.
+const memQueueAllowance = 150 * sim.Nanosecond
+
+// refRho is the reference load factor the calibrated Tbase was fit at.
+const refRho = 0.15
+
+// Predict solves the scenario's steady state. cc selects the drop
+// model; hostTarget is the delay-target CC's host budget (0 = Swift's
+// default 100 µs; ignored for DCTCP/Fixed); measure scales the
+// counters in the returned Results.
+func Predict(cfg host.Config, cc Protocol, hostTarget sim.Duration, measure sim.Duration) (Prediction, error) {
+	if reason := unsupported(cfg); reason != "" {
+		return Prediction{}, ErrUnsupported{reason}
+	}
+	if measure <= 0 {
+		return Prediction{}, fmt.Errorf("fluid: non-positive measure window")
+	}
+	switch cc {
+	case Swift, DCTCP, Fixed:
+	default:
+		return Prediction{}, fmt.Errorf("fluid: unknown protocol %q", cc)
+	}
+	if hostTarget <= 0 {
+		hostTarget = swift.DefaultConfig().HostTarget
+	}
+
+	mtu := cfg.Transport.MTU
+	payloadFrac := float64(mtu) / float64(mtu+pkt.HeaderBytes)
+
+	// --- Static capacity bounds (app-payload bits/s). ---
+	wireCeil := float64(model.MaxAchievableThroughput(cfg.Fabric.AccessLinkRate, mtu, pkt.HeaderBytes))
+	pcieWire := cfg.PCIe.WireBytes(mtu + cfg.NIC.CompletionBytes)
+	pciePayload := float64(cfg.PCIe.Goodput()) * float64(mtu) / float64(cfg.PCIe.WireBytes(mtu))
+
+	cores := cfg.ReceiverThreads
+	if cfg.CPUCores > 0 && cfg.CPUCores < cores {
+		cores = cfg.CPUCores
+	}
+	perPktNs := float64(cfg.CPU.PerPacketCost) + cfg.CPU.PerByteCostNs*float64(mtu)
+	cpuCap := float64(cores) * float64(mtu) * 8 * 1e9 / perPktNs
+
+	// --- IOTLB miss rate from the working-set approximation. ---
+	var missRate float64
+	ws, tlbEntries := 0, 0
+	if cfg.IOMMU.Enabled {
+		pageBytes := uint64(4096)
+		if cfg.Hugepages {
+			pageBytes = 2 << 20
+		}
+		ws = model.IOTLBWorkingSet(cfg.ReceiverThreads, cfg.RxRegionBytes, pageBytes, controlPages)
+		tlbEntries = cfg.IOMMU.TLBEntries
+		missRate = model.LRUMissRate(tlbEntries, ws)
+	}
+	missesPerPacket := translationsPerPacket * missRate
+	rxMisses := rxTranslationsPerPacket * missRate
+
+	// --- Memory-bus demand model. ---
+	memCap := float64(cfg.Memory.TheoreticalBW.BytesPerSecond()) * cfg.Memory.Efficiency
+	antagonistBW := 0.0
+	if !cfg.AntagonistRemoteNUMA {
+		antagonistBW = float64(cfg.AntagonistCores) * cfg.Antagonist.PerCoreBandwidth
+	}
+	cpuShareCap := cfg.Memory.CPUMaxShare
+	if r := 1 - cfg.Memory.IOReservedShare; r < cpuShareCap {
+		cpuShareCap = r
+	}
+	ioFloor := math.Max(0.01*memCap, cfg.Memory.IOReservedShare*memCap)
+	// Bytes the IO side moves per delivered packet: payload DMA write,
+	// descriptor read, completion write, plus page-walk reads on misses.
+	ioBytesPerPkt := float64(mtu+cfg.NIC.DescriptorBytes+cfg.NIC.CompletionBytes) +
+		missesPerPacket*float64(cfg.IOMMU.WalkEntryBytes)
+
+	// memState evaluates the controller's bandwidth split at app
+	// throughput T (bits/s): returns ρ, the loaded access latency, the
+	// CPU-side achieved bytes/s, and the IO-side service rate bytes/s.
+	memState := func(T float64) (rho float64, lat sim.Duration, cpuAchieved, ioService float64) {
+		cpuDemand := antagonistBW + T/8*(cfg.CPU.CopyReadFraction+cfg.CPU.CopyWriteFraction)
+		ioDemand := T / (8 * float64(mtu)) * ioBytesPerPkt
+		rho = (cpuDemand + ioDemand) / memCap
+		lat = model.LoadLatency(cfg.Memory.BaseLatency, rho,
+			cfg.Memory.LoadCurveA, cfg.Memory.LoadCurveB, cfg.Memory.MaxLoadFactor)
+		cpuAchieved = math.Min(cpuDemand, memCap*cpuShareCap)
+		ioService = math.Max(memCap-cpuAchieved, ioFloor)
+		return
+	}
+
+	transmit := sim.BitsPerSecond(float64(cfg.PCIe.RawBandwidth()) * cfg.PCIe.LinkEfficiency)
+	// Idle-reference IO service rate: the excess payload transfer time
+	// over this reference enters Tbase (the reference itself is part of
+	// the calibrated queueing allowance).
+	_, _, _, ioServiceIdle := memState(0)
+
+	// capacity returns the binding service bound at load ρ implied by T.
+	capacity := func(T float64) float64 {
+		_, lat, _, ioService := memState(T)
+		tbase := 2*transmit.TransmitTime(cfg.PCIe.WireBytes(mtu)) + 3*lat +
+			memQueueAllowance + cfg.PCIe.RootComplexLatency
+		if excess := float64(mtu)/ioService - float64(mtu)/ioServiceIdle; excess > 0 {
+			tbase += sim.Duration(excess * 1e9)
+		}
+		tmiss := lat + cfg.IOMMU.WalkStepLatency
+		bound := float64(model.ThroughputBound(cfg.PCIe.CreditBytes, pcieWire, mtu, tbase, rxMisses, tmiss))
+		return math.Min(math.Min(bound, cpuCap), math.Min(wireCeil, pciePayload))
+	}
+
+	// --- Offered demand. ---
+	demand := math.Inf(1)
+	if cfg.Transport.AppRateLimit > 0 {
+		demand = float64(cfg.Transport.AppRateLimit) * float64(cfg.Senders*cfg.ReceiverThreads)
+	}
+	duty := 1.0
+	if cfg.BurstDuty > 0 {
+		duty = cfg.BurstDuty
+	}
+	// Bursty senders offer their full rate during the on-phase only;
+	// arrivals during that phase are what the host must absorb.
+	onDemand := math.Min(demand, wireCeil)
+
+	// --- Fixed point: T = min(onDemand, capacity(T)). capacity(T) is
+	// non-increasing in T (more throughput ⇒ more memory load ⇒ longer
+	// credit hold times), so f(T) = T − min(onDemand, capacity(T)) is
+	// strictly increasing and the root is unique; bisection always
+	// converges, including on the steep side of the load–latency curve
+	// where damped iteration oscillates.
+	p := Prediction{WorkingSet: ws, TLBEntries: tlbEntries}
+	lo, hi := 0.0, math.Min(onDemand, capacity(0))
+	T := hi
+	if f := hi - math.Min(onDemand, capacity(hi)); f > 0 {
+		const maxIter, relEps = 80, 1e-9
+		for i := 0; i < maxIter; i++ {
+			p.Iterations = i + 1
+			T = (lo + hi) / 2
+			if T-math.Min(onDemand, capacity(T)) > 0 {
+				hi = T
+			} else {
+				lo = T
+			}
+			if hi-lo <= relEps*math.Max(hi, 1) {
+				break
+			}
+		}
+	}
+	p.Converged = true
+	cap_ := capacity(T)
+	rho, lat, cpuAchieved, _ := memState(T)
+	p.Rho = rho
+	p.CapacityGbps = cap_ / 1e9
+	p.DemandGbps = onDemand / 1e9
+
+	// --- Drop model. ---
+	blind := float64(model.CCBlindThreshold(cfg.NIC.BufferBytes, hostTarget, payloadFrac))
+	p.BlindGbps = blind / 1e9
+	arrival := onDemand // what the fabric delivers during the on-phase
+	dropFrac := 0.0
+	switch {
+	case arrival <= cap_:
+		// Underload: the host keeps up; no sustained drops.
+	case cc == Swift && cap_ < blind:
+		// The full-buffer drain delay exceeds the host target, so the
+		// delay-target CC sees the congestion and backs off to the
+		// service rate: residual drops only (sawtooth probing).
+		arrival = cap_
+	default:
+		// Blind zone (or a CC that never reacts to host congestion):
+		// arrivals keep coming at the offered rate and the excess drops
+		// at the NIC buffer. Reactive protocols still see the *losses*
+		// and cut their windows, so the sustained excess is a fraction
+		// of the raw overshoot (sawtooth recovery); only a fixed window
+		// keeps pushing the full excess.
+		p.Blind = true
+		lossFeedback := 0.35
+		if cc == Fixed {
+			lossFeedback = 1
+		}
+		dropFrac = lossFeedback * (arrival - cap_) / arrival
+	}
+	achieved := math.Min(arrival, cap_)
+
+	// Burst-onset drops: even when the on-phase rate is serviceable the
+	// onset burst can overflow the buffer if arrivals outrun service
+	// before the CC window closes; with serviceable on-rates the shared
+	// buffer absorbs the onset, so only the sustained excess (handled
+	// above) contributes. The duty cycle then scales the averages.
+	avgAchieved := achieved * duty
+	avgArrival := arrival * duty
+
+	// --- Assemble Results in the DES units. ---
+	sec := measure.Seconds()
+	res := host.Results{Duration: measure}
+	res.AppThroughputGbps = avgAchieved / 1e9
+	res.Goodput = uint64(math.Round(avgAchieved / 8 * sec))
+	res.DropRatePct = dropFrac * 100
+	res.LinkUtilization = avgArrival / payloadFrac / float64(cfg.Fabric.AccessLinkRate)
+	res.IOTLBMissesPerPacket = missesPerPacket
+	res.MemoryBandwidthGBps = (cpuAchieved + avgAchieved/(8*float64(mtu))*ioBytesPerPkt) / 1e9
+
+	pktRate := avgArrival / (8 * float64(mtu))
+	arrivedPkts := pktRate * sec
+	res.Drops = uint64(math.Round(arrivedPkts * dropFrac))
+	res.RxPackets = uint64(math.Round(arrivedPkts)) - res.Drops
+	res.Retransmits = res.Drops
+	res.Reads = res.Goodput / uint64(cfg.Transport.ReadSize)
+
+	// Host delay: dropping ⇒ the buffer rides full and delay is its
+	// drain time; capacity-bound but visible ⇒ the CC holds delay near
+	// its target; underload ⇒ the base pipeline latency.
+	drainWire := sim.BitsPerSecond(cap_ / payloadFrac)
+	switch {
+	case dropFrac > 0:
+		full := model.EffectiveRxDelayBudget(cfg.NIC.BufferBytes, drainWire)
+		res.HostDelayP50 = full * 4 / 5
+		res.HostDelayP99 = full
+		res.HostDelayMax = full
+	case achieved >= cap_*0.98 && cc == Swift:
+		res.HostDelayP50 = hostTarget * 4 / 5
+		res.HostDelayP99 = hostTarget
+		res.HostDelayMax = hostTarget * 6 / 5
+	default:
+		base := 2*transmit.TransmitTime(cfg.PCIe.WireBytes(mtu)) + 3*lat +
+			memQueueAllowance + cfg.PCIe.RootComplexLatency
+		res.HostDelayP50 = base
+		res.HostDelayP99 = 3 * base
+		res.HostDelayMax = 6 * base
+	}
+
+	// Read latency: per-connection serialization of one ReadSize RPC
+	// plus the fabric round trip and the host delay.
+	conns := float64(cfg.Senders * cfg.ReceiverThreads)
+	if perConn := avgAchieved / conns; perConn > 0 {
+		serialize := sim.Duration(float64(cfg.Transport.ReadSize) * 8 / perConn * 1e9)
+		rtt := 2*cfg.Fabric.PropagationDelay + res.HostDelayP50
+		res.ReadLatencyP50 = serialize + rtt
+		res.ReadLatencyP99 = 2*serialize + rtt + res.HostDelayP99
+		res.ReadLatencyP999 = 3*serialize + rtt + 2*res.HostDelayP99
+	}
+	res.FairnessIndex = 1
+
+	p.Results = res
+	return p, nil
+}

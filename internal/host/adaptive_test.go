@@ -1,0 +1,87 @@
+package host
+
+import (
+	"testing"
+
+	"hic/internal/sim"
+)
+
+// A rule that can never fire must leave RunAdaptive bit-identical to
+// Run: the engine reaches the same horizon through the same events
+// whether it pauses at sub-window boundaries or not.
+func TestRunAdaptiveNonTriggeringMatchesRun(t *testing.T) {
+	cfg := swiftConfig(4)
+	cfg.Senders = 8
+	warmup, measure := 2*sim.Millisecond, 6*sim.Millisecond
+
+	full := runPoint(t, cfg, warmup, measure)
+
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RelTol 0 disables the convergence test but (via the windowed loop
+	// guard) falls back to plain Run.
+	adaptive, stopped := tb.RunAdaptive(warmup, measure, StopRule{})
+	if stopped {
+		t.Fatal("zero rule stopped early")
+	}
+	if adaptive != full {
+		t.Errorf("zero-rule RunAdaptive differs from Run:\n%+v\n%+v", adaptive, full)
+	}
+
+	// A windowed run whose tolerance is unreachably tight walks the same
+	// event sequence in sub-windows and must also match exactly.
+	tb2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, stopped := tb2.RunAdaptive(warmup, measure,
+		StopRule{Window: sim.Millisecond, MinWindows: 4, RelTol: 1e-12})
+	if stopped {
+		t.Fatal("1e-12 tolerance stopped early")
+	}
+	if windowed != full {
+		t.Errorf("windowed RunAdaptive differs from Run:\n%+v\n%+v", windowed, full)
+	}
+}
+
+func TestRunAdaptiveStopsEarlyAndScales(t *testing.T) {
+	cfg := swiftConfig(4)
+	cfg.Senders = 8
+	warmup, measure := 3*sim.Millisecond, 40*sim.Millisecond
+
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := StopRule{Window: sim.Millisecond, MinWindows: 4, RelTol: 0.05}
+	res, stopped := tb.RunAdaptive(warmup, measure, rule)
+	if !stopped {
+		t.Skip("steady 4-thread point did not converge inside the window; rule too strict for this build")
+	}
+	if res.Duration != measure {
+		t.Errorf("scaled Duration = %v, want %v", res.Duration, measure)
+	}
+
+	full := runPoint(t, cfg, warmup, measure)
+	relErr := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d / b
+	}
+	// The whole point of the rule: the truncated estimate lands close to
+	// the full window. Allow generous slack (5× the 1-s.e. tolerance).
+	if e := relErr(res.AppThroughputGbps, full.AppThroughputGbps); e > 5*rule.RelTol {
+		t.Errorf("early-stopped throughput off by %.1f%% (%.2f vs %.2f Gbps)",
+			100*e, res.AppThroughputGbps, full.AppThroughputGbps)
+	}
+	if e := relErr(float64(res.Goodput), float64(full.Goodput)); e > 5*rule.RelTol {
+		t.Errorf("scaled goodput off by %.1f%%", 100*e)
+	}
+}

@@ -11,6 +11,7 @@ package host
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"hic/internal/antagonist"
 	"hic/internal/cpu"
@@ -655,22 +656,45 @@ type Results struct {
 	DMAFaults   uint64
 }
 
-// Run executes warmup (discarded) then a measurement window and returns
-// its Results. Calling Run again continues the same simulation with a
-// fresh measurement window (pass zero warmup for back-to-back bins).
-func (t *Testbed) Run(warmup, measure sim.Duration) Results {
+// measureBaseline captures the cumulative-counter snapshot taken at the
+// start of a measurement window so harvest can compute window deltas.
+type measureBaseline struct {
+	memStart sim.Time
+	io0      uint64
+	cpu0     float64
+	flow0    map[uint32]uint64
+}
+
+// beginMeasure runs the (discarded) warmup, resets the window counters,
+// and snapshots the cumulative series harvest will diff against.
+func (t *Testbed) beginMeasure(warmup sim.Duration) measureBaseline {
 	if !t.started {
 		t.Start()
 		t.started = true
 	}
 	t.Engine.Run(t.Engine.Now().Add(warmup))
 	t.Registry.ResetAll()
-	memStart := t.Engine.Now()
-	io0 := t.Memory.IOServedBytes()
-	cpu0 := t.Memory.CPUServedBytes()
-	flow0 := t.Receiver.GoodputByFlow()
+	return measureBaseline{
+		memStart: t.Engine.Now(),
+		io0:      t.Memory.IOServedBytes(),
+		cpu0:     t.Memory.CPUServedBytes(),
+		flow0:    t.Receiver.GoodputByFlow(),
+	}
+}
 
+// Run executes warmup (discarded) then a measurement window and returns
+// its Results. Calling Run again continues the same simulation with a
+// fresh measurement window (pass zero warmup for back-to-back bins).
+func (t *Testbed) Run(warmup, measure sim.Duration) Results {
+	b := t.beginMeasure(warmup)
 	t.Engine.Run(t.Engine.Now().Add(measure))
+	return t.harvest(b, measure)
+}
+
+// harvest summarizes the window that began at b and lasted measure. The
+// engine must already have advanced to the end of the window.
+func (t *Testbed) harvest(b measureBaseline, measure sim.Duration) Results {
+	memStart, io0, cpu0, flow0 := b.memStart, b.io0, b.cpu0, b.flow0
 
 	res := Results{Duration: measure}
 	sec := measure.Seconds()
@@ -719,4 +743,221 @@ func (t *Testbed) Run(warmup, measure sim.Duration) Results {
 	}
 	res.FairnessIndex = stats.JainIndex(perFlow)
 	return res
+}
+
+// StopRule configures the steady-state sequential stopping test used by
+// RunAdaptive. The measurement window is executed in sub-windows of
+// Window; after MinWindows sub-windows the run stops as soon as the
+// standard error of both the per-window goodput rate and the per-window
+// drop fraction falls below RelTol of their running means (with a small
+// absolute floor so an all-zero drop series converges immediately).
+type StopRule struct {
+	// Window is the sub-window length. Zero disables early stopping.
+	Window sim.Duration
+	// MinWindows is the minimum number of sub-windows observed before
+	// the convergence test may fire (also the warm statistics floor).
+	MinWindows int
+	// RelTol is the relative standard-error threshold, e.g. 0.02 stops
+	// once the goodput-rate mean is known to ~2% (1 s.e.).
+	RelTol float64
+}
+
+// DefaultStopRule is tuned for fleet/sweep windows of a few ms to tens
+// of ms: 1 ms sub-windows, at least 3 of them, 2.5% standard error.
+// Three windows is the floor at which the standard-error estimate is
+// meaningful at all; the RelTol threshold, not the window count,
+// carries the accuracy burden, and the audit pass verifies the result
+// empirically.
+func DefaultStopRule() StopRule {
+	return StopRule{Window: sim.Millisecond, MinWindows: 3, RelTol: 0.025}
+}
+
+// Fit shrinks (never grows) Window so at least 2×MinWindows sub-windows
+// fit the measure — without it, fleet measures shorter than
+// Window×(MinWindows+1) silently disable early stopping. The result is
+// a pure function of (rule, measure), so for a given scenario the
+// fitted rule — and therefore the run — stays deterministic. A
+// disabled rule stays disabled.
+func (r StopRule) Fit(measure sim.Duration) StopRule {
+	if r.Window <= 0 || r.RelTol <= 0 || r.MinWindows <= 0 || measure <= 0 {
+		return r
+	}
+	if maxW := measure / sim.Duration(2*r.MinWindows); r.Window > maxW {
+		r.Window = maxW
+	}
+	return r
+}
+
+// Align snaps Window to a whole number of burst periods for duty-cycled
+// workloads. Sub-periodic windows sample alternating burst and idle
+// phases, so their means oscillate and the convergence test never
+// fires; period-aligned windows see statistically identical copies of
+// the cycle, so two of them suffice for the comparison (MinWindows is
+// clamped accordingly). No-op for non-bursty configs (period 0) or a
+// disabled rule.
+func (r StopRule) Align(period sim.Duration) StopRule {
+	if r.Window <= 0 || r.RelTol <= 0 || period <= 0 {
+		return r
+	}
+	if r.Window < period {
+		r.Window = period
+	} else if rem := r.Window % period; rem != 0 {
+		r.Window -= rem
+	}
+	if r.MinWindows > 2 {
+		r.MinWindows = 2
+	}
+	return r
+}
+
+// dropFloor is the absolute standard-error floor for the per-window
+// drop fraction (drops per arrived packet): below one part in 2e4 the
+// drop series is considered settled regardless of its relative spread.
+const dropFloor = 5e-5
+
+func converged(m *stats.Moments, relTol, absFloor float64) bool {
+	if m.N() < 2 {
+		return false
+	}
+	se := m.Stddev() / math.Sqrt(float64(m.N()))
+	return se <= math.Max(relTol*math.Abs(m.Mean()), absFloor)
+}
+
+// warmupAdaptive advances the engine through the warmup phase, cutting
+// it short once the per-window goodput rate and drop fraction reach
+// steady state under the same convergence test the measurement phase
+// uses. Warmup exists only to get past the transient; once the
+// transient is demonstrably over, the remaining warmup carries no
+// information. Returns whether the warmup was cut short.
+func (t *Testbed) warmupAdaptive(warmup sim.Duration, rule StopRule) bool {
+	if !t.started {
+		t.Start()
+		t.started = true
+	}
+	rule = rule.Fit(warmup)
+	if t.cfg.BurstDuty > 0 {
+		rule = rule.Align(t.cfg.BurstPeriod)
+	}
+	if rule.Window <= 0 || rule.RelTol <= 0 ||
+		warmup <= rule.Window*sim.Duration(rule.MinWindows+1) {
+		t.Engine.Run(t.Engine.Now().Add(warmup))
+		return false
+	}
+	var goodRate, dropFrac stats.Moments
+	var elapsed sim.Duration
+	var prevGood, prevArrived, prevDrops uint64
+	for elapsed < warmup {
+		step := rule.Window
+		if rem := warmup - elapsed; rem < step {
+			step = rem
+		}
+		t.Engine.Run(t.Engine.Now().Add(step))
+		elapsed += step
+
+		good := t.Receiver.GoodputBytes()
+		ns := t.NIC.Stats()
+		arrived := ns.RxPackets + ns.Drops
+		goodRate.Add(float64(good-prevGood) * 8 / step.Seconds() / 1e9)
+		frac := 0.0
+		if da := arrived - prevArrived; da > 0 {
+			frac = float64(ns.Drops-prevDrops) / float64(da)
+		}
+		dropFrac.Add(frac)
+		prevGood, prevArrived, prevDrops = good, arrived, ns.Drops
+
+		if elapsed >= warmup {
+			break
+		}
+		if int(goodRate.N()) >= rule.MinWindows &&
+			converged(&goodRate, rule.RelTol, 0) &&
+			converged(&dropFrac, rule.RelTol, dropFloor) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAdaptive is Run with steady-state early termination on both
+// phases. The warmup is cut short as soon as the transient has
+// demonstrably passed (see warmupAdaptive); the measurement window then
+// executes in rule.Window sub-windows, feeding per-window goodput rate
+// and drop fraction into Welford accumulators, and stops the engine as
+// soon as both series converge (see StopRule). Counters in the returned
+// Results are scaled from the elapsed window up to the requested
+// measure so downstream consumers see the usual units; rates and
+// quantiles are reported from the observed prefix unchanged. The
+// boolean reports whether either phase terminated early.
+//
+// With a zero rule (or a window too coarse to fit MinWindows+1
+// sub-windows) this is exactly Run: the engine advances through the
+// same event sequence whether the horizon is reached in one call or
+// several, so a non-triggering RunAdaptive is bit-identical to Run.
+func (t *Testbed) RunAdaptive(warmup, measure sim.Duration, rule StopRule) (Results, bool) {
+	mRule := rule
+	if t.cfg.BurstDuty > 0 {
+		mRule = mRule.Align(t.cfg.BurstPeriod)
+	}
+	if mRule.Window <= 0 || mRule.RelTol <= 0 ||
+		measure <= mRule.Window*sim.Duration(mRule.MinWindows+1) {
+		return t.Run(warmup, measure), false
+	}
+	warmCut := t.warmupAdaptive(warmup, rule)
+	b := t.beginMeasure(0)
+	rule = mRule
+
+	var goodRate, dropFrac stats.Moments
+	var elapsed sim.Duration
+	var prevGood, prevArrived, prevDrops uint64
+	stopped := false
+	for elapsed < measure {
+		step := rule.Window
+		if rem := measure - elapsed; rem < step {
+			step = rem
+		}
+		t.Engine.Run(t.Engine.Now().Add(step))
+		elapsed += step
+
+		good := t.Receiver.GoodputBytes()
+		ns := t.NIC.Stats()
+		arrived := ns.RxPackets + ns.Drops
+		goodRate.Add(float64(good-prevGood) * 8 / step.Seconds() / 1e9)
+		frac := 0.0
+		if da := arrived - prevArrived; da > 0 {
+			frac = float64(ns.Drops-prevDrops) / float64(da)
+		}
+		dropFrac.Add(frac)
+		prevGood, prevArrived, prevDrops = good, arrived, ns.Drops
+
+		if elapsed >= measure {
+			break
+		}
+		if int(goodRate.N()) >= rule.MinWindows &&
+			converged(&goodRate, rule.RelTol, 0) &&
+			converged(&dropFrac, rule.RelTol, dropFloor) {
+			stopped = true
+			break
+		}
+	}
+
+	res := t.harvest(b, elapsed)
+	if stopped && elapsed < measure {
+		res.scaleTo(measure, elapsed)
+	}
+	return res, stopped || warmCut
+}
+
+// scaleTo extrapolates the window's integer counters from the observed
+// elapsed duration up to the requested one (rates and quantiles are
+// already duration-normalized and stay as observed).
+func (r *Results) scaleTo(measure, elapsed sim.Duration) {
+	f := float64(measure) / float64(elapsed)
+	scale := func(v uint64) uint64 { return uint64(math.Round(float64(v) * f)) }
+	r.Goodput = scale(r.Goodput)
+	r.RxPackets = scale(r.RxPackets)
+	r.Drops = scale(r.Drops)
+	r.Retransmits = scale(r.Retransmits)
+	r.SwitchDrops = scale(r.SwitchDrops)
+	r.Reads = scale(r.Reads)
+	r.DMAFaults = scale(r.DMAFaults)
+	r.Duration = measure
 }

@@ -118,6 +118,71 @@ func TestFlightErrorsNotMemoized(t *testing.T) {
 	}
 }
 
+// TestFlightConcurrentErrorsNotMemoized drives the error path under
+// contention: every caller collapsed onto a failing computation receives
+// its error, and the failure leaves no residue — a later concurrent wave
+// on the same key computes exactly once and succeeds.
+func TestFlightConcurrentErrorsNotMemoized(t *testing.T) {
+	f := NewFlight(true)
+	boom := errors.New("boom")
+	const callers = 8
+
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Do("k", func() (host.Results, error) {
+				<-gate // park every other caller in the in-flight wait
+				return host.Results{}, boom
+			})
+		}(i)
+	}
+	waitCollapses(t, f.Collapses, callers-1)
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("collapsed caller %d got err = %v, want the leader's error", i, err)
+		}
+	}
+
+	// Second wave: the error must not have been memoized, and the retry
+	// collapses onto a single fresh computation that everyone shares.
+	var computes atomic.Int32
+	gate2 := make(chan struct{})
+	before := f.Collapses()
+	results := make([]host.Results, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			results[i], err = f.Do("k", func() (host.Results, error) {
+				<-gate2
+				computes.Add(1)
+				return host.Results{Goodput: 9}, nil
+			})
+			if err != nil {
+				t.Errorf("retry caller %d: %v", i, err)
+			}
+		}(i)
+	}
+	waitCollapses(t, f.Collapses, before+callers-1)
+	close(gate2)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("retry computed %d times, want 1 (error memoized or flight stuck)", got)
+	}
+	for i, r := range results {
+		if r.Goodput != 9 {
+			t.Fatalf("retry caller %d got %+v", i, r)
+		}
+	}
+}
+
 func TestFlightDistinctKeysDoNotCollapse(t *testing.T) {
 	f := NewFlight(true)
 	for _, k := range []string{"a", "b", "c"} {

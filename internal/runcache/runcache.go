@@ -12,6 +12,17 @@
 // canonical encoding includes every parameter field, and the version
 // salt (core.SimVersion) is bumped whenever simulator behavior changes,
 // so stale entries are simply never addressed again.
+//
+// The execution fidelity participates in the version salt. Pure DES
+// results are stored under core.SimVersion exactly as before; the
+// fidelity layer (internal/fidelity) salts every approximate strategy
+// differently — early-stopped DES appends the stopping rule
+// (core.EarlyStop.Version), calibrated fluid appends the fluid model
+// version plus the calibration anchor coordinates, and uncalibrated
+// fluid appends "+raw". A fluid or early-stopped result can therefore
+// never satisfy a pure-DES lookup, or vice versa, even in a shared
+// cache directory; internal/core's TestFluidAndDESNeverShareCacheEntry
+// pins this.
 package runcache
 
 import (

@@ -90,6 +90,107 @@ func TestMapOrderedEmitsInOrder(t *testing.T) {
 	}
 }
 
+func TestMapOrderedEmptyInput(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{0, -1} {
+		err := MapOrdered(p, n, func(i int, a *Arena) (int, error) {
+			t.Errorf("task ran for n=%d", n)
+			return 0, nil
+		}, func(i, v int) error {
+			t.Errorf("emit called for n=%d", n)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestMapOrderedMoreWorkersThanItems covers dispatch when worker
+// capacity exceeds the item count: most workers exit without ever
+// drawing a chunk, and every chunk holds a single item.
+func TestMapOrderedMoreWorkersThanItems(t *testing.T) {
+	p := New(16)
+	const n = 3
+	var got []int
+	err := MapOrdered(p, n, func(i int, a *Arena) (int, error) {
+		return i * 10, nil
+	}, func(i, v int) error {
+		if v != i*10 {
+			return fmt.Errorf("index %d: value %d", i, v)
+		}
+		got = append(got, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d of %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("emission out of order at %d: got index %d", i, v)
+		}
+	}
+}
+
+// TestMapOrderedPartialLastChunk picks n so the chunk size exceeds the
+// final chunk's item count (1601 items, chunk 50 ⇒ last chunk of 1):
+// the hi-clamp must not emit phantom indices or drop the tail.
+func TestMapOrderedPartialLastChunk(t *testing.T) {
+	p := New(4)
+	const n = 1601
+	if c := chunkFor(n, p.Workers()); n%c == 0 {
+		t.Fatalf("chunk %d divides %d; pick an n that leaves a partial chunk", c, n)
+	}
+	var next int
+	err := MapOrdered(p, n, func(i int, a *Arena) (int, error) {
+		return i, nil
+	}, func(i, v int) error {
+		if i != next || v != i {
+			return fmt.Errorf("emit(%d, %d), want emit(%d, %d)", i, v, next, next)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("emitted %d of %d", next, n)
+	}
+}
+
+func TestMapOrderedSingleWorker(t *testing.T) {
+	p := New(1)
+	const n = 200
+	var inFlight, maxInFlight atomic.Int32
+	var next int
+	err := MapOrdered(p, n, func(i int, a *Arena) (int, error) {
+		if c := inFlight.Add(1); c > maxInFlight.Load() {
+			maxInFlight.Store(c)
+		}
+		defer inFlight.Add(-1)
+		return i * 2, nil
+	}, func(i, v int) error {
+		if i != next || v != i*2 {
+			return fmt.Errorf("emit(%d, %d), want emit(%d, %d)", i, v, next, 2*next)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("emitted %d of %d", next, n)
+	}
+	if m := maxInFlight.Load(); m > 1 {
+		t.Fatalf("single-worker pool ran %d tasks concurrently", m)
+	}
+}
+
 func TestMapOrderedEmitErrorAborts(t *testing.T) {
 	p := New(4)
 	wantErr := errors.New("sink full")

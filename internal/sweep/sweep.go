@@ -157,17 +157,46 @@ func RunCached(spec Spec, cache *runcache.Store) ([]Row, error) {
 	return rows, nil
 }
 
+// RunCachedVia is RunCached with an executor routing each grid point
+// (see core.Executor and internal/fidelity). A nil executor degrades to
+// RunCached.
+func RunCachedVia(spec Spec, exec core.Executor, cache *runcache.Store) ([]Row, error) {
+	if exec == nil {
+		return RunCached(spec, cache)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	coords, ps := points(spec)
+	rs, err := core.RunManyVia(exec, ps, cache)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(coords))
+	for i := range coords {
+		rows[i] = Row{Coords: coords[i], Results: rs[i]}
+	}
+	return rows, nil
+}
+
 // RunStream executes the cross product and hands each Row to emit in
 // axis order (last axis fastest) without holding the full row slice —
 // the path hicsweep uses to write CSV/JSONL with memory bounded by the
 // worker count rather than the grid size. A non-nil emit error aborts
 // the sweep.
 func RunStream(spec Spec, cache *runcache.Store, emit func(Row) error) error {
+	return RunStreamVia(spec, nil, cache, emit)
+}
+
+// RunStreamVia is RunStream with an executor routing each grid point
+// (see core.Executor and internal/fidelity). A nil executor is
+// byte-identical to RunStream.
+func RunStreamVia(spec Spec, exec core.Executor, cache *runcache.Store, emit func(Row) error) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
 	coords, ps := points(spec)
-	return core.RunEach(ps, cache, func(i int, r core.Results) error {
+	return core.RunEachVia(exec, ps, cache, func(i int, r core.Results) error {
 		return emit(Row{Coords: coords[i], Results: r})
 	})
 }
