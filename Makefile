@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-fleet vet check figs cluster fuzz cover trace-demo clean
+.PHONY: all build test bench bench-json bench-fleet bench-compare vet check check-tests figs cluster fuzz cover trace-demo clean
 
 all: build test
 
@@ -17,20 +17,37 @@ test-short:
 	$(GO) test -short ./...
 
 # check is the CI gate (.github/workflows/ci.yml runs exactly this):
-# vet, the race-enabled test suite, a focused race pass over the worker
-# pool and singleflight layers (their concurrency tests are the
-# dedup/arena safety gate), an explicit non-race pass over the
+# the test gate (check-tests) plus the bench-regression gate
+# (bench-compare).
+check: check-tests bench-compare
+
+# check-tests: vet, the race-enabled test suite, a focused race pass
+# over the worker pool and singleflight layers (their concurrency tests
+# are the dedup/arena safety gate), an explicit non-race pass over the
 # zero-alloc gates (TestEngineSteadyStateZeroAllocs,
 # TestPacketPathZeroAllocs) so the allocation-free hot-path property is
 # enforced by name under the plain runtime, and a 1x smoke pass over
 # the engine benchmarks so a compile break in the hot-path benches
 # fails CI.
-check:
+check-tests:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 20m ./...
 	$(GO) test -race -count=2 ./internal/runner/ ./internal/runcache/
 	$(GO) test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/pkt/
 	$(GO) test -run=NONE -bench=BenchmarkEngine -benchtime=1x ./internal/sim/
+
+# bench-compare is the bench-regression gate: a small smoke bench (400
+# fleet hosts instead of 10k — the compare tool skips rate sections at
+# mismatched scale) gated against the committed BENCH_hotpath.json.
+# Allocation counts on the zero-alloc hot paths are exact-class (any
+# increase fails); timing metrics get a loose 75% tolerance because CI
+# machines are noisy — the gate exists to catch order-of-magnitude
+# regressions and alloc leaks, not 10% drift. An audit-over-tolerance
+# count in the new report fails at any tolerance.
+bench-compare:
+	mkdir -p results
+	$(GO) run ./cmd/hicbench -out results/bench_smoke.json -fleet-hosts 400 -fleet-baseline-hosts 16
+	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_smoke.json
 
 trace-demo:
 	mkdir -p results

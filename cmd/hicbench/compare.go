@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The bench-regression gate: `hicbench -compare old.json new.json`
+// re-reads two reports this tool wrote and classifies every comparable
+// metric as OK, REGRESSED, or SKIPPED. Metrics come in two classes:
+//
+//   - exact: allocation counts on the allocation-free hot paths
+//     (engine.new, packet_path.pooled). The committed baseline is zero
+//     allocations; ANY increase fails, no tolerance — a single alloc
+//     per op is the regression the zero-alloc work exists to prevent.
+//   - noisy: wall-clock and rate metrics (ns/op, events/sec,
+//     hosts/sec, peak memory). These move with machine load, so a
+//     degradation only fails beyond the relative tolerance
+//     (-compare-tol, default 0.25). Improvements never fail.
+//
+// Sections that did not run in either report (zero values), or whose
+// configurations differ (fleet/fidelity host counts), are skipped with
+// a note instead of producing false alarms — a smoke bench at 400
+// hosts can be gated against the committed 10k-host baseline. An
+// audit-over-tolerance count in the new report fails unconditionally:
+// that is an accuracy violation, not noise.
+
+// cmpResult accumulates one comparison run's outcome.
+type cmpResult struct {
+	fails []string
+	notes []string
+}
+
+func (c *cmpResult) failf(format string, args ...any) {
+	c.fails = append(c.fails, fmt.Sprintf(format, args...))
+}
+
+func (c *cmpResult) notef(format string, args ...any) {
+	c.notes = append(c.notes, fmt.Sprintf(format, args...))
+}
+
+// lowerBetter checks a noisy metric where smaller is better (ns/op,
+// bytes of peak memory). Zero on either side means the section didn't
+// run — skip.
+func (c *cmpResult) lowerBetter(name string, old, new float64, tol float64) {
+	if old <= 0 || new <= 0 {
+		c.notef("skip %s: not present in both reports", name)
+		return
+	}
+	if new > old*(1+tol) {
+		c.failf("%s regressed: %.4g -> %.4g (+%.1f%%, tol %.0f%%)",
+			name, old, new, 100*(new/old-1), 100*tol)
+	}
+}
+
+// higherBetter checks a noisy metric where larger is better
+// (events/sec, hosts/sec, speedup ratios).
+func (c *cmpResult) higherBetter(name string, old, new float64, tol float64) {
+	if old <= 0 || new <= 0 {
+		c.notef("skip %s: not present in both reports", name)
+		return
+	}
+	if new < old*(1-tol) {
+		c.failf("%s regressed: %.4g -> %.4g (-%.1f%%, tol %.0f%%)",
+			name, old, new, 100*(1-new/old), 100*tol)
+	}
+}
+
+// exactMax checks an exact-class metric: the new value may never
+// exceed the old. Used for allocs/bytes per op on the zero-alloc hot
+// paths, where the baseline is 0 and any increase is a real leak.
+func (c *cmpResult) exactMax(name string, old, new int64) {
+	if new > old {
+		c.failf("%s increased: %d -> %d (exact-class metric, no tolerance)", name, old, new)
+	}
+}
+
+// compareReports applies the full rule set.
+func compareReports(oldRep, newRep report, tol float64) cmpResult {
+	var c cmpResult
+
+	// Engine hot path: timing is noisy, allocations are exact.
+	c.lowerBetter("engine.new.ns_per_op", oldRep.Engine.New.NsPerOp, newRep.Engine.New.NsPerOp, tol)
+	if oldRep.Engine.New.NsPerOp > 0 && newRep.Engine.New.NsPerOp > 0 {
+		c.exactMax("engine.new.allocs_per_op", oldRep.Engine.New.AllocsPerOp, newRep.Engine.New.AllocsPerOp)
+		c.exactMax("engine.new.bytes_per_op", oldRep.Engine.New.BytesPerOp, newRep.Engine.New.BytesPerOp)
+	}
+
+	c.lowerBetter("packet_path.pooled.ns_per_op", oldRep.PacketPath.Pooled.NsPerOp, newRep.PacketPath.Pooled.NsPerOp, tol)
+	if oldRep.PacketPath.Pooled.NsPerOp > 0 && newRep.PacketPath.Pooled.NsPerOp > 0 {
+		c.exactMax("packet_path.pooled.allocs_per_op", oldRep.PacketPath.Pooled.AllocsPerOp, newRep.PacketPath.Pooled.AllocsPerOp)
+		c.exactMax("packet_path.pooled.bytes_per_op", oldRep.PacketPath.Pooled.BytesPerOp, newRep.PacketPath.Pooled.BytesPerOp)
+	}
+
+	// Whole-simulator throughput on the fig6 point.
+	c.higherBetter("fig6_scenario.events_per_sec", oldRep.Fig6.EventsPerSec, newRep.Fig6.EventsPerSec, tol)
+
+	// Fleet sections compare only at matching scale: hosts/sec is not
+	// size-independent (dedup rate and cache behavior shift), so a smoke
+	// bench at a different size gates only the sections above.
+	if oldRep.Fleet.Hosts > 0 && newRep.Fleet.Hosts > 0 {
+		if oldRep.Fleet.Hosts == newRep.Fleet.Hosts {
+			c.higherBetter("fleet.hosts_per_sec", oldRep.Fleet.HostsPerSec, newRep.Fleet.HostsPerSec, tol)
+			c.lowerBetter("fleet.peak_mem_bytes", float64(oldRep.Fleet.PeakMemBytes), float64(newRep.Fleet.PeakMemBytes), tol)
+		} else {
+			c.notef("skip fleet: host counts differ (%d vs %d)", oldRep.Fleet.Hosts, newRep.Fleet.Hosts)
+		}
+	} else {
+		c.notef("skip fleet: not present in both reports")
+	}
+
+	if oldRep.Fidelity.Hosts > 0 && newRep.Fidelity.Hosts > 0 {
+		if oldRep.Fidelity.Hosts == newRep.Fidelity.Hosts {
+			c.higherBetter("fidelity.hosts_per_sec", oldRep.Fidelity.HostsPerSec, newRep.Fidelity.HostsPerSec, tol)
+		} else {
+			c.notef("skip fidelity rates: host counts differ (%d vs %d)", oldRep.Fidelity.Hosts, newRep.Fidelity.Hosts)
+		}
+	} else {
+		c.notef("skip fidelity rates: not present in both reports")
+	}
+
+	// Accuracy is never noise: any audited point over tolerance in the
+	// new report fails regardless of scale or -compare-tol.
+	if newRep.Fidelity.AuditOverTol > 0 {
+		c.failf("fidelity.audit_over_tol = %d (max err %.4f, tol %.3f): accuracy violation, fails unconditionally",
+			newRep.Fidelity.AuditOverTol, newRep.Fidelity.AuditMaxErr, newRep.Fidelity.Tol)
+	}
+
+	return c
+}
+
+func readReport(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return report{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runCompare is the -compare entry point; returns the process exit
+// code (0 = no regressions).
+func runCompare(oldPath, newPath string, tol float64) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
+		return 1
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
+		return 1
+	}
+	c := compareReports(oldRep, newRep, tol)
+	for _, n := range c.notes {
+		fmt.Fprintf(os.Stderr, "hicbench: compare: %s\n", n)
+	}
+	if len(c.fails) > 0 {
+		for _, f := range c.fails {
+			fmt.Fprintf(os.Stderr, "hicbench: compare: FAIL %s\n", f)
+		}
+		fmt.Fprintf(os.Stderr, "hicbench: compare: %d regression(s) against %s\n", len(c.fails), oldPath)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "hicbench: compare: OK (%s vs %s, tol %.0f%%)\n", oldPath, newPath, 100*tol)
+	return 0
+}

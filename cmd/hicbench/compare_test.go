@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// baseline builds a fully populated report with healthy numbers.
+func baseline() report {
+	var r report
+	r.Engine.New = benchResult{NsPerOp: 140, AllocsPerOp: 0, BytesPerOp: 0}
+	r.PacketPath.Pooled = benchResult{NsPerOp: 24, AllocsPerOp: 0, BytesPerOp: 0}
+	r.Fig6.EventsPerSec = 40e6
+	r.Fleet.Hosts = 10000
+	r.Fleet.HostsPerSec = 90
+	r.Fleet.PeakMemBytes = 200 << 20
+	r.Fidelity.Hosts = 10000
+	r.Fidelity.HostsPerSec = 95
+	return r
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	c := compareReports(baseline(), baseline(), 0.25)
+	if len(c.fails) != 0 {
+		t.Errorf("self-compare failed: %v", c.fails)
+	}
+}
+
+func TestCompareNoiseTolerance(t *testing.T) {
+	old := baseline()
+	// Within tolerance: slower but under 25%.
+	within := baseline()
+	within.Engine.New.NsPerOp = 140 * 1.2
+	within.Fig6.EventsPerSec = 40e6 * 0.8
+	if c := compareReports(old, within, 0.25); len(c.fails) != 0 {
+		t.Errorf("within-tolerance drift failed: %v", c.fails)
+	}
+	// Improvements never fail, however large.
+	faster := baseline()
+	faster.Engine.New.NsPerOp = 10
+	faster.Fig6.EventsPerSec = 400e6
+	faster.Fleet.HostsPerSec = 900
+	if c := compareReports(old, faster, 0.25); len(c.fails) != 0 {
+		t.Errorf("improvement failed: %v", c.fails)
+	}
+}
+
+func TestCompareCatchesRegressions(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*report)
+		mention string
+	}{
+		{"slower engine", func(r *report) { r.Engine.New.NsPerOp *= 2 }, "engine.new.ns_per_op"},
+		{"slower packet path", func(r *report) { r.PacketPath.Pooled.NsPerOp *= 2 }, "packet_path.pooled.ns_per_op"},
+		{"fig6 throughput drop", func(r *report) { r.Fig6.EventsPerSec /= 2 }, "fig6_scenario.events_per_sec"},
+		{"fleet throughput drop", func(r *report) { r.Fleet.HostsPerSec /= 2 }, "fleet.hosts_per_sec"},
+		{"fleet memory growth", func(r *report) { r.Fleet.PeakMemBytes *= 2 }, "fleet.peak_mem_bytes"},
+		{"fidelity throughput drop", func(r *report) { r.Fidelity.HostsPerSec /= 2 }, "fidelity.hosts_per_sec"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			degraded := baseline()
+			c.mutate(&degraded)
+			res := compareReports(baseline(), degraded, 0.25)
+			if len(res.fails) != 1 {
+				t.Fatalf("fails = %v, want exactly one", res.fails)
+			}
+			if !strings.Contains(res.fails[0], c.mention) {
+				t.Errorf("failure %q does not mention %s", res.fails[0], c.mention)
+			}
+		})
+	}
+}
+
+func TestCompareAllocationsAreExact(t *testing.T) {
+	// One allocation per op on a zero-alloc path fails at any tolerance.
+	degraded := baseline()
+	degraded.Engine.New.AllocsPerOp = 1
+	degraded.Engine.New.BytesPerOp = 48
+	res := compareReports(baseline(), degraded, 100.0)
+	if len(res.fails) != 2 {
+		t.Fatalf("fails = %v, want allocs and bytes", res.fails)
+	}
+	for _, f := range res.fails {
+		if !strings.Contains(f, "exact-class") {
+			t.Errorf("failure %q not marked exact-class", f)
+		}
+	}
+}
+
+func TestCompareAuditOverTolFailsUnconditionally(t *testing.T) {
+	degraded := baseline()
+	degraded.Fidelity.AuditOverTol = 3
+	degraded.Fidelity.AuditMaxErr = 0.09
+	degraded.Fidelity.Tol = 0.05
+	res := compareReports(baseline(), degraded, 100.0)
+	if len(res.fails) != 1 || !strings.Contains(res.fails[0], "audit_over_tol") {
+		t.Errorf("fails = %v, want the accuracy violation", res.fails)
+	}
+}
+
+func TestCompareSkipsMismatchedScales(t *testing.T) {
+	// A 400-host smoke bench against the 10k-host baseline: fleet and
+	// fidelity rate sections skip with a note instead of failing.
+	smoke := baseline()
+	smoke.Fleet.Hosts = 400
+	smoke.Fleet.HostsPerSec = 2 // wildly different; must not matter
+	smoke.Fidelity.Hosts = 400
+	smoke.Fidelity.HostsPerSec = 3
+	res := compareReports(baseline(), smoke, 0.25)
+	if len(res.fails) != 0 {
+		t.Errorf("mismatched-scale compare failed: %v", res.fails)
+	}
+	notes := strings.Join(res.notes, "\n")
+	if !strings.Contains(notes, "host counts differ") {
+		t.Errorf("notes = %v, want a host-count skip note", res.notes)
+	}
+}
+
+func TestCompareSkipsAbsentSections(t *testing.T) {
+	// -fleet-hosts 0 leaves whole sections zeroed; they skip, the
+	// benches that did run still gate.
+	partial := baseline()
+	partial.Fleet = fleetBench{}
+	partial.Fidelity = fidelityBench{}
+	partial.Engine.New.NsPerOp *= 3
+	res := compareReports(baseline(), partial, 0.25)
+	if len(res.fails) != 1 || !strings.Contains(res.fails[0], "engine.new.ns_per_op") {
+		t.Errorf("fails = %v, want only the engine regression", res.fails)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r report) string {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", baseline())
+	good := write("good.json", baseline())
+	bad := baseline()
+	bad.Engine.New.AllocsPerOp = 2
+	badPath := write("bad.json", bad)
+
+	if code := runCompare(old, good, 0.25); code != 0 {
+		t.Errorf("self compare exit = %d, want 0", code)
+	}
+	if code := runCompare(old, badPath, 0.25); code == 0 {
+		t.Error("degraded compare exit = 0, want nonzero")
+	}
+	if code := runCompare(filepath.Join(dir, "missing.json"), good, 0.25); code == 0 {
+		t.Error("missing baseline exit = 0, want nonzero")
+	}
+}
+
+// TestCommittedBaselineParses keeps the checked-in baseline loadable:
+// the make-check gate does a real compare against it on every run.
+func TestCommittedBaselineParses(t *testing.T) {
+	rep, err := readReport(filepath.Join("..", "..", "BENCH_hotpath.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine.New.NsPerOp <= 0 || rep.Fleet.Hosts <= 0 {
+		t.Errorf("baseline looks empty: engine %.1f ns, fleet %d hosts",
+			rep.Engine.New.NsPerOp, rep.Fleet.Hosts)
+	}
+	if rep.Engine.New.AllocsPerOp != 0 || rep.PacketPath.Pooled.AllocsPerOp != 0 {
+		t.Errorf("baseline hot paths not allocation-free: %d / %d allocs",
+			rep.Engine.New.AllocsPerOp, rep.PacketPath.Pooled.AllocsPerOp)
+	}
+	if c := compareReports(rep, rep, 0.25); len(c.fails) != 0 {
+		t.Errorf("baseline self-compare failed: %v", c.fails)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"hic/internal/cluster"
 	"hic/internal/core"
 	"hic/internal/fidelity"
+	"hic/internal/obs"
 	"hic/internal/pkt"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -417,7 +418,30 @@ func main() {
 	fidelityTol := flag.Float64("fidelity-tol", 0.10, "auto-routing tolerance for the fidelity fleet bench")
 	auditRate := flag.Float64("audit-rate", 0.05, "fraction of fluid-routed hosts shadow-run under DES in the fidelity fleet bench")
 	noFidelity := flag.Bool("no-fidelity", false, "skip the fidelity (auto-routed fleet) section")
+	compareOld := flag.String("compare", "", "regression gate: compare this baseline JSON against the new JSON given as the positional argument, exit non-zero on regression (no benches run)")
+	compareTol := flag.Float64("compare-tol", 0.25, "allowed relative degradation for noisy (timing/rate) metrics with -compare; allocation counts are exact-class and tolerate nothing")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *compareOld != "" {
+		newPath := flag.Arg(0)
+		if newPath == "" {
+			fmt.Fprintln(os.Stderr, "usage: hicbench -compare <old.json> <new.json>")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compareOld, newPath, *compareTol))
+	}
+
+	var orun *obs.Run // nil-safe
+	if srv, err := obsFlags.Start(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
+		os.Exit(1)
+	} else if srv != nil {
+		defer srv.Close()
+		srv.AddSource(runner.Shared())
+		orun = srv.StartRun("bench", 5, "engine", "packet_path", "fig6", "fleet", "fidelity")
+		defer orun.Finish()
+	}
 
 	var rep report
 	rep.GoVersion = runtime.Version()
@@ -426,12 +450,15 @@ func main() {
 	if !*fleetOnly {
 		// Each workload processes ~1 event per op (the churn fires one event
 		// and schedules one replacement plus a timer arm/cancel pair).
+		orun.SetPhase("engine")
 		rep.Engine.New = toResult(testing.Benchmark(newEngineWorkload), 1)
 		rep.Engine.Legacy = toResult(testing.Benchmark(legacyEngineWorkload), 1)
 		if rep.Engine.New.NsPerOp > 0 {
 			rep.Engine.SpeedupRatio = rep.Engine.Legacy.NsPerOp / rep.Engine.New.NsPerOp
 		}
+		orun.Advance(1)
 
+		orun.SetPhase("packet_path")
 		rep.PacketPath.Pooled = toResult(testing.Benchmark(packetPathWorkload), 0)
 		rep.PacketPath.Heap = toResult(testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -441,7 +468,9 @@ func main() {
 				heapSink = a
 			}
 		}), 0)
+		orun.Advance(1)
 
+		orun.SetPhase("fig6")
 		fig6, err := runFig6()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hicbench: fig6 scenario: %v\n", err)
@@ -459,23 +488,28 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Fig6NoPools = noPools
+		orun.Advance(1)
 	}
 
 	if *fleetHosts > 0 {
+		orun.SetPhase("fleet")
 		fleet, err := runFleet(*fleetHosts, *fleetBaseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hicbench: fleet bench: %v\n", err)
 			os.Exit(1)
 		}
 		rep.Fleet = fleet
+		orun.Advance(1)
 
 		if !*noFidelity {
+			orun.SetPhase("fidelity")
 			fid, err := runFleetFidelity(*fleetHosts, *fidelityTol, *auditRate, fleet.HostsPerSec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hicbench: fidelity bench: %v\n", err)
 				os.Exit(1)
 			}
 			rep.Fidelity = fid
+			orun.Advance(1)
 		}
 	}
 

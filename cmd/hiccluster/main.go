@@ -16,6 +16,7 @@ import (
 
 	"hic/internal/cluster"
 	"hic/internal/fidelity"
+	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -34,6 +35,7 @@ func main() {
 	progress := flag.Bool("progress", true, "report progress, rate, and ETA on stderr")
 	verbose := flag.Bool("v", false, "print cache and dedup statistics on stderr")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := cluster.DefaultConfig()
@@ -64,11 +66,30 @@ func main() {
 	if router != nil {
 		cfg.Exec = router
 	}
+	if srv, err := obsFlags.Start(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
+		os.Exit(1)
+	} else if srv != nil {
+		defer srv.Close()
+		srv.AddSource(runner.Shared())
+		if store != nil {
+			srv.AddSource(store)
+		}
+		if router != nil {
+			srv.AddSource(router)
+		}
+	}
 	if *progress {
 		cfg.Progress = runner.NewProgress(os.Stderr, "fleet", "hosts", cfg.Hosts, time.Second)
-		if store != nil {
-			cfg.Progress.SetNote(func() string { return "cache " + store.Summary() })
-		}
+		pool := runner.Shared()
+		cfg.Progress.SetNote(func() string {
+			ps := pool.Stats()
+			note := fmt.Sprintf("slots %db/%di", ps.Busy, ps.Idle+ps.Draining)
+			if store != nil {
+				note += "; cache " + store.Summary()
+			}
+			return note
+		})
 	}
 
 	var stats cluster.Stats
@@ -133,5 +154,8 @@ func main() {
 		if store != nil {
 			fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary())
 		}
+		ps := runner.Shared().Stats()
+		fmt.Fprintf(os.Stderr, "worker pool: %d slots (%d busy, %d idle, %d draining), %d tasks started, %d done\n",
+			ps.Workers, ps.Busy, ps.Idle, ps.Draining, ps.TasksStarted, ps.TasksDone)
 	}
 }

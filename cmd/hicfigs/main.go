@@ -19,7 +19,9 @@ import (
 
 	"hic/internal/experiments"
 	"hic/internal/fidelity"
+	"hic/internal/obs"
 	"hic/internal/runcache"
+	"hic/internal/runner"
 	"hic/internal/sim"
 )
 
@@ -35,6 +37,7 @@ func main() {
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	opt := experiments.Options{
@@ -84,7 +87,28 @@ func main() {
 		}
 	}
 
+	var orun *obs.Run // nil-safe
+	if srv, err := obsFlags.Start(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hicfigs: %v\n", err)
+		os.Exit(1)
+	} else if srv != nil {
+		defer srv.Close()
+		srv.AddSource(runner.Shared())
+		if opt.Cache != nil {
+			srv.AddSource(opt.Cache)
+		}
+		if router != nil {
+			srv.AddSource(router)
+		}
+		// One registry run with one phase per experiment: /progress shows
+		// which figure is executing even though the per-figure point count
+		// is internal to each experiment.
+		orun = srv.StartRun("figs", int64(len(ids)), ids...)
+		defer orun.Finish()
+	}
+
 	for _, id := range ids {
+		orun.SetPhase(id)
 		t, err := experiments.Registry[id](opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hicfigs: experiment %s: %v\n", id, err)
@@ -112,5 +136,6 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
+		orun.Advance(1)
 	}
 }

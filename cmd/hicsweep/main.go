@@ -24,8 +24,11 @@ import (
 	"os"
 	"strings"
 
+	"hic/internal/core"
 	"hic/internal/fidelity"
+	"hic/internal/obs"
 	"hic/internal/runcache"
+	"hic/internal/runner"
 	"hic/internal/sim"
 	"hic/internal/sweep"
 )
@@ -42,6 +45,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
 	verbose := flag.Bool("v", false, "print detailed run-cache counters on stderr (with -cache)")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *listParams {
@@ -83,12 +87,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	if srv, err := obsFlags.Start(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+		os.Exit(1)
+	} else if srv != nil {
+		defer srv.Close()
+		srv.AddSource(runner.Shared())
+		if store != nil {
+			srv.AddSource(store)
+		}
+		if router != nil {
+			srv.AddSource(router)
+		}
+	}
+
 	var rows []sweep.Row
 	if *telemetryOut != "" {
 		// Telemetry sweeps always simulate: spans are a per-run byproduct
-		// the result cache does not store (and the fluid solver cannot
-		// produce).
-		rows, err = sweep.RunDetailed(spec, *spanRate)
+		// the result cache does not store. The router still decides which
+		// points the fluid solver would serve — those carry no spans and
+		// are skipped (and counted) by the JSONL exporter instead of being
+		// written as empty records.
+		rows, err = sweep.RunDetailedVia(spec, routerExec(router), *spanRate)
 	} else if router != nil {
 		rows, err = sweep.RunCachedVia(spec, router, store)
 	} else {
@@ -131,11 +151,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", *telemetryOut, len(rows))
+		skipped := 0
+		for _, r := range rows {
+			if r.TelemetrySkippedFluid {
+				skipped++
+			}
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d points, %d fluid-routed points skipped)\n",
+				*telemetryOut, len(rows)-skipped, skipped)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", *telemetryOut, len(rows))
+		}
 	}
 	if *csv {
 		fmt.Print(sweep.CSV(spec, rows))
 	} else {
 		fmt.Print(sweep.Table(spec, rows))
 	}
+}
+
+// routerExec lowers a possibly-nil *fidelity.Router to a core.Executor
+// without boxing a typed nil into the interface.
+func routerExec(r *fidelity.Router) core.Executor {
+	if r == nil {
+		return nil
+	}
+	return r
 }

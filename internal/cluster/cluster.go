@@ -33,9 +33,11 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"hic/internal/core"
 	"hic/internal/fidelity"
+	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -84,6 +86,10 @@ type Config struct {
 	// Progress, when non-nil, is advanced by one unit per completed
 	// host (runner.NewProgress prints rate and ETA on stderr).
 	Progress *runner.Progress
+	// Sink, when non-nil, receives structured run/point events and the
+	// /progress run registration; nil falls back to the process-global
+	// obs sink (nil there too = fully disabled, zero overhead).
+	Sink obs.Sink
 }
 
 // DefaultConfig returns a 200-host fleet.
@@ -309,11 +315,34 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 		}
 	}
 
+	sink := cfg.Sink
+	if sink == nil {
+		sink = obs.Default()
+	}
+	var orun *obs.Run // nil-safe: all methods no-op without a sink
+	if sink != nil {
+		orun = sink.StartRun("fleet", int64(cfg.Hosts))
+		defer orun.Finish()
+	}
+
 	var simulated atomic.Uint64
 	agg := newAggregator()
 	err := runner.MapOrdered(runner.Shared(), cfg.Hosts,
 		func(i int, a *runner.Arena) ([]Point, error) {
 			defer cfg.Progress.Add(1)
+			defer orun.Advance(1)
+			if sink != nil {
+				sink.Emit(obs.Event{Kind: obs.KindPointStart, Run: orun.Label(), Point: i})
+				t0 := time.Now()
+				defer func() {
+					sink.Emit(obs.Event{
+						Kind:  obs.KindPointFinish,
+						Run:   orun.Label(),
+						Point: i,
+						DurMS: float64(time.Since(t0).Nanoseconds()) / 1e6,
+					})
+				}()
+			}
 			p, meta := HostScenario(cfg, i)
 			if windows == 1 {
 				var r core.Results

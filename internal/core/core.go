@@ -21,6 +21,7 @@ import (
 	"hic/internal/iommu"
 	"hic/internal/mem"
 	"hic/internal/model"
+	"hic/internal/obs"
 	"hic/internal/pkt"
 	"hic/internal/runcache"
 	"hic/internal/runner"
@@ -289,7 +290,15 @@ func RunOn(p Params, a *runner.Arena) (Results, error) {
 	if err != nil {
 		return Results{}, err
 	}
-	return tb.Run(p.Warmup, p.Measure), nil
+	res := tb.Run(p.Warmup, p.Measure)
+	// Fold the completed run's registry into the control plane's
+	// fleet-cumulative rollup. Snapshotting here is safe — the run is
+	// done and the arena is still exclusively ours — and the disabled
+	// path costs one atomic load and a nil check.
+	if s := obs.Default(); s != nil {
+		s.RunMetrics(tb.Registry.Snapshot())
+	}
+	return res, nil
 }
 
 // normalizeWindows fills in the default warmup/measure windows so every

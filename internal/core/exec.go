@@ -6,6 +6,7 @@ import (
 
 	"hic/internal/fluid"
 	"hic/internal/host"
+	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 )
@@ -60,6 +61,9 @@ func (e *EarlyStop) Plan(p Params) (string, func(*runner.Arena) (Results, error)
 		r, stopped, err := RunAdaptiveOn(p, a, e.Rule)
 		if stopped {
 			e.Stopped.Add(1)
+			if s := obs.Default(); s != nil {
+				s.Emit(obs.Event{Kind: obs.KindEarlyStop, Key: p.Canonical()})
+			}
 		}
 		return r, err
 	}, nil
@@ -110,6 +114,19 @@ func RunFluid(p Params) (fluid.Prediction, error) {
 		return fluid.Prediction{}, fmt.Errorf("core: unknown congestion control %q", p.CC)
 	}
 	return fluid.Predict(cfg, cc, p.HostTarget, p.Measure)
+}
+
+// PlanVia normalizes p's windows and asks exec for its execution plan —
+// the entry point for callers that need the routing decision itself
+// rather than the executed result (sweep telemetry uses it to learn
+// whether a point would be fluid-routed, where span instrumentation is
+// meaningless). A nil executor plans pure DES.
+func PlanVia(exec Executor, p Params) (string, func(*runner.Arena) (Results, error), error) {
+	p.normalizeWindows()
+	if exec == nil {
+		return DES{}.Plan(p)
+	}
+	return exec.Plan(p)
 }
 
 // runVia is runCachedOn with an executor deciding strategy and cache

@@ -72,6 +72,7 @@ import (
 	"hic/internal/core"
 	"hic/internal/fluid"
 	"hic/internal/host"
+	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 )
@@ -135,6 +136,10 @@ type Config struct {
 	AnchorAnts []int
 	// Log, when non-nil, receives one-line routing diagnostics.
 	Log io.Writer
+	// Sink, when non-nil, receives structured routing and audit events;
+	// nil falls back to the process-global obs sink (obs.Default), so
+	// routers built before -listen wiring still report.
+	Sink obs.Sink
 }
 
 // Counters is the execution accounting a Router accumulates. All
@@ -147,6 +152,10 @@ type Counters struct {
 	DESRouted   uint64
 	// EarlyStopped counts DES runs the stopping rule terminated early.
 	EarlyStopped uint64
+	// KneeForced counts routing *decisions* (not executions) where a
+	// fluid-capable point was forced to DES because its operating point
+	// sat inside a knee band.
+	KneeForced uint64
 	// AnchorRuns counts calibration anchor simulations executed (cache
 	// hits excluded); AnchorReused counts DES-routed points served
 	// directly from a coinciding anchor's memoized result.
@@ -155,9 +164,9 @@ type Counters struct {
 	// Audited counts fluid-vs-DES audit comparisons performed;
 	// AuditMaxErr is the largest observed error and AuditOverTol how
 	// many audited points exceeded Tol.
-	Audited     uint64
+	Audited      uint64
 	AuditOverTol uint64
-	AuditMaxErr float64
+	AuditMaxErr  float64
 }
 
 // Router implements core.Executor. It is safe for concurrent use by
@@ -180,6 +189,7 @@ type Router struct {
 
 	fluidRouted  atomic.Uint64
 	desRouted    atomic.Uint64
+	kneeForced   atomic.Uint64
 	anchorRuns   atomic.Uint64
 	anchorReused atomic.Uint64
 	audited      atomic.Uint64
@@ -238,6 +248,7 @@ func (r *Router) Counters() Counters {
 	c := Counters{
 		FluidRouted:  r.fluidRouted.Load(),
 		DESRouted:    r.desRouted.Load(),
+		KneeForced:   r.kneeForced.Load(),
 		AnchorRuns:   r.anchorRuns.Load(),
 		AnchorReused: r.anchorReused.Load(),
 		Audited:      r.audited.Load(),
@@ -253,6 +264,52 @@ func (r *Router) Counters() Counters {
 // Tol reports the effective routing/audit tolerance.
 func (r *Router) Tol() float64 { return r.tol }
 
+// MetricsInto implements the control plane's MetricSource interface:
+// live routing counters under the hic_fidelity_ prefix.
+func (r *Router) MetricsInto(emit func(name, typ string, v float64)) {
+	c := r.Counters()
+	emit("hic_fidelity_fluid_routed_total", "counter", float64(c.FluidRouted))
+	emit("hic_fidelity_des_routed_total", "counter", float64(c.DESRouted))
+	emit("hic_fidelity_early_stopped_total", "counter", float64(c.EarlyStopped))
+	emit("hic_fidelity_knee_forced_total", "counter", float64(c.KneeForced))
+	emit("hic_fidelity_anchor_runs_total", "counter", float64(c.AnchorRuns))
+	emit("hic_fidelity_anchor_reused_total", "counter", float64(c.AnchorReused))
+	emit("hic_fidelity_audited_total", "counter", float64(c.Audited))
+	emit("hic_fidelity_audit_over_tol_total", "counter", float64(c.AuditOverTol))
+	emit("hic_fidelity_audit_max_err", "gauge", c.AuditMaxErr)
+	emit("hic_fidelity_tol", "gauge", r.tol)
+}
+
+// emit delivers a structured event to the configured sink, falling
+// back to the process-global one; no sink installed costs a nil check.
+func (r *Router) emit(e obs.Event) {
+	s := r.cfg.Sink
+	if s == nil {
+		s = obs.Default()
+	}
+	if s != nil {
+		s.Emit(e)
+	}
+}
+
+// emitRoute records one routing decision in the event log.
+func (r *Router) emitRoute(p core.Params, route, why string) {
+	s := r.cfg.Sink
+	if s == nil {
+		s = obs.Default()
+	}
+	if s == nil {
+		return
+	}
+	s.Emit(obs.Event{
+		Kind:  obs.KindFidelityRoute,
+		Key:   sigLabel(p),
+		Point: p.AntagonistCores,
+		Route: route,
+		Why:   why,
+	})
+}
+
 // Plan implements core.Executor.
 func (r *Router) Plan(p core.Params) (string, func(*runner.Arena) (core.Results, error), error) {
 	switch r.cfg.Mode {
@@ -264,6 +321,7 @@ func (r *Router) Plan(p core.Params) (string, func(*runner.Arena) (core.Results,
 			}
 			return "", nil, err
 		}
+		r.emitRoute(p, "fluid", "raw")
 		return core.FluidVersion + "+raw", func(*runner.Arena) (core.Results, error) {
 			r.fluidRouted.Add(1)
 			return pred.Results, nil
@@ -280,6 +338,7 @@ func (r *Router) Plan(p core.Params) (string, func(*runner.Arena) (core.Results,
 // calibration anchor at the same coordinates racing on another worker.
 func (r *Router) desPlan(p core.Params, why string) (string, func(*runner.Arena) (core.Results, error), error) {
 	r.logf("fidelity: DES %s ant=%d%s", sigLabel(p), p.AntagonistCores, reason(why))
+	r.emitRoute(p, "des", why)
 	version := core.SimVersion
 	var run func(*runner.Arena) (core.Results, error)
 	if r.estop != nil {
@@ -316,6 +375,7 @@ func (r *Router) desPlan(p core.Params, why string) (string, func(*runner.Arena)
 func (r *Router) desPlanAuto(p core.Params, why string) (string, func(*runner.Arena) (core.Results, error), error) {
 	if des, hit := r.memoizedAnchor(p); hit {
 		r.logf("fidelity: anchor-reuse %s ant=%d%s", sigLabel(p), p.AntagonistCores, reason(why))
+		r.emitRoute(p, "anchor-reuse", why)
 		version := core.SimVersion
 		if r.estop != nil {
 			version = r.estop.Version()
@@ -335,9 +395,9 @@ func (r *Router) desPlanAuto(p core.Params, why string) (string, func(*runner.Ar
 // tier, the axis that sweeps ρ) plus the error-bound gate carry the
 // accuracy burden, and the audit mode verifies it empirically.
 const (
-	tlbKneeLo, tlbKneeHi     = 0.98, 1.06 // working set / IOTLB capacity
-	rhoKneeLo, rhoKneeHi     = 0.99, 1.02 // memory-bus load factor
-	blindKneeLo, blindKneeHi = 0.99, 1.01 // capacity / CC blind threshold
+	tlbKneeLo, tlbKneeHi     = 0.98, 1.06   // working set / IOTLB capacity
+	rhoKneeLo, rhoKneeHi     = 0.99, 1.02   // memory-bus load factor
+	blindKneeLo, blindKneeHi = 0.99, 1.01   // capacity / CC blind threshold
 	loadKneeLo, loadKneeHi   = 0.998, 1.002 // demand / capacity (drop onset)
 )
 
@@ -382,6 +442,7 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 	// trade accuracy for nothing.
 	if des, hit := r.memoizedAnchor(p); hit {
 		r.logf("fidelity: anchor-reuse %s ant=%d", sigLabel(p), p.AntagonistCores)
+		r.emitRoute(p, "anchor-reuse", "")
 		version := core.SimVersion
 		if r.estop != nil {
 			version = r.estop.Version()
@@ -399,6 +460,7 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 		return "", nil, err
 	}
 	if why, near := nearKnee(pred); near {
+		r.kneeForced.Add(1)
 		return r.desPlanAuto(p, why)
 	}
 	adj, errBound, ok, err := r.calibrate(p, pred)
@@ -416,6 +478,7 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 	if r.audit(canonical) {
 		// Audited points run (and cache) authoritative full-window DES
 		// under the pure-DES key; the fluid prediction is only compared.
+		r.emitRoute(p, "audit", "")
 		return core.SimVersion, func(a *runner.Arena) (core.Results, error) {
 			des, err := core.RunOn(p, a)
 			if err != nil {
@@ -425,16 +488,29 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 			r.audited.Add(1)
 			r.desRouted.Add(1)
 			r.auditMaxErr.Max(e)
-			if e > r.tol {
+			over := e > r.tol
+			if over {
 				r.auditOverTol.Add(1)
 				r.logf("fidelity: AUDIT OVER TOL %s ant=%d err=%.3f (fluid %.2f Gbps/%.3f%% vs DES %.2f Gbps/%.3f%%)",
 					sigLabel(p), p.AntagonistCores, e,
 					adj.AppThroughputGbps, adj.DropRatePct, des.AppThroughputGbps, des.DropRatePct)
 			}
+			// The control-plane sink raises an immediate warning for an
+			// over-tolerance audit result — the operator does not wait for
+			// the run-end summary to learn the fidelity budget is blown.
+			r.emit(obs.Event{
+				Kind:    obs.KindAuditResult,
+				Key:     sigLabel(p),
+				Point:   p.AntagonistCores,
+				Value:   e,
+				Tol:     r.tol,
+				OverTol: over,
+			})
 			return des, nil
 		}, nil
 	}
 
+	r.emitRoute(p, "fluid", "")
 	version := fmt.Sprintf("%s+cal(%v@%s)", core.FluidVersion, r.cfg.AnchorAnts, seedsLabel(r.cfg.AnchorSeeds))
 	return version, func(*runner.Arena) (core.Results, error) {
 		r.fluidRouted.Add(1)

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Flags is the shared command-line surface for the control plane:
+// every binary that can run long (hiccluster, hicsweep, hicfigs,
+// hicbench) registers the same three flags and calls Start once flags
+// are parsed. When -listen is unset, Start is a no-op and the
+// zero-overhead path stays in effect.
+type Flags struct {
+	Listen          string
+	ProfileDir      string
+	ProfileInterval time.Duration
+}
+
+// RegisterFlags installs the control-plane flags on fs.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Listen, "listen", "", "serve the observability control plane on this address (e.g. :6060); empty = disabled")
+	fs.StringVar(&f.ProfileDir, "profile-dir", "", "capture continuous CPU+heap profiles into this directory (requires -listen)")
+	fs.DurationVar(&f.ProfileInterval, "profile-interval", 30*time.Second, "cadence of continuous profile capture")
+	return f
+}
+
+// Start launches the control plane when -listen was given, installs it
+// as the process-global sink, and logs the bound address to logw. It
+// returns the server (nil when disabled) so main can Close it and
+// register live metric sources.
+func (f *Flags) Start(logw io.Writer) (*Server, error) {
+	if f.Listen == "" {
+		return nil, nil
+	}
+	s, err := Start(f.Listen, Options{
+		Warn:            logw,
+		ProfileDir:      f.ProfileDir,
+		ProfileInterval: f.ProfileInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	Set(s)
+	fmt.Fprintf(logw, "obs: control plane listening on http://%s (/metrics /progress /events /debug/pprof)\n", s.Addr())
+	return s, nil
+}

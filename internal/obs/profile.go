@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// profiler continuously captures profiles to disk: one CPU profile
+// spanning each interval, plus a heap profile at each boundary. Files
+// are numbered (cpu-000001.pprof, heap-000001.pprof, ...) so a crash
+// mid-run leaves the whole history up to the last completed interval.
+type profiler struct {
+	dir      string
+	interval time.Duration
+	warn     io.Writer
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func startProfiler(dir string, interval time.Duration, warn io.Writer) *profiler {
+	p := &profiler{
+		dir:      dir,
+		interval: interval,
+		warn:     warn,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+func (p *profiler) loop() {
+	defer close(p.done)
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		fmt.Fprintf(p.warn, "obs: profiler disabled: %v\n", err)
+		return
+	}
+	for n := 1; ; n++ {
+		if !p.captureInterval(n) {
+			return
+		}
+	}
+}
+
+// captureInterval records one CPU profile spanning the interval and a
+// heap profile at its end; returns false once stopped.
+func (p *profiler) captureInterval(n int) bool {
+	cpuPath := filepath.Join(p.dir, fmt.Sprintf("cpu-%06d.pprof", n))
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		fmt.Fprintf(p.warn, "obs: profiler disabled: %v\n", err)
+		return false
+	}
+	cpuOK := true
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is active (e.g. a /debug/pprof/profile
+		// scrape); skip this interval rather than fight over it.
+		cpuOK = false
+		f.Close()
+		os.Remove(cpuPath)
+	}
+	alive := true
+	select {
+	case <-p.stop:
+		alive = false
+	case <-time.After(p.interval):
+	}
+	if cpuOK {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+	p.heapProfile(n)
+	return alive
+}
+
+func (p *profiler) heapProfile(n int) {
+	path := filepath.Join(p.dir, fmt.Sprintf("heap-%06d.pprof", n))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(p.warn, "obs: heap profile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(p.warn, "obs: heap profile: %v\n", err)
+	}
+}
+
+func (p *profiler) stopAndWait() {
+	close(p.stop)
+	<-p.done
+}

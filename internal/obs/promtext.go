@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Minimal parser for the Prometheus 0.0.4 text exposition format —
+// enough to validate everything this package and the telemetry
+// exporter emit. Tests parse golden /metrics output through this
+// instead of string-matching, so formatting churn that remains valid
+// exposition does not break them, while real violations (bad names,
+// duplicate conflicting TYPE lines, unparsable values) do.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromDoc is a parsed exposition document.
+type PromDoc struct {
+	Samples []PromSample
+	// Types maps base metric name to its declared TYPE.
+	Types map[string]string
+}
+
+// Find returns the samples with the given base name.
+func (d *PromDoc) Find(name string) []PromSample {
+	var out []PromSample
+	for _, s := range d.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the single sample with the given name and no labels,
+// or an error if absent or ambiguous.
+func (d *PromDoc) Value(name string) (float64, error) {
+	var hits []PromSample
+	for _, s := range d.Samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			hits = append(hits, s)
+		}
+	}
+	if len(hits) != 1 {
+		return 0, fmt.Errorf("promtext: %d samples named %q", len(hits), name)
+	}
+	return hits[0].Value, nil
+}
+
+// ParseProm parses a 0.0.4 text exposition document, validating metric
+// names, label syntax, and TYPE consistency.
+func ParseProm(r io.Reader) (*PromDoc, error) {
+	doc := &PromDoc{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(doc, line, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		doc.Samples = append(doc.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func parseComment(doc *PromDoc, line string, lineNo int) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[1] != "TYPE" {
+		return nil // HELP or free comment: ignore
+	}
+	if len(fields) != 4 {
+		return fmt.Errorf("promtext: line %d: malformed TYPE line", lineNo)
+	}
+	name, typ := fields[2], fields[3]
+	if !validMetricName(name) {
+		return fmt.Errorf("promtext: line %d: invalid metric name %q", lineNo, name)
+	}
+	switch typ {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("promtext: line %d: unknown type %q", lineNo, typ)
+	}
+	if prev, ok := doc.Types[name]; ok && prev != typ {
+		return fmt.Errorf("promtext: line %d: %s re-declared as %s (was %s)", lineNo, name, typ, prev)
+	}
+	doc.Types[name] = typ
+	return nil
+}
+
+func parseSample(line string) (PromSample, error) {
+	s := PromSample{}
+	// Name runs until '{', whitespace, or end.
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	val := strings.Fields(rest)
+	if len(val) < 1 || len(val) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("expected value after metric name")
+	}
+	v, err := strconv.ParseFloat(val[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", val[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	i := 0
+	for i < len(body) {
+		// label name
+		j := i
+		for j < len(body) && body[j] != '=' {
+			j++
+		}
+		if j == len(body) {
+			return nil, fmt.Errorf("label without value in %q", body)
+		}
+		name := strings.TrimSpace(body[i:j])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		// quoted value
+		j++ // past '='
+		if j >= len(body) || body[j] != '"' {
+			return nil, fmt.Errorf("label value for %q not quoted", name)
+		}
+		j++
+		var sb strings.Builder
+		for j < len(body) && body[j] != '"' {
+			if body[j] == '\\' && j+1 < len(body) {
+				j++
+				switch body[j] {
+				case 'n':
+					sb.WriteByte('\n')
+				case '\\', '"':
+					sb.WriteByte(body[j])
+				default:
+					sb.WriteByte('\\')
+					sb.WriteByte(body[j])
+				}
+			} else {
+				sb.WriteByte(body[j])
+			}
+			j++
+		}
+		if j >= len(body) {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		labels[name] = sb.String()
+		j++ // past closing quote
+		if j < len(body) && body[j] == ',' {
+			j++
+		}
+		i = j
+	}
+	return labels, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Ring is a bounded, mutex-guarded event buffer: the newest capacity
+// events are retained, older ones are overwritten in place, and memory
+// never grows past the capacity no matter how long the run. Sequence
+// numbers are assigned at append, so consumers can detect the gap when
+// events have been dropped.
+type Ring struct {
+	mu  sync.Mutex
+	buf []Event
+	cap int
+	seq uint64 // total events ever appended
+}
+
+// NewRing returns a ring retaining at most capacity events (minimum 16).
+func NewRing(capacity int) *Ring {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Ring{buf: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Append assigns the next sequence number to e, stores it (overwriting
+// the oldest retained event once full), and returns the stamped event.
+func (r *Ring) Append(e Event) Event {
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[int((r.seq-1)%uint64(r.cap))] = e
+	}
+	r.mu.Unlock()
+	return e
+}
+
+// Total returns how many events were ever appended.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped returns how many appended events are no longer retained.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - uint64(len(r.buf))
+}
+
+// Snapshot copies the retained events in sequence order, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < r.cap {
+		return append(out, r.buf...)
+	}
+	start := int(r.seq % uint64(r.cap)) // oldest retained slot
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// WriteJSONL renders the retained events one JSON object per line,
+// oldest first, capped at limit events (0 = all retained).
+func (r *Ring) WriteJSONL(w io.Writer, limit int) error {
+	evs := r.Snapshot()
+	if limit > 0 && len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range evs {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

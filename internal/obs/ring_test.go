@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		e := r.Append(Event{Kind: KindPointStart, Point: i})
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("append %d: Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if got := r.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Errorf("Dropped = %d, want 0", got)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("Snapshot length = %d, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Point != i || e.Seq != uint64(i+1) {
+			t.Errorf("Snapshot[%d] = point %d seq %d, want point %d seq %d", i, e.Point, e.Seq, i, i+1)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(16)
+	const n = 40 // 2.5 wraps
+	for i := 0; i < n; i++ {
+		r.Append(Event{Kind: KindPointFinish, Point: i})
+	}
+	if got := r.Total(); got != n {
+		t.Errorf("Total = %d, want %d", got, n)
+	}
+	if got := r.Dropped(); got != n-16 {
+		t.Errorf("Dropped = %d, want %d", got, n-16)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("Snapshot length = %d, want 16", len(evs))
+	}
+	// Oldest retained first, strictly sequential, ending at the newest.
+	for i, e := range evs {
+		wantSeq := uint64(n - 16 + i + 1)
+		if e.Seq != wantSeq {
+			t.Fatalf("Snapshot[%d].Seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Point != int(wantSeq-1) {
+			t.Errorf("Snapshot[%d].Point = %d, want %d", i, e.Point, wantSeq-1)
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 20; i++ {
+		r.Append(Event{Point: i})
+	}
+	if got := len(r.Snapshot()); got != 16 {
+		t.Errorf("capacity-0 ring retained %d events, want 16 (clamped minimum)", got)
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 6; i++ {
+		r.Append(Event{Kind: KindFidelityRoute, Point: i, Route: "des"})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, 0); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", lines+1, err, sc.Text())
+		}
+		if e.Kind != KindFidelityRoute || e.Route != "des" {
+			t.Errorf("line %d round-tripped as kind=%q route=%q", lines+1, e.Kind, e.Route)
+		}
+		lines++
+	}
+	if lines != 6 {
+		t.Errorf("WriteJSONL wrote %d lines, want 6", lines)
+	}
+
+	// limit keeps the newest events.
+	buf.Reset()
+	if err := r.WriteJSONL(&buf, 2); err != nil {
+		t.Fatalf("WriteJSONL(limit=2): %v", err)
+	}
+	sc = bufio.NewScanner(&buf)
+	var got []uint64
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e.Seq)
+	}
+	if fmt.Sprint(got) != "[5 6]" {
+		t.Errorf("limited WriteJSONL seqs = %v, want [5 6]", got)
+	}
+}
+
+func TestRingConcurrentAppend(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Append(Event{Kind: KindPointFinish})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != goroutines*per {
+		t.Errorf("Total = %d, want %d", got, goroutines*per)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("snapshot not sequential at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

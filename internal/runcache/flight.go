@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hic/internal/host"
+	"hic/internal/obs"
 )
 
 // Flight collapses duplicate simulations of the same content-addressed
@@ -59,12 +60,14 @@ func (f *Flight) Do(key string, compute func() (host.Results, error)) (host.Resu
 		if r, ok := f.memo[key]; ok {
 			f.mu.Unlock()
 			f.collapse.Add(1)
+			emitCollapse(key, "memo")
 			return r, nil
 		}
 	}
 	if c, ok := f.inflight[key]; ok {
 		f.mu.Unlock()
 		f.collapse.Add(1)
+		emitCollapse(key, "inflight")
 		<-c.done
 		return c.res, c.err
 	}
@@ -87,3 +90,11 @@ func (f *Flight) Do(key string, compute func() (host.Results, error)) (host.Resu
 // Collapses returns how many Do calls were served without running
 // compute — the number of simulations dedup avoided.
 func (f *Flight) Collapses() uint64 { return f.collapse.Load() }
+
+// emitCollapse reports a dedup hit to the control plane when one is
+// installed; the disabled path is one atomic load and a nil check.
+func emitCollapse(key, why string) {
+	if s := obs.Default(); s != nil {
+		s.Emit(obs.Event{Kind: obs.KindCacheCollapse, Key: key, Why: why})
+	}
+}

@@ -198,6 +198,16 @@ func (s *Store) Stats() Stats {
 	return Stats{Hits: s.Hits(), Misses: s.Misses(), Collapses: s.flight.Collapses()}
 }
 
+// MetricsInto implements the control plane's MetricSource interface:
+// live cache counters under the hic_runcache_ prefix, sampled from the
+// store's atomics on every /metrics scrape.
+func (s *Store) MetricsInto(emit func(name, typ string, v float64)) {
+	st := s.Stats()
+	emit("hic_runcache_hits_total", "counter", float64(st.Hits))
+	emit("hic_runcache_misses_total", "counter", float64(st.Misses))
+	emit("hic_runcache_collapses_total", "counter", float64(st.Collapses))
+}
+
 // Summary renders the stats on one line for the cmd/ tools' logs.
 func (s *Store) Summary() string {
 	st := s.Stats()

@@ -82,6 +82,34 @@ func (a *Arena) Acquire() (*sim.Engine, *pkt.Pool, *metrics.Registry) {
 	return a.engine, a.pool, a.registry
 }
 
+// SlotState is the observable state of one worker slot, readable at
+// any time without racing: each slot's state lives in its own atomic
+// word, written by the owning worker and loaded by observers
+// (/metrics scrapes, hiccluster -v).
+type SlotState uint32
+
+const (
+	// SlotIdle: the slot sits in the pool's channel, no task holds it.
+	SlotIdle SlotState = iota
+	// SlotBusy: a worker holds the slot and is executing tasks.
+	SlotBusy
+	// SlotDraining: the worker observed an abort mid-chunk and is
+	// returning the slot without running the chunk's remaining tasks.
+	SlotDraining
+)
+
+func (s SlotState) String() string {
+	switch s {
+	case SlotIdle:
+		return "idle"
+	case SlotBusy:
+		return "busy"
+	case SlotDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
 // Pool is a bounded pool of worker slots, each owning one Arena. The
 // bound is global: concurrent Map calls share the same slots, so total
 // in-flight simulations never exceed the worker count no matter how
@@ -89,6 +117,13 @@ func (a *Arena) Acquire() (*sim.Engine, *pkt.Pool, *metrics.Registry) {
 type Pool struct {
 	workers int
 	slots   chan *Arena
+
+	// Per-slot state words plus pool-wide task counters, all atomic so
+	// the control plane samples them while workers run.
+	state   []atomic.Uint32
+	started atomic.Uint64 // tasks whose fn began executing
+	done    atomic.Uint64 // tasks whose fn returned (ok or error)
+	pending atomic.Int64  // tasks submitted but not yet finished
 }
 
 // New returns a pool with the given number of worker slots; workers <= 0
@@ -97,7 +132,11 @@ func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers, slots: make(chan *Arena, workers)}
+	p := &Pool{
+		workers: workers,
+		slots:   make(chan *Arena, workers),
+		state:   make([]atomic.Uint32, workers),
+	}
 	for i := 0; i < workers; i++ {
 		p.slots <- &Arena{worker: i}
 	}
@@ -106,6 +145,65 @@ func New(workers int) *Pool {
 
 // Workers returns the pool's worker-slot count.
 func (p *Pool) Workers() int { return p.workers }
+
+// SlotStates returns a point-in-time copy of every slot's state. The
+// copy is not a consistent cut across slots (each word is loaded
+// independently), which is exactly what a live gauge wants.
+func (p *Pool) SlotStates() []SlotState {
+	out := make([]SlotState, len(p.state))
+	for i := range p.state {
+		out[i] = SlotState(p.state[i].Load())
+	}
+	return out
+}
+
+// Stats is a point-in-time summary of pool occupancy and throughput.
+type Stats struct {
+	Workers      int
+	Busy         int
+	Idle         int
+	Draining     int
+	TasksStarted uint64
+	TasksDone    uint64
+	// QueueDepth is submitted-but-unfinished tasks across all in-flight
+	// Map calls (includes the ones currently executing).
+	QueueDepth int64
+}
+
+// Stats samples the pool's counters and slot states.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		Workers:      p.workers,
+		TasksStarted: p.started.Load(),
+		TasksDone:    p.done.Load(),
+		QueueDepth:   p.pending.Load(),
+	}
+	for i := range p.state {
+		switch SlotState(p.state[i].Load()) {
+		case SlotBusy:
+			st.Busy++
+		case SlotDraining:
+			st.Draining++
+		default:
+			st.Idle++
+		}
+	}
+	return st
+}
+
+// MetricsInto implements the control plane's MetricSource interface
+// structurally (no obs import): it emits live pool gauges and counters
+// under the hic_pool_ prefix.
+func (p *Pool) MetricsInto(emit func(name, typ string, v float64)) {
+	st := p.Stats()
+	emit("hic_pool_workers", "gauge", float64(st.Workers))
+	emit("hic_pool_slots_busy", "gauge", float64(st.Busy))
+	emit("hic_pool_slots_idle", "gauge", float64(st.Idle))
+	emit("hic_pool_slots_draining", "gauge", float64(st.Draining))
+	emit("hic_pool_tasks_started_total", "counter", float64(st.TasksStarted))
+	emit("hic_pool_tasks_done_total", "counter", float64(st.TasksDone))
+	emit("hic_pool_queue_depth", "gauge", float64(st.QueueDepth))
+}
 
 // arenas snapshots the pool's arenas for tests. Only valid on an idle
 // pool — it briefly drains every slot.
@@ -188,6 +286,13 @@ func mapChunks[T any](p *Pool, n int, fn func(i int, a *Arena) (T, error), emit 
 	chunk := chunkFor(n, p.workers)
 	nchunks := (n + chunk - 1) / chunk
 
+	// Queue-depth accounting: all n tasks become pending now; each
+	// executed task decrements, and tasks skipped by an abort are
+	// reconciled at exit.
+	p.pending.Add(int64(n))
+	var executed atomic.Int64
+	defer func() { p.pending.Add(executed.Load() - int64(n)) }()
+
 	var (
 		frontier atomic.Int64 // next chunk index to dispatch
 		aborted  atomic.Bool
@@ -260,12 +365,23 @@ func mapChunks[T any](p *Pool, n int, fn func(i int, a *Arena) (T, error), emit 
 				// Hold a worker slot (and its arena) only while actually
 				// simulating, so concurrent Map calls interleave fairly.
 				a := <-p.slots
+				p.state[a.worker].Store(uint32(SlotBusy))
 				var values []T
 				if emit != nil {
 					values = make([]T, 0, hi-lo)
 				}
 				for i := lo; i < hi; i++ {
+					// A failure elsewhere aborts mid-chunk too: surface the
+					// wind-down as Draining and skip the rest of the chunk.
+					if i > lo && aborted.Load() {
+						p.state[a.worker].Store(uint32(SlotDraining))
+						break
+					}
+					p.started.Add(1)
 					v, err := fn(i, a)
+					p.done.Add(1)
+					p.pending.Add(-1)
+					executed.Add(1)
 					if err != nil {
 						fail(i, err)
 						break
@@ -274,6 +390,7 @@ func mapChunks[T any](p *Pool, n int, fn func(i int, a *Arena) (T, error), emit 
 						values = append(values, v)
 					}
 				}
+				p.state[a.worker].Store(uint32(SlotIdle))
 				p.slots <- a
 				if emit != nil {
 					results <- chunkResult{idx: c, values: values}

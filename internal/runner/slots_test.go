@@ -1,0 +1,142 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestSlotStatesObservableMidFlight holds every worker inside a task
+// and reads the per-slot state words from the outside — the exact
+// access pattern /metrics and `hiccluster -v` use while a fleet runs.
+func TestSlotStatesObservableMidFlight(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+
+	entered := make(chan struct{}, workers)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Map(workers, func(i int, a *Arena) error { //nolint:errcheck
+			entered <- struct{}{}
+			<-release
+			return nil
+		})
+	}()
+	for i := 0; i < workers; i++ {
+		<-entered
+	}
+
+	st := p.Stats()
+	if st.Busy != workers || st.Idle != 0 {
+		t.Errorf("mid-flight Stats = %+v, want %d busy, 0 idle", st, workers)
+	}
+	busy := 0
+	for _, s := range p.SlotStates() {
+		if s == SlotBusy {
+			busy++
+		}
+	}
+	if busy != workers {
+		t.Errorf("SlotStates reports %d busy, want %d", busy, workers)
+	}
+	if st.QueueDepth != workers {
+		t.Errorf("mid-flight QueueDepth = %d, want %d (tasks pending until executed)", st.QueueDepth, workers)
+	}
+
+	close(release)
+	wg.Wait()
+
+	st = p.Stats()
+	if st.Busy != 0 || st.Draining != 0 || st.Idle != workers {
+		t.Errorf("post-run Stats = %+v, want all %d idle", st, workers)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("post-run QueueDepth = %d, want 0", st.QueueDepth)
+	}
+	if st.TasksStarted != workers || st.TasksDone != workers {
+		t.Errorf("task counters = %d started, %d done; want %d/%d",
+			st.TasksStarted, st.TasksDone, workers, workers)
+	}
+}
+
+// TestSlotCountersReconcileAfterAbort aborts a large Map early and
+// checks the accounting invariants the control plane relies on: queue
+// depth returns to zero, started == done, and every slot is idle.
+func TestSlotCountersReconcileAfterAbort(t *testing.T) {
+	p := New(4)
+	before := p.Stats()
+	boom := errors.New("boom")
+	err := p.Map(10_000, func(i int, a *Arena) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want %v", err, boom)
+	}
+	st := p.Stats()
+	if st.QueueDepth != 0 {
+		t.Errorf("QueueDepth after abort = %d, want 0", st.QueueDepth)
+	}
+	started := st.TasksStarted - before.TasksStarted
+	done := st.TasksDone - before.TasksDone
+	if started != done {
+		t.Errorf("started %d != done %d after abort", started, done)
+	}
+	if started == 10_000 {
+		t.Error("abort executed every task; expected early termination")
+	}
+	if st.Busy != 0 || st.Draining != 0 {
+		t.Errorf("slots not idle after abort: %+v", st)
+	}
+}
+
+func TestSlotStateString(t *testing.T) {
+	cases := map[SlotState]string{
+		SlotIdle:      "idle",
+		SlotBusy:      "busy",
+		SlotDraining:  "draining",
+		SlotState(99): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("SlotState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestPoolMetricsInto(t *testing.T) {
+	p := New(2)
+	got := map[string]float64{}
+	types := map[string]string{}
+	p.MetricsInto(func(name, typ string, v float64) {
+		got[name] = v
+		types[name] = typ
+	})
+	want := map[string]float64{
+		"hic_pool_workers":             2,
+		"hic_pool_slots_busy":          0,
+		"hic_pool_slots_idle":          2,
+		"hic_pool_slots_draining":      0,
+		"hic_pool_tasks_started_total": 0,
+		"hic_pool_tasks_done_total":    0,
+		"hic_pool_queue_depth":         0,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %g, want %g", name, got[name], v)
+		}
+	}
+	for _, counter := range []string{"hic_pool_tasks_started_total", "hic_pool_tasks_done_total"} {
+		if types[counter] != "counter" {
+			t.Errorf("%s type = %q, want counter", counter, types[counter])
+		}
+	}
+	if types["hic_pool_slots_busy"] != "gauge" {
+		t.Errorf("hic_pool_slots_busy type = %q, want gauge", types["hic_pool_slots_busy"])
+	}
+}

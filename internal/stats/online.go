@@ -32,6 +32,29 @@ func (m *Moments) Add(x float64) {
 	m.m2 += d * (x - m.mean)
 }
 
+// Merge folds another accumulator's stream into this one, as if every
+// observation of o had been Added here (Chan et al.'s pairwise
+// combination of count, mean, and M2). Merging is commutative and
+// associative up to floating-point rounding, so per-run accumulators
+// can be combined in any order — the obs run registry merges per-run
+// rate moments into a fleet-wide aggregate this way.
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += d * float64(o.n) / float64(n)
+	m.min = math.Min(m.min, o.min)
+	m.max = math.Max(m.max, o.max)
+	m.n = n
+}
+
 // N returns the observation count.
 func (m *Moments) N() int64 { return m.n }
 

@@ -92,3 +92,172 @@ func TestReservoirCapacityFloor(t *testing.T) {
 		t.Errorf("capacity-1 reservoir holds %v", got)
 	}
 }
+
+// Quantile edge cases around the reservoir's fill boundary: empty,
+// single value, under capacity, exactly at capacity, and one past it
+// (the first replacement decision).
+func TestReservoirQuantileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		r := NewReservoir(8, 1)
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := r.Quantile(q); got != 0 {
+				t.Errorf("empty reservoir Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+		if r.Seen() != 0 {
+			t.Errorf("Seen = %d", r.Seen())
+		}
+	})
+	t.Run("single", func(t *testing.T) {
+		r := NewReservoir(8, 1)
+		r.Add(7)
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := r.Quantile(q); got != 7 {
+				t.Errorf("single-value Quantile(%v) = %v, want 7", q, got)
+			}
+		}
+	})
+	t.Run("under-capacity", func(t *testing.T) {
+		r := NewReservoir(8, 1)
+		for _, x := range []float64{5, 1, 3} {
+			r.Add(x)
+		}
+		if got := r.Quantile(0); got != 1 {
+			t.Errorf("min = %v, want 1", got)
+		}
+		if got := r.Quantile(0.5); got != 3 {
+			t.Errorf("median = %v, want 3", got)
+		}
+		if got := r.Quantile(1); got != 5 {
+			t.Errorf("max = %v, want 5", got)
+		}
+	})
+	t.Run("at-capacity", func(t *testing.T) {
+		r := NewReservoir(4, 1)
+		for i := 1; i <= 4; i++ {
+			r.Add(float64(i))
+		}
+		// Exactly at capacity nothing has been evicted: still exact.
+		if got := r.Quantile(0); got != 1 {
+			t.Errorf("min = %v, want 1", got)
+		}
+		if got := r.Quantile(1); got != 4 {
+			t.Errorf("max = %v, want 4", got)
+		}
+		if got := r.Quantile(0.5); math.Abs(got-2.5) > 1e-12 {
+			t.Errorf("median = %v, want 2.5", got)
+		}
+	})
+	t.Run("capacity-plus-one", func(t *testing.T) {
+		r := NewReservoir(4, 1)
+		for i := 1; i <= 5; i++ {
+			r.Add(float64(i))
+		}
+		if r.Seen() != 5 {
+			t.Errorf("Seen = %d, want 5", r.Seen())
+		}
+		// The sample still holds exactly cap values, every one from the
+		// stream, and quantiles stay within the stream's range.
+		if lo, hi := r.Quantile(0), r.Quantile(1); lo < 1 || hi > 5 {
+			t.Errorf("quantile range [%v, %v] outside stream range [1, 5]", lo, hi)
+		}
+	})
+}
+
+// Merge must behave as if every observation had been Added to one
+// accumulator, regardless of how the stream was split or in which
+// order the pieces are combined.
+func TestMomentsMergeMatchesSequential(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}
+	var whole Moments
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, split := range []int{0, 1, 5, 8, len(xs)} {
+		var a, b Moments
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+			t.Errorf("split %d: Mean = %v, want %v", split, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Stddev()-whole.Stddev()) > 1e-12 {
+			t.Errorf("split %d: Stddev = %v, want %v", split, a.Stddev(), whole.Stddev())
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("split %d: min/max = %v/%v, want %v/%v", split, a.Min(), a.Max(), whole.Min(), whole.Max())
+		}
+	}
+}
+
+func TestMomentsMergeAssociative(t *testing.T) {
+	mk := func(xs ...float64) Moments {
+		var m Moments
+		for _, x := range xs {
+			m.Add(x)
+		}
+		return m
+	}
+	a := mk(1, 2, 3)
+	b := mk(10, 20)
+	c := mk(0.5, 0.25, 0.125, 4)
+
+	// (a+b)+c
+	ab := a
+	ab.Merge(b)
+	abc1 := ab
+	abc1.Merge(c)
+	// a+(b+c)
+	bc := b
+	bc.Merge(c)
+	abc2 := a
+	abc2.Merge(bc)
+	// c+(b+a): commuted as well
+	ba := b
+	ba.Merge(a)
+	abc3 := c
+	abc3.Merge(ba)
+
+	for i, m := range []Moments{abc2, abc3} {
+		if m.N() != abc1.N() {
+			t.Fatalf("variant %d: N = %d, want %d", i, m.N(), abc1.N())
+		}
+		if math.Abs(m.Mean()-abc1.Mean()) > 1e-12 {
+			t.Errorf("variant %d: Mean = %v, want %v", i, m.Mean(), abc1.Mean())
+		}
+		if math.Abs(m.Stddev()-abc1.Stddev()) > 1e-12 {
+			t.Errorf("variant %d: Stddev = %v, want %v", i, m.Stddev(), abc1.Stddev())
+		}
+	}
+}
+
+func TestMomentsMergeEmptySides(t *testing.T) {
+	mk := func(xs ...float64) Moments {
+		var m Moments
+		for _, x := range xs {
+			m.Add(x)
+		}
+		return m
+	}
+	// empty.Merge(x) adopts x wholesale.
+	var empty Moments
+	x := mk(2, 4, 6)
+	empty.Merge(x)
+	if empty.N() != 3 || empty.Mean() != 4 || empty.Min() != 2 || empty.Max() != 6 {
+		t.Errorf("empty.Merge(x) = n=%d mean=%v min=%v max=%v", empty.N(), empty.Mean(), empty.Min(), empty.Max())
+	}
+	// x.Merge(empty) is a no-op.
+	y := mk(2, 4, 6)
+	var e2 Moments
+	y.Merge(e2)
+	if y.N() != 3 || y.Mean() != 4 {
+		t.Errorf("x.Merge(empty) changed x: n=%d mean=%v", y.N(), y.Mean())
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"hic/internal/asciiplot"
 	"hic/internal/core"
+	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -98,6 +99,12 @@ type Row struct {
 	Coords    []float64
 	Results   core.Results
 	Telemetry *telemetry.Summary
+	// TelemetrySkippedFluid marks a detailed-sweep point that was
+	// fluid-routed by the executor: the analytical solver has no packet
+	// path, so there are no spans to record and Telemetry is nil. The
+	// JSONL exporter skips these rows and reports the count instead of
+	// emitting empty span records.
+	TelemetrySkippedFluid bool
 }
 
 // points enumerates the cross product and lowers each coordinate vector
@@ -196,7 +203,13 @@ func RunStreamVia(spec Spec, exec core.Executor, cache *runcache.Store, emit fun
 		return err
 	}
 	coords, ps := points(spec)
+	var orun *obs.Run // nil-safe
+	if s := obs.Default(); s != nil {
+		orun = s.StartRun("sweep", int64(len(ps)))
+		defer orun.Finish()
+	}
 	return core.RunEachVia(exec, ps, cache, func(i int, r core.Results) error {
+		orun.Advance(1)
 		return emit(Row{Coords: coords[i], Results: r})
 	})
 }
@@ -208,12 +221,45 @@ func RunStreamVia(spec Spec, exec core.Executor, cache *runcache.Store, emit fun
 // deterministic because sampling draws from that point's own
 // engine-forked RNG.
 func RunDetailed(spec Spec, spanRate float64) ([]Row, error) {
+	return RunDetailedVia(spec, nil, spanRate)
+}
+
+// RunDetailedVia is RunDetailed with an executor routing each grid
+// point. Points the executor routes to the fluid solver carry no span
+// telemetry — the analytical model has no packet path to instrument —
+// so their rows return the fluid result with TelemetrySkippedFluid set
+// and a nil Telemetry, instead of silently emitting empty span records.
+// DES-routed points (including ones an early-stop rule would truncate)
+// run full-window instrumented DES: telemetry sweeps exist to inspect
+// the packet path, so the measurement window is never cut short here.
+// A nil executor instruments every point.
+func RunDetailedVia(spec Spec, exec core.Executor, spanRate float64) ([]Row, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	coords, ps := points(spec)
 	rows := make([]Row, len(coords))
+	var orun *obs.Run // nil-safe
+	if s := obs.Default(); s != nil {
+		orun = s.StartRun("sweep-telemetry", int64(len(ps)))
+		defer orun.Finish()
+	}
 	err := runner.Shared().Map(len(ps), func(i int, a *runner.Arena) error {
+		defer orun.Advance(1)
+		if exec != nil {
+			version, run, err := core.PlanVia(exec, ps[i])
+			if err != nil {
+				return err
+			}
+			if strings.HasPrefix(version, core.FluidVersion) {
+				res, err := run(a)
+				if err != nil {
+					return err
+				}
+				rows[i] = Row{Coords: coords[i], Results: res, TelemetrySkippedFluid: true}
+				return nil
+			}
+		}
 		res, run, err := core.RunInstrumentedOn(ps[i], spanRate, a)
 		if err != nil {
 			return err
@@ -231,9 +277,18 @@ func RunDetailed(spec Spec, spanRate float64) ([]Row, error) {
 // TelemetryJSONL renders one JSON object per sweep point: the axis
 // coordinates, the headline measurements, and the telemetry summary.
 // One line per grid point, so downstream tooling can stream or grep it.
+// Fluid-routed points (TelemetrySkippedFluid) carry no spans and are
+// skipped rather than written as empty records; when any were skipped a
+// final trailer line {"telemetry_skipped_fluid": N} reports the count
+// so the omission is visible in the artifact itself.
 func TelemetryJSONL(spec Spec, rows []Row) (string, error) {
 	var b strings.Builder
+	skipped := 0
 	for _, r := range rows {
+		if r.TelemetrySkippedFluid {
+			skipped++
+			continue
+		}
 		point := make(map[string]any, len(spec.Axes)+3)
 		for d, a := range spec.Axes {
 			point[a.Param] = r.Coords[d]
@@ -247,6 +302,9 @@ func TelemetryJSONL(spec Spec, rows []Row) (string, error) {
 		}
 		b.Write(line)
 		b.WriteByte('\n')
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&b, "{\"telemetry_skipped_fluid\": %d}\n", skipped)
 	}
 	return b.String(), nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hic/internal/core"
+	"hic/internal/runner"
 	"hic/internal/sim"
 )
 
@@ -200,5 +201,90 @@ func TestRunLeavesTelemetryNil(t *testing.T) {
 	}
 	if rows[0].Telemetry != nil {
 		t.Error("plain Run attached telemetry")
+	}
+}
+
+// fluidForZeroAntagonists routes antagonist-free points to a fake fluid
+// plan (FluidVersion-salted, canned results) and everything else to
+// pure DES — the shape RunDetailedVia must recognize and skip.
+type fluidForZeroAntagonists struct{}
+
+func (fluidForZeroAntagonists) Plan(p core.Params) (string, func(*runner.Arena) (core.Results, error), error) {
+	if p.AntagonistCores == 0 {
+		return core.FluidVersion + "-test", func(a *runner.Arena) (core.Results, error) {
+			return core.Results{AppThroughputGbps: 42}, nil
+		}, nil
+	}
+	return core.DES{}.Plan(p)
+}
+
+func TestRunDetailedViaSkipsFluidTelemetry(t *testing.T) {
+	spec := Spec{
+		Base: quickBase(),
+		Axes: []Axis{{Param: "antagonists", Values: []float64{0, 4}}},
+	}
+	rows, err := RunDetailedVia(spec, fluidForZeroAntagonists{}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+
+	fluid, des := rows[0], rows[1]
+	if !fluid.TelemetrySkippedFluid {
+		t.Error("fluid-routed row not marked TelemetrySkippedFluid")
+	}
+	if fluid.Telemetry != nil {
+		t.Error("fluid-routed row carries a telemetry summary")
+	}
+	if fluid.Results.AppThroughputGbps != 42 {
+		t.Errorf("fluid-routed row lost its results: %+v", fluid.Results)
+	}
+	if des.TelemetrySkippedFluid {
+		t.Error("DES row marked skipped")
+	}
+	if des.Telemetry == nil {
+		t.Fatal("DES row has no telemetry summary")
+	}
+
+	jsonl, err := TelemetryJSONL(spec, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL = %d lines, want 2 (one DES point + trailer):\n%s", len(lines), jsonl)
+	}
+	var point map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &point); err != nil {
+		t.Fatalf("point line: %v", err)
+	}
+	if point["antagonists"] != 4.0 {
+		t.Errorf("surviving point = %v, want the antagonists=4 one", point["antagonists"])
+	}
+	if point["telemetry"] == nil {
+		t.Error("point line has no telemetry object")
+	}
+	var trailer map[string]int
+	if err := json.Unmarshal([]byte(lines[1]), &trailer); err != nil {
+		t.Fatalf("trailer line: %v", err)
+	}
+	if trailer["telemetry_skipped_fluid"] != 1 {
+		t.Errorf("trailer = %v, want telemetry_skipped_fluid=1", trailer)
+	}
+}
+
+func TestRunDetailedNoExecUnchanged(t *testing.T) {
+	spec := Spec{
+		Base: quickBase(),
+		Axes: []Axis{{Param: "antagonists", Values: []float64{0}}},
+	}
+	rows, err := RunDetailedVia(spec, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].TelemetrySkippedFluid || rows[0].Telemetry == nil {
+		t.Errorf("nil-executor sweep must instrument every point: %+v", rows[0].TelemetrySkippedFluid)
 	}
 }

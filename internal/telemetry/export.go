@@ -206,6 +206,10 @@ func promName(name string) string {
 	return "hic_" + promUnsafe.ReplaceAllString(name, "_")
 }
 
+// PromName exposes the exporter's name mangling so other renderers (the
+// obs control plane's fleet rollup) emit the same series names.
+func PromName(name string) string { return promName(name) }
+
 // WritePrometheus renders a metrics snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges directly,
 // histograms as summaries with count/sum and fixed quantiles. Output is
