@@ -23,17 +23,20 @@ check: check-tests bench-compare
 
 # check-tests: vet, the race-enabled test suite, a focused race pass
 # over the worker pool and singleflight layers (their concurrency tests
-# are the dedup/arena safety gate), an explicit non-race pass over the
-# zero-alloc gates (TestEngineSteadyStateZeroAllocs,
-# TestPacketPathZeroAllocs) so the allocation-free hot-path property is
-# enforced by name under the plain runtime, and a 1x smoke pass over
-# the engine benchmarks so a compile break in the hot-path benches
-# fails CI.
+# are the dedup/arena safety gate) and over the observatory (its
+# collector takes concurrent Note/MetricsInto reads during fleet runs),
+# an explicit non-race pass over the zero-alloc gates
+# (TestEngineSteadyStateZeroAllocs, TestPacketPathZeroAllocs,
+# TestObservatoryDisabledZeroAlloc) so the allocation-free hot-path and
+# disabled-observatory properties are enforced by name under the plain
+# runtime, and a 1x smoke pass over the engine benchmarks so a compile
+# break in the hot-path benches fails CI.
 check-tests:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 20m ./...
-	$(GO) test -race -count=2 ./internal/runner/ ./internal/runcache/
+	$(GO) test -race -count=2 ./internal/runner/ ./internal/runcache/ ./internal/observatory/
 	$(GO) test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/pkt/
+	$(GO) test -run 'TestObservatoryDisabledZeroAlloc' -count=1 ./internal/observatory/
 	$(GO) test -run=NONE -bench=BenchmarkEngine -benchtime=1x ./internal/sim/
 
 # bench-compare is the bench-regression gate: a small smoke bench (400

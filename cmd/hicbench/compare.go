@@ -40,12 +40,28 @@ func (c *cmpResult) notef(format string, args ...any) {
 	c.notes = append(c.notes, fmt.Sprintf(format, args...))
 }
 
+// skipNote distinguishes the three "section didn't run" cases so a
+// metric newly added to this tool reads as "skipped (new)" against an
+// older committed baseline rather than as a mysterious absence.
+func (c *cmpResult) skipNote(name string, old, new float64) bool {
+	switch {
+	case old <= 0 && new > 0:
+		c.notef("skip %s: skipped (new) — absent from baseline", name)
+	case old > 0 && new <= 0:
+		c.notef("skip %s: absent from new report", name)
+	case old <= 0 && new <= 0:
+		c.notef("skip %s: not present in either report", name)
+	default:
+		return false
+	}
+	return true
+}
+
 // lowerBetter checks a noisy metric where smaller is better (ns/op,
 // bytes of peak memory). Zero on either side means the section didn't
 // run — skip.
 func (c *cmpResult) lowerBetter(name string, old, new float64, tol float64) {
-	if old <= 0 || new <= 0 {
-		c.notef("skip %s: not present in both reports", name)
+	if c.skipNote(name, old, new) {
 		return
 	}
 	if new > old*(1+tol) {
@@ -57,8 +73,7 @@ func (c *cmpResult) lowerBetter(name string, old, new float64, tol float64) {
 // higherBetter checks a noisy metric where larger is better
 // (events/sec, hosts/sec, speedup ratios).
 func (c *cmpResult) higherBetter(name string, old, new float64, tol float64) {
-	if old <= 0 || new <= 0 {
-		c.notef("skip %s: not present in both reports", name)
+	if c.skipNote(name, old, new) {
 		return
 	}
 	if new < old*(1-tol) {
@@ -96,6 +111,12 @@ func compareReports(oldRep, newRep report, tol float64) cmpResult {
 	// Whole-simulator throughput on the fig6 point.
 	c.higherBetter("fig6_scenario.events_per_sec", oldRep.Fig6.EventsPerSec, newRep.Fig6.EventsPerSec, tol)
 
+	// Observatory overhead: the sampler-on fig6 run must not slow down
+	// beyond tolerance (a baseline predating the observatory section
+	// reads as "skipped (new)").
+	c.higherBetter("observatory.sampler_on_events_per_sec",
+		oldRep.Observatory.SamplerOnEventsPerSec, newRep.Observatory.SamplerOnEventsPerSec, tol)
+
 	// Fleet sections compare only at matching scale: hosts/sec is not
 	// size-independent (dedup rate and cache behavior shift), so a smoke
 	// bench at a different size gates only the sections above.
@@ -107,7 +128,7 @@ func compareReports(oldRep, newRep report, tol float64) cmpResult {
 			c.notef("skip fleet: host counts differ (%d vs %d)", oldRep.Fleet.Hosts, newRep.Fleet.Hosts)
 		}
 	} else {
-		c.notef("skip fleet: not present in both reports")
+		c.skipNote("fleet", float64(oldRep.Fleet.Hosts), float64(newRep.Fleet.Hosts))
 	}
 
 	if oldRep.Fidelity.Hosts > 0 && newRep.Fidelity.Hosts > 0 {
@@ -117,7 +138,7 @@ func compareReports(oldRep, newRep report, tol float64) cmpResult {
 			c.notef("skip fidelity rates: host counts differ (%d vs %d)", oldRep.Fidelity.Hosts, newRep.Fidelity.Hosts)
 		}
 	} else {
-		c.notef("skip fidelity rates: not present in both reports")
+		c.skipNote("fidelity rates", float64(oldRep.Fidelity.Hosts), float64(newRep.Fidelity.Hosts))
 	}
 
 	// Accuracy is never noise: any audited point over tolerance in the

@@ -14,6 +14,7 @@ func baseline() report {
 	r.Engine.New = benchResult{NsPerOp: 140, AllocsPerOp: 0, BytesPerOp: 0}
 	r.PacketPath.Pooled = benchResult{NsPerOp: 24, AllocsPerOp: 0, BytesPerOp: 0}
 	r.Fig6.EventsPerSec = 40e6
+	r.Observatory.SamplerOnEventsPerSec = 38e6
 	r.Fleet.Hosts = 10000
 	r.Fleet.HostsPerSec = 90
 	r.Fleet.PeakMemBytes = 200 << 20
@@ -57,6 +58,7 @@ func TestCompareCatchesRegressions(t *testing.T) {
 		{"slower engine", func(r *report) { r.Engine.New.NsPerOp *= 2 }, "engine.new.ns_per_op"},
 		{"slower packet path", func(r *report) { r.PacketPath.Pooled.NsPerOp *= 2 }, "packet_path.pooled.ns_per_op"},
 		{"fig6 throughput drop", func(r *report) { r.Fig6.EventsPerSec /= 2 }, "fig6_scenario.events_per_sec"},
+		{"observatory overhead growth", func(r *report) { r.Observatory.SamplerOnEventsPerSec /= 2 }, "observatory.sampler_on_events_per_sec"},
 		{"fleet throughput drop", func(r *report) { r.Fleet.HostsPerSec /= 2 }, "fleet.hosts_per_sec"},
 		{"fleet memory growth", func(r *report) { r.Fleet.PeakMemBytes *= 2 }, "fleet.peak_mem_bytes"},
 		{"fidelity throughput drop", func(r *report) { r.Fidelity.HostsPerSec /= 2 }, "fidelity.hosts_per_sec"},
@@ -131,6 +133,35 @@ func TestCompareSkipsAbsentSections(t *testing.T) {
 	res := compareReports(baseline(), partial, 0.25)
 	if len(res.fails) != 1 || !strings.Contains(res.fails[0], "engine.new.ns_per_op") {
 		t.Errorf("fails = %v, want only the engine regression", res.fails)
+	}
+}
+
+// TestCompareMetricNewInReport: a metric absent from the baseline but
+// present in the new report (a section this tool grew after the
+// baseline was committed) skips as "skipped (new)" instead of failing
+// or reading like a mysterious absence.
+func TestCompareMetricNewInReport(t *testing.T) {
+	old := baseline()
+	old.Observatory = observatoryBench{} // baseline predates the section
+	res := compareReports(old, baseline(), 0.25)
+	if len(res.fails) != 0 {
+		t.Errorf("new-metric compare failed: %v", res.fails)
+	}
+	notes := strings.Join(res.notes, "\n")
+	if !strings.Contains(notes, "observatory.sampler_on_events_per_sec: skipped (new)") ||
+		!strings.Contains(notes, "absent from baseline") {
+		t.Errorf("notes = %v, want a skipped-(new) note for the observatory metric", res.notes)
+	}
+
+	// And the mirror case: present in baseline, absent from new.
+	missing := baseline()
+	missing.Observatory = observatoryBench{}
+	res = compareReports(baseline(), missing, 0.25)
+	if len(res.fails) != 0 {
+		t.Errorf("absent-new compare failed: %v", res.fails)
+	}
+	if !strings.Contains(strings.Join(res.notes, "\n"), "absent from new report") {
+		t.Errorf("notes = %v, want an absent-from-new note", res.notes)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"hic/internal/core"
 	"hic/internal/fidelity"
 	"hic/internal/obs"
+	"hic/internal/observatory"
 	"hic/internal/pkt"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -157,6 +158,48 @@ func runFig6() (fig6Scenario, error) {
 		EventsPerSec: float64(ev) / wall,
 		AppGbps:      res.AppThroughputGbps,
 	}, nil
+}
+
+// observatoryBench measures what attaching the sim-time observatory
+// costs: the fig6 scenario with the sampler off (the fig6 section's
+// own run) versus on, in whole-simulator events/sec.
+type observatoryBench struct {
+	SamplerOffWallSeconds  float64 `json:"sampler_off_wall_seconds"`
+	SamplerOnWallSeconds   float64 `json:"sampler_on_wall_seconds"`
+	SamplerOffEventsPerSec float64 `json:"sampler_off_events_per_sec"`
+	SamplerOnEventsPerSec  float64 `json:"sampler_on_events_per_sec"`
+	OverheadPct            float64 `json:"overhead_pct"`
+	Episodes               int     `json:"episodes"`
+	Samples                uint64  `json:"samples"`
+}
+
+// runObservatory reruns the fig6 point with the observatory sampling at
+// the default cadence and compares against the sampler-off run.
+func runObservatory(off fig6Scenario) (observatoryBench, error) {
+	p := core.DefaultParams(12)
+	p.AntagonistCores = 8
+	p.Warmup, p.Measure = 4*sim.Millisecond, 6*sim.Millisecond
+	tb, err := p.Build()
+	if err != nil {
+		return observatoryBench{}, err
+	}
+	mon := observatory.Attach(tb, observatory.DefaultConfig())
+	start := time.Now()
+	tb.Run(p.Warmup, p.Measure)
+	wall := time.Since(start).Seconds()
+	hr := mon.Report()
+	ob := observatoryBench{
+		SamplerOffWallSeconds:  off.WallSeconds,
+		SamplerOnWallSeconds:   wall,
+		SamplerOffEventsPerSec: off.EventsPerSec,
+		SamplerOnEventsPerSec:  float64(tb.Engine.Processed()) / wall,
+		Episodes:               len(hr.Episodes),
+		Samples:                hr.Samples,
+	}
+	if off.WallSeconds > 0 {
+		ob.OverheadPct = (wall/off.WallSeconds - 1) * 100
+	}
+	return ob, nil
 }
 
 // fleetBench compares the pooled, deduplicated fleet path against the
@@ -398,10 +441,13 @@ type report struct {
 	// Fig6 runs with the free lists on (the default); Fig6NoPools runs
 	// the same scenario with event and packet recycling disabled, the
 	// whole-figure before/after for the allocation-free hot path.
-	Fig6        fig6Scenario  `json:"fig6_scenario"`
-	Fig6NoPools fig6Scenario  `json:"fig6_scenario_no_pools"`
-	Fleet       fleetBench    `json:"fleet"`
-	Fidelity    fidelityBench `json:"fidelity"`
+	Fig6        fig6Scenario `json:"fig6_scenario"`
+	Fig6NoPools fig6Scenario `json:"fig6_scenario_no_pools"`
+	// Observatory is the sim-time observatory's overhead on the fig6
+	// scenario: sampler on vs off.
+	Observatory observatoryBench `json:"observatory"`
+	Fleet       fleetBench       `json:"fleet"`
+	Fidelity    fidelityBench    `json:"fidelity"`
 }
 
 var heapSink *pkt.Packet
@@ -439,7 +485,7 @@ func main() {
 	} else if srv != nil {
 		defer srv.Close()
 		srv.AddSource(runner.Shared())
-		orun = srv.StartRun("bench", 5, "engine", "packet_path", "fig6", "fleet", "fidelity")
+		orun = srv.StartRun("bench", 6, "engine", "packet_path", "fig6", "observatory", "fleet", "fidelity")
 		defer orun.Finish()
 	}
 
@@ -488,6 +534,15 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Fig6NoPools = noPools
+		orun.Advance(1)
+
+		orun.SetPhase("observatory")
+		ob, err := runObservatory(fig6)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicbench: observatory bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Observatory = ob
 		orun.Advance(1)
 	}
 

@@ -9,18 +9,43 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"hic/internal/cluster"
 	"hic/internal/fidelity"
 	"hic/internal/obs"
+	"hic/internal/observatory"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
 )
+
+// openOut opens an output path for the observatory exports; "-" means
+// stdout. The returned flush both flushes the buffer and closes the
+// file.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		w := bufio.NewWriter(os.Stdout)
+		return w, w.Flush, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	return w, func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
 
 func main() {
 	hosts := flag.Int("hosts", 200, "simulated hosts in the fleet")
@@ -34,6 +59,9 @@ func main() {
 	noDedup := flag.Bool("no-dedup", false, "disable singleflight dedup of byte-identical hosts (never changes results; for benchmarking)")
 	progress := flag.Bool("progress", true, "report progress, rate, and ETA on stderr")
 	verbose := flag.Bool("v", false, "print cache and dedup statistics on stderr")
+	incidentsOut := flag.String("incidents-out", "", "attach the sim-time observatory and append per-host congestion episodes as JSONL here ('-' = stdout; forces full DES)")
+	timelinesOut := flag.String("timelines-out", "", "with the observatory attached, also export each host's retained signal timeline as JSONL here")
+	observeEvery := flag.Int("observe-every-us", 100, "observatory sampling interval in sim µs")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,6 +94,49 @@ func main() {
 	if router != nil {
 		cfg.Exec = router
 	}
+
+	var collector *observatory.Collector
+	var flushers []func() error
+	if *incidentsOut != "" || *timelinesOut != "" {
+		ocfg := observatory.DefaultConfig()
+		ocfg.SampleEvery = sim.Duration(*observeEvery) * sim.Microsecond
+		collector = observatory.NewCollector(ocfg)
+		var incEnc *json.Encoder
+		if *incidentsOut != "" {
+			w, flush, err := openOut(*incidentsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
+				os.Exit(1)
+			}
+			incEnc = json.NewEncoder(w)
+			flushers = append(flushers, flush)
+		}
+		var tlw io.Writer
+		if *timelinesOut != "" {
+			w, flush, err := openOut(*timelinesOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
+				os.Exit(1)
+			}
+			tlw = w
+			flushers = append(flushers, flush)
+		}
+		collector.OnReport(func(hostIdx int, cell string, rep *observatory.HostReport) error {
+			if incEnc != nil {
+				for i := range rep.Episodes {
+					if err := incEnc.Encode(&rep.Episodes[i]); err != nil {
+						return err
+					}
+				}
+			}
+			if tlw != nil {
+				return rep.WriteTimeline(tlw, hostIdx)
+			}
+			return nil
+		})
+		cfg.Observatory = collector
+	}
+
 	if srv, err := obsFlags.Start(os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
 		os.Exit(1)
@@ -78,6 +149,9 @@ func main() {
 		if router != nil {
 			srv.AddSource(router)
 		}
+		if collector != nil {
+			srv.AddSource(collector)
+		}
 	}
 	if *progress {
 		cfg.Progress = runner.NewProgress(os.Stderr, "fleet", "hosts", cfg.Hosts, time.Second)
@@ -87,6 +161,9 @@ func main() {
 			note := fmt.Sprintf("slots %db/%di", ps.Busy, ps.Idle+ps.Draining)
 			if store != nil {
 				note += "; cache " + store.Summary()
+			}
+			if collector != nil {
+				note += "; " + collector.Note()
 			}
 			return note
 		})
@@ -126,6 +203,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)
 		os.Exit(1)
+	}
+	for _, flush := range flushers {
+		if ferr := flush(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "hiccluster: %v\n", ferr)
+			os.Exit(1)
+		}
+	}
+	if collector != nil {
+		collector.WriteReport(os.Stderr, *verbose)
 	}
 
 	if *verbose {

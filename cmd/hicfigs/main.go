@@ -13,13 +13,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"hic/internal/asciiplot"
+	"hic/internal/core"
 	"hic/internal/experiments"
 	"hic/internal/fidelity"
 	"hic/internal/obs"
+	"hic/internal/observatory"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -36,6 +40,7 @@ func main() {
 	outdir := flag.String("outdir", "", "also write per-experiment CSV files here")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	incidents := flag.Bool("incidents", false, "run the fig6 antagonist point with the sim-time observatory and print its congestion episodes, then exit")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -47,6 +52,13 @@ func main() {
 	}
 	if *measureMS > 0 {
 		opt.Measure = sim.Duration(*measureMS) * sim.Millisecond
+	}
+	if *incidents {
+		if err := printFig6Incidents(os.Stdout, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "hicfigs: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *useCache {
 		store, err := runcache.Open(*cacheDir)
@@ -138,4 +150,41 @@ func main() {
 		}
 		orun.Advance(1)
 	}
+}
+
+// printFig6Incidents runs the paper's Figure 6 memory-antagonist point
+// with the sim-time observatory attached and prints the congestion
+// episodes it detected — the incident-level view of the mechanism the
+// figure averages over a whole window.
+func printFig6Incidents(w io.Writer, seed uint64) error {
+	p := core.DefaultParams(12)
+	p.AntagonistCores = 8
+	p.Seed = seed
+	res, rep, err := core.RunObserved(p, observatory.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fig6 antagonist point (seed %d): %.2f Gbps, %.3f%% drops, %d samples, %d episodes, %s congested\n",
+		seed, res.AppThroughputGbps, res.DropRatePct, rep.Samples, len(rep.Episodes), sim.Duration(rep.CongestedNs))
+	if len(rep.Episodes) == 0 {
+		return nil
+	}
+	rows := make([][]string, 0, len(rep.Episodes))
+	for _, e := range rep.Episodes {
+		blind := ""
+		if e.CCBlind {
+			blind = "yes"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", float64(e.Start)/1e6),
+			fmt.Sprintf("%.3f", float64(e.Duration())/1e6),
+			fmt.Sprintf("%.2f", e.PeakBufferFrac),
+			fmt.Sprintf("%d", e.Drops),
+			fmt.Sprintf("%s %.0f%%", e.Cause, e.CauseShare*100),
+			blind,
+		})
+	}
+	fmt.Fprint(w, asciiplot.FormatTable(
+		[]string{"start_ms", "dur_ms", "peak_fill", "drops", "cause", "cc_blind"}, rows))
+	return nil
 }

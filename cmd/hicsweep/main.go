@@ -27,6 +27,7 @@ import (
 	"hic/internal/core"
 	"hic/internal/fidelity"
 	"hic/internal/obs"
+	"hic/internal/observatory"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -41,6 +42,8 @@ func main() {
 	warmupMS := flag.Int("warmup-ms", 0, "override warmup window (ms)")
 	telemetryOut := flag.String("telemetry-out", "", "run each point with span telemetry and write one JSONL summary line per grid point to this file")
 	spanRate := flag.Float64("span-rate", 0.01, "span sampling rate per grid point (with -telemetry-out)")
+	incidentsOut := flag.String("incidents-out", "", "run each point with the sim-time observatory and write one JSONL incident-report line per grid point to this file (forces full DES)")
+	observeEvery := flag.Int("observe-every-us", 100, "observatory sampling interval in sim µs (with -incidents-out)")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache (ignored with -telemetry-out)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
 	verbose := flag.Bool("v", false, "print detailed run-cache counters on stderr (with -cache)")
@@ -73,8 +76,13 @@ func main() {
 		spec.Base.Warmup = sim.Duration(*warmupMS) * sim.Millisecond
 	}
 
+	if *telemetryOut != "" && *incidentsOut != "" {
+		fmt.Fprintln(os.Stderr, "hicsweep: -telemetry-out and -incidents-out are mutually exclusive (each instruments every point its own way)")
+		os.Exit(2)
+	}
+
 	var store *runcache.Store
-	if *useCache && *telemetryOut == "" {
+	if *useCache && *telemetryOut == "" && *incidentsOut == "" {
 		if store, err = runcache.Open(*cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
 			os.Exit(1)
@@ -102,7 +110,18 @@ func main() {
 	}
 
 	var rows []sweep.Row
-	if *telemetryOut != "" {
+	if *incidentsOut != "" {
+		// Observatory sweeps always simulate in full: episodes are a
+		// per-run byproduct neither the fluid solver nor the run cache
+		// produces.
+		if router != nil {
+			fmt.Fprintln(os.Stderr, "hicsweep: observatory always simulates; fidelity routing disabled for this run")
+			router = nil
+		}
+		ocfg := observatory.DefaultConfig()
+		ocfg.SampleEvery = sim.Duration(*observeEvery) * sim.Microsecond
+		rows, err = sweep.RunObserved(spec, ocfg)
+	} else if *telemetryOut != "" {
 		// Telemetry sweeps always simulate: spans are a per-run byproduct
 		// the result cache does not store. The router still decides which
 		// points the fluid solver would serve — those carry no spans and
@@ -140,6 +159,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
 		os.Exit(1)
+	}
+	if *incidentsOut != "" {
+		jsonl, err := sweep.IncidentsJSONL(spec, rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*incidentsOut, []byte(jsonl), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+			os.Exit(1)
+		}
+		episodes := 0
+		for _, r := range rows {
+			if r.Incidents != nil {
+				episodes += len(r.Incidents.Episodes)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d points, %d episodes)\n", *incidentsOut, len(rows), episodes)
 	}
 	if *telemetryOut != "" {
 		jsonl, err := sweep.TelemetryJSONL(spec, rows)

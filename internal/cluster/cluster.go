@@ -38,6 +38,7 @@ import (
 	"hic/internal/core"
 	"hic/internal/fidelity"
 	"hic/internal/obs"
+	"hic/internal/observatory"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -90,6 +91,16 @@ type Config struct {
 	// /progress run registration; nil falls back to the process-global
 	// obs sink (nil there too = fully disabled, zero overhead).
 	Sink obs.Sink
+	// Observatory, when non-nil, attaches the sim-time congestion
+	// observatory to every host and streams per-host incident reports
+	// into the collector (Record is called in host order from the emit
+	// phase). Observatory runs always execute full DES: episodes are a
+	// per-run byproduct neither the fluid solver nor the run cache
+	// produces, so Exec and Cache are ignored (with a Log note).
+	// Singleflight dedup stays on — collapsed hosts replay the
+	// memoized report, which is exact because the simulation is
+	// deterministic per Params.
+	Observatory *observatory.Collector
 }
 
 // DefaultConfig returns a 200-host fleet.
@@ -202,19 +213,38 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// hostDraw is host i's catalog cell: the weighted index draws shared
+// by HostScenario and CellLabel. The RNG consumption order (sku,
+// workload, antagonist, seed) is pinned by the fleet golden hash.
+type hostDraw struct {
+	sku      int
+	workload int
+	antCores int
+	seedK    int
+}
+
+func drawHost(cfg Config, i int) hostDraw {
+	r := sim.NewRNG(mix64(cfg.Seed) + uint64(i)*0x9e3779b97f4a7c15)
+	d := hostDraw{
+		sku:      pickIdx(r, skuWeights),
+		workload: pickIdx(r, workloadWeights),
+	}
+	d.antCores = antagonistTiers[pickIdx(r, antagonistWeights)]
+	if w := workloads[d.workload]; w.maxAnt > 0 && d.antCores > w.maxAnt {
+		d.antCores = w.maxAnt
+	}
+	d.seedK = pickIdx(r, seedWeights)
+	return d
+}
+
 // HostScenario derives host i's scenario and point metadata from the
 // fleet config alone — random access, no shared RNG stream — so callers
 // can enumerate, stream, or re-derive any host independently.
 func HostScenario(cfg Config, i int) (core.Params, Point) {
 	warm, meas := cfg.windows()
-	r := sim.NewRNG(mix64(cfg.Seed) + uint64(i)*0x9e3779b97f4a7c15)
-	s := skus[pickIdx(r, skuWeights)]
-	w := workloads[pickIdx(r, workloadWeights)]
-	ant := antagonistTiers[pickIdx(r, antagonistWeights)]
-	if w.maxAnt > 0 && ant > w.maxAnt {
-		ant = w.maxAnt
-	}
-	seedK := pickIdx(r, seedWeights)
+	d := drawHost(cfg, i)
+	s := skus[d.sku]
+	w := workloads[d.workload]
 
 	p := core.DefaultParams(s.threads)
 	p.Warmup, p.Measure = warm, meas
@@ -224,8 +254,8 @@ func HostScenario(cfg Config, i int) (core.Params, Point) {
 	p.OfferedGbps = w.offeredGbps
 	p.BurstDuty = w.burstDuty
 	p.BurstPeriod = w.burstPeriod
-	p.AntagonistCores = ant
-	p.Seed = SeedPool(cfg)[seedK]
+	p.AntagonistCores = d.antCores
+	p.Seed = SeedPool(cfg)[d.seedK]
 
 	return p, Point{
 		Host:            i,
@@ -233,6 +263,25 @@ func HostScenario(cfg Config, i int) (core.Params, Point) {
 		Senders:         p.Senders,
 		AntagonistCores: p.AntagonistCores,
 	}
+}
+
+// CellLabel names host i's catalog cell — SKU × workload × antagonist
+// tier, e.g. "sku12t-12mb/swift-s40-b20/ant8" — the key the
+// observatory's per-cell cause mix aggregates under. Seed replicas of
+// a cell share one label, so a fleet of any size rolls up into at most
+// 400 cells.
+func CellLabel(cfg Config, i int) string {
+	d := drawHost(cfg, i)
+	s := skus[d.sku]
+	w := workloads[d.workload]
+	l := fmt.Sprintf("sku%dt-%dmb/%s-s%d", s.threads, s.regionMB, w.cc, w.senders)
+	if w.offeredGbps > 0 {
+		l += fmt.Sprintf("-o%g", w.offeredGbps)
+	}
+	if w.burstDuty > 0 {
+		l += fmt.Sprintf("-b%.0f", w.burstDuty*100)
+	}
+	return l + fmt.Sprintf("/ant%d", d.antCores)
 }
 
 // SeedPool returns the fleet's simulation seed pool in descending
@@ -267,6 +316,13 @@ func Run(cfg Config) ([]Point, error) {
 	return points, nil
 }
 
+// hostOut is one worker's product: the host's scatter points plus its
+// observatory report (nil when the observatory is off).
+type hostOut struct {
+	pts []Point
+	rep *observatory.HostReport
+}
+
 // RunStream simulates the fleet, streaming each point to emit in host
 // order while aggregating the fleet statistics online — memory stays
 // proportional to the worker count, not the host count, which is what
@@ -283,6 +339,18 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 		windows = 1
 	}
 
+	// Observatory runs force full DES: episodes are a per-run byproduct
+	// neither the fluid fast path nor the run cache produces.
+	obsv := cfg.Observatory
+	exec := cfg.Exec
+	if obsv != nil && exec != nil {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log,
+				"cluster: observatory forces full DES; fidelity routing disabled for this run\n")
+		}
+		exec = nil
+	}
+
 	// Dedup layer. With a store, the store's own singleflight already
 	// collapses concurrent duplicates and memoizes completed ones; the
 	// batch-local flight (memoizing) covers store-less runs. Multi-window
@@ -290,6 +358,14 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 	// which no per-Params key can address.
 	var flight *runcache.Flight
 	cache := cfg.Cache
+	if obsv != nil && cache != nil {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log,
+				"cluster: %d observatory hosts bypass the run cache (episode records are not cached)\n",
+				cfg.Hosts)
+		}
+		cache = nil
+	}
 	if windows > 1 {
 		if cache != nil {
 			if cfg.Log != nil {
@@ -308,8 +384,8 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 	}
 	var router *fidelity.Router
 	var routerBefore fidelity.Counters
-	if cfg.Exec != nil {
-		if r, ok := cfg.Exec.(*fidelity.Router); ok {
+	if exec != nil {
+		if r, ok := exec.(*fidelity.Router); ok {
 			router = r
 			routerBefore = r.Counters()
 		}
@@ -323,12 +399,13 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 	if sink != nil {
 		orun = sink.StartRun("fleet", int64(cfg.Hosts))
 		defer orun.Finish()
+		obsv.SetSink(sink, orun.Label())
 	}
 
 	var simulated atomic.Uint64
 	agg := newAggregator()
 	err := runner.MapOrdered(runner.Shared(), cfg.Hosts,
-		func(i int, a *runner.Arena) ([]Point, error) {
+		func(i int, a *runner.Arena) (hostOut, error) {
 			defer cfg.Progress.Add(1)
 			defer orun.Advance(1)
 			if sink != nil {
@@ -346,12 +423,36 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 			p, meta := HostScenario(cfg, i)
 			if windows == 1 {
 				var r core.Results
+				var rep *observatory.HostReport
 				var err error
-				if cfg.Exec != nil {
+				switch {
+				case exec != nil:
 					// The executor decides strategy and cache salt per
 					// host; its own counters account the executions.
-					r, err = core.RunOnVia(cfg.Exec, p, cache, flight, a)
-				} else {
+					r, err = core.RunOnVia(exec, p, cache, flight, a)
+				case obsv != nil:
+					// Memoize the report under the scenario key so a
+					// dedup-collapsed host replays it: flight.Do returns
+					// only after the winning compute finished, so the
+					// memo entry is always present by then.
+					key := p.CacheKey()
+					compute := func() (core.Results, error) {
+						simulated.Add(1)
+						res, hr, rerr := core.RunObservedOn(p, obsv.SamplerConfig(), a)
+						if rerr == nil {
+							obsv.Memo(key, hr)
+						}
+						return res, rerr
+					}
+					if flight != nil {
+						r, err = flight.Do(key, compute)
+					} else {
+						r, err = compute()
+					}
+					if err == nil {
+						rep = obsv.Lookup(key)
+					}
+				default:
 					compute := func() (core.Results, error) {
 						simulated.Add(1)
 						return core.RunOn(p, a)
@@ -366,17 +467,22 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 					}
 				}
 				if err != nil {
-					return nil, err
+					return hostOut{}, err
 				}
 				meta.Utilization = r.LinkUtilization
 				meta.DropRate = r.DropRatePct / 100
-				return []Point{meta}, nil
+				return hostOut{pts: []Point{meta}, rep: rep}, nil
 			}
-			// Multi-window: one testbed, consecutive bins.
+			// Multi-window: one testbed, consecutive bins. The monitor
+			// spans every bin, so episodes can cross bin boundaries.
 			simulated.Add(1)
 			tb, err := p.BuildOn(a)
 			if err != nil {
-				return nil, err
+				return hostOut{}, err
+			}
+			var mon *observatory.Monitor
+			if obsv != nil {
+				mon = observatory.Attach(tb, obsv.SamplerConfig())
 			}
 			pts := make([]Point, 0, windows)
 			for w := 0; w < windows; w++ {
@@ -391,15 +497,20 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 				pt.DropRate = r.DropRatePct / 100
 				pts = append(pts, pt)
 			}
-			return pts, nil
+			return hostOut{pts: pts, rep: mon.Report()}, nil
 		},
-		func(i int, pts []Point) error {
-			for _, pt := range pts {
+		func(i int, out hostOut) error {
+			for _, pt := range out.pts {
 				agg.add(pt)
 				if emit != nil {
 					if err := emit(pt); err != nil {
 						return err
 					}
+				}
+			}
+			if obsv != nil {
+				if err := obsv.Record(i, CellLabel(cfg, i), out.rep); err != nil {
+					return err
 				}
 			}
 			return nil
@@ -430,7 +541,7 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 		after := cache.Stats()
 		s.Collapsed += (after.Hits - cacheBefore.Hits) + (after.Collapses - cacheBefore.Collapses)
 	}
-	if cfg.Cache != nil && windows > 1 {
+	if cfg.Cache != nil && (windows > 1 || obsv != nil) {
 		s.CacheSkipped = cfg.Hosts
 	}
 	return s, nil

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hic/internal/fidelity"
+	"hic/internal/observatory"
 	"hic/internal/runcache"
 	"hic/internal/sim"
 )
@@ -247,5 +248,102 @@ func TestFleetAutoRouterAccounting(t *testing.T) {
 	if st.Audited > 0 && st.AuditMaxErr > router.Tol() {
 		t.Errorf("audit max error %.4f exceeds tolerance %.3f (%d/%d over)",
 			st.AuditMaxErr, router.Tol(), st.AuditOverTol, st.Audited)
+	}
+}
+
+// TestFleetGoldenWithObservatory pins the tentpole passivity property at
+// fleet scale: attaching the observatory leaves the golden fleet hash
+// byte-identical, dedup still collapses hosts (collapsed hosts replay
+// the memoized report), and every host lands in the collector.
+func TestFleetGoldenWithObservatory(t *testing.T) {
+	cfg := quickConfig(32)
+	collector := observatory.NewCollector(observatory.DefaultConfig())
+	cfg.Observatory = collector
+	var points []Point
+	st, err := RunStream(cfg, func(p Point) error {
+		points = append(points, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fleetHash(points); got != goldenFleetHash {
+		t.Errorf("observed fleet hash = %s, want %s (observatory must be passive)", got, goldenFleetHash)
+	}
+	if st.Collapsed == 0 {
+		t.Error("observatory disabled dedup — memoized reports should keep it on")
+	}
+	s := collector.Summary()
+	if s.Hosts != 32 {
+		t.Errorf("collector saw %d hosts, want 32", s.Hosts)
+	}
+	if s.Episodes == 0 {
+		t.Error("32-host fleet produced no congestion episodes (catalog has saturating workloads)")
+	}
+	if len(s.Cells) == 0 {
+		t.Error("no catalog cells aggregated")
+	}
+}
+
+// TestObservatoryForcesFullDES: with an observatory configured, both the
+// fidelity router and the run cache are bypassed (with log notes), and
+// the bypass is accounted in CacheSkipped.
+func TestObservatoryForcesFullDES(t *testing.T) {
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := fidelity.New(fidelity.Config{Mode: fidelity.ModeDES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	cfg := quickConfig(8)
+	cfg.Cache = store
+	cfg.Exec = router
+	cfg.Log = &log
+	cfg.Observatory = observatory.NewCollector(observatory.DefaultConfig())
+	st, err := RunStream(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheSkipped != 8 {
+		t.Errorf("CacheSkipped = %d, want 8 (observatory bypasses the cache)", st.CacheSkipped)
+	}
+	if hits, misses := store.Hits(), store.Misses(); hits != 0 || misses != 0 {
+		t.Errorf("store touched under observatory: %d hits, %d misses", hits, misses)
+	}
+	if !strings.Contains(log.String(), "observatory forces full DES") {
+		t.Errorf("router-disabled notice missing:\n%s", log.String())
+	}
+	if !strings.Contains(log.String(), "bypass the run cache") {
+		t.Errorf("cache-bypass notice missing:\n%s", log.String())
+	}
+	if st.FluidRouted != 0 || st.EarlyStopped != 0 {
+		t.Errorf("router still routed under observatory: %+v", st)
+	}
+}
+
+// TestCellLabelConsistent: the cell label is deterministic, random-access,
+// and names the same SKU and antagonist tier HostScenario derives.
+func TestCellLabelConsistent(t *testing.T) {
+	cfg := quickConfig(64)
+	labels := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		l1 := CellLabel(cfg, i)
+		if l2 := CellLabel(cfg, i); l1 != l2 {
+			t.Fatalf("CellLabel(%d) not deterministic: %q vs %q", i, l1, l2)
+		}
+		p, _ := HostScenario(cfg, i)
+		if want := fmt.Sprintf("sku%dt", p.Threads); !strings.Contains(l1, want) {
+			t.Errorf("label %q does not name SKU %s", l1, want)
+		}
+		if want := fmt.Sprintf("/ant%d", p.AntagonistCores); !strings.HasSuffix(l1, want) {
+			t.Errorf("label %q does not end with %s", l1, want)
+		}
+		labels[l1] = true
+	}
+	if len(labels) < 2 {
+		t.Error("64 hosts share one cell label — catalog labeling collapsed")
 	}
 }

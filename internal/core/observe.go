@@ -1,0 +1,34 @@
+package core
+
+import (
+	"hic/internal/obs"
+	"hic/internal/observatory"
+	"hic/internal/runner"
+)
+
+// RunObserved executes one scenario with the sim-time observatory
+// attached: the datapath signals are sampled on the engine clock and
+// folded into congestion episodes while the run executes. Sampling is
+// passive — the returned Results are bit-identical to Run's for the
+// same Params (the golden-hash tests prove it).
+func RunObserved(p Params, ocfg observatory.Config) (Results, *observatory.HostReport, error) {
+	return RunObservedOn(p, ocfg, nil)
+}
+
+// RunObservedOn is RunObserved on a worker arena (nil arena builds
+// fresh substrate).
+func RunObservedOn(p Params, ocfg observatory.Config, a *runner.Arena) (Results, *observatory.HostReport, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
+	if err != nil {
+		return Results{}, nil, err
+	}
+	mon := observatory.Attach(tb, ocfg)
+	res := tb.Run(p.Warmup, p.Measure)
+	// Same fleet-rollup fold as RunOn: the run is complete and the
+	// arena still exclusively ours.
+	if s := obs.Default(); s != nil {
+		s.RunMetrics(tb.Registry.Snapshot())
+	}
+	return res, mon.Report(), nil
+}

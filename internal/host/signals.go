@@ -1,0 +1,75 @@
+// Sim-time signal taps for the congestion observatory
+// (internal/observatory): one read-only snapshot of the datapath state
+// per call, covering every signal the paper's fleet monitoring watches —
+// NIC buffer occupancy and drops, PCIe credit backpressure, IOTLB miss
+// pressure, memory-bus load, and delivered goodput. Reading a snapshot
+// consumes no engine RNG and schedules no events, so periodic sampling
+// is invisible to the simulation (the golden-hash passivity tests prove
+// it).
+package host
+
+import "hic/internal/sim"
+
+// SignalSample is one instant's datapath reading. Counter fields
+// (GoodputBytes, Drops) are cumulative since the last Registry reset;
+// consumers diff successive samples and must tolerate the counters
+// restarting at zero when a measurement window begins.
+type SignalSample struct {
+	// At is the sim-clock time of the reading.
+	At sim.Time
+	// GoodputBytes is the receiver's cumulative delivered payload.
+	GoodputBytes uint64
+	// BufferBytes is the NIC input-buffer occupancy.
+	BufferBytes int
+	// Drops is the NIC's cumulative tail-drop count.
+	Drops uint64
+	// CreditOccupancy is the fraction of the PCIe posted-write credit
+	// pool currently held (1 = exhausted, writes are stalling).
+	CreditOccupancy float64
+	// CreditStallAge is how long the oldest PCIe credit waiter has been
+	// blocked (zero when credits are flowing).
+	CreditStallAge sim.Duration
+	// IOTLBMissRate is the IOMMU's recent misses-per-translation EWMA.
+	IOTLBMissRate float64
+	// MemLoadFactor is the memory controller's current latency
+	// multiplier (1 = uncontended).
+	MemLoadFactor float64
+	// MemQueueDelay is the memory controller's current IO-FIFO backlog.
+	MemQueueDelay sim.Duration
+}
+
+// ReadSignals captures the current datapath state. It reads the same
+// accessors EnableSpans' drop-attribution context does, plus the
+// goodput and drop counters, and is safe to call from an engine timer.
+func (t *Testbed) ReadSignals() SignalSample {
+	return SignalSample{
+		At:              t.Engine.Now(),
+		GoodputBytes:    t.Receiver.GoodputBytes(),
+		BufferBytes:     t.NIC.BufferUsed(),
+		Drops:           t.NIC.Drops(),
+		CreditOccupancy: t.Link.CreditOccupancy(),
+		CreditStallAge:  t.Link.OldestWaiterAge(),
+		IOTLBMissRate:   t.IOMMU.RecentMissRate(),
+		MemLoadFactor:   t.Memory.LoadFactor(),
+		MemQueueDelay:   t.Memory.QueueDelay(),
+	}
+}
+
+// SignalStatics are the per-testbed constants that turn raw samples
+// into normalized severities: the buffer capacity makes occupancy a
+// fill fraction, and the access link rate converts peak occupancy into
+// a drain time comparable with the congestion-control horizon.
+type SignalStatics struct {
+	// NICBufferBytes is the NIC input-buffer capacity.
+	NICBufferBytes int
+	// LineRate is the access link rate feeding the NIC.
+	LineRate sim.BitsPerSecond
+}
+
+// SignalStatics reports the testbed's normalization constants.
+func (t *Testbed) SignalStatics() SignalStatics {
+	return SignalStatics{
+		NICBufferBytes: t.cfg.NIC.BufferBytes,
+		LineRate:       t.cfg.Fabric.AccessLinkRate,
+	}
+}

@@ -531,6 +531,11 @@ func (n *NIC) DropsByFlow() map[uint32]uint64 {
 // BufferUsed returns the current input-buffer occupancy in bytes.
 func (n *NIC) BufferUsed() int { return n.bufferUsed }
 
+// Drops returns the cumulative tail-drop count — Stats().Drops without
+// assembling the full snapshot, for callers (the observatory sampler)
+// that poll it every few sim-microseconds.
+func (n *NIC) Drops() uint64 { return n.drops.Value() }
+
 // Stats is a snapshot of NIC activity.
 type Stats struct {
 	RxPackets        uint64

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEventLogPersistsPastRingWrap: the JSONL event log is the durable
+// companion to the bounded /events ring — every emitted event must land
+// in the file even after the ring has overwritten the oldest entries.
+func TestEventLogPersistsPastRingWrap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Options{EventCap: 16, EventLog: f})
+	const n = 40
+	for i := 0; i < n; i++ {
+		s.Emit(Event{Kind: KindIncident, Run: "fleet", Point: i, Key: "cell", Why: "memory-bus"})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != n {
+		t.Fatalf("event log holds %d lines, want %d (ring cap is 16 — the log must not truncate)", len(lines), n)
+	}
+	for i, l := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, l)
+		}
+		if e.Kind != KindIncident || e.Point != i {
+			t.Fatalf("line %d = %+v, want incident point %d (order must be emit order)", i, e, i)
+		}
+		if e.Seq == 0 {
+			t.Fatalf("line %d missing ring sequence number", i)
+		}
+	}
+}
+
+// errWriter fails after a fixed number of writes.
+type errWriter struct{ left int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.left--
+	return len(p), nil
+}
+
+// TestEventLogWriteErrorDisables: a failing log writer disables the log
+// with a warning instead of failing every subsequent Emit.
+func TestEventLogWriteErrorDisables(t *testing.T) {
+	var warn strings.Builder
+	s := NewServer(Options{Warn: &warn, EventCap: 16, EventLog: &errWriter{left: 2}})
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Kind: KindIncident, Point: i})
+	}
+	if !strings.Contains(warn.String(), "event log write failed") {
+		t.Errorf("no disable warning:\n%s", warn.String())
+	}
+	if n := strings.Count(warn.String(), "event log write failed"); n != 1 {
+		t.Errorf("warning printed %d times, want once", n)
+	}
+	// The ring keeps working after the log is gone.
+	if evs := s.ring.Snapshot(); len(evs) != 5 {
+		t.Errorf("ring holds %d events, want 5", len(evs))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlagsEventsOut: the -events-out flag path opens, appends, and
+// closes the log through the standard Flags.Start entry point, without
+// -listen.
+func TestFlagsEventsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	f := &Flags{EventsOut: path}
+	var logw strings.Builder
+	srv, err := f.Start(&logw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil {
+		t.Fatal("Start returned no server with -events-out set")
+	}
+	defer Set(nil)
+	srv.Emit(Event{Kind: KindIncident, Key: "k"})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"incident"`) {
+		t.Errorf("log content: %s", data)
+	}
+	if !strings.Contains(logw.String(), "appending events to") {
+		t.Errorf("start log missing note:\n%s", logw.String())
+	}
+}

@@ -4,18 +4,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"time"
 )
 
 // Flags is the shared command-line surface for the control plane:
 // every binary that can run long (hiccluster, hicsweep, hicfigs,
-// hicbench) registers the same three flags and calls Start once flags
-// are parsed. When -listen is unset, Start is a no-op and the
-// zero-overhead path stays in effect.
+// hicbench) registers the same flags and calls Start once flags are
+// parsed. When both -listen and -events-out are unset, Start is a
+// no-op and the zero-overhead path stays in effect.
 type Flags struct {
 	Listen          string
 	ProfileDir      string
 	ProfileInterval time.Duration
+	EventsOut       string
 }
 
 // RegisterFlags installs the control-plane flags on fs.
@@ -24,26 +26,51 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Listen, "listen", "", "serve the observability control plane on this address (e.g. :6060); empty = disabled")
 	fs.StringVar(&f.ProfileDir, "profile-dir", "", "capture continuous CPU+heap profiles into this directory (requires -listen)")
 	fs.DurationVar(&f.ProfileInterval, "profile-interval", 30*time.Second, "cadence of continuous profile capture")
+	fs.StringVar(&f.EventsOut, "events-out", "", "append every control-plane event as JSONL to this file (the durable companion to the /events ring; works with or without -listen)")
 	return f
 }
 
-// Start launches the control plane when -listen was given, installs it
-// as the process-global sink, and logs the bound address to logw. It
-// returns the server (nil when disabled) so main can Close it and
-// register live metric sources.
+// Start launches the control plane when -listen or -events-out was
+// given, installs it as the process-global sink, and logs what it is
+// doing to logw. With only -events-out the server runs without a
+// listener: events are appended to the file as they are emitted and no
+// HTTP endpoints exist. It returns the server (nil when disabled) so
+// main can Close it and register live metric sources.
 func (f *Flags) Start(logw io.Writer) (*Server, error) {
-	if f.Listen == "" {
+	if f.Listen == "" && f.EventsOut == "" {
 		return nil, nil
 	}
-	s, err := Start(f.Listen, Options{
+	opts := Options{
 		Warn:            logw,
 		ProfileDir:      f.ProfileDir,
 		ProfileInterval: f.ProfileInterval,
-	})
-	if err != nil {
-		return nil, err
+	}
+	if f.EventsOut != "" {
+		lf, err := os.OpenFile(f.EventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("obs: opening event log: %w", err)
+		}
+		opts.EventLog = lf
+	}
+	var s *Server
+	if f.Listen != "" {
+		var err error
+		s, err = Start(f.Listen, opts)
+		if err != nil {
+			if c, ok := opts.EventLog.(io.Closer); ok {
+				c.Close()
+			}
+			return nil, err
+		}
+	} else {
+		s = NewServer(opts)
 	}
 	Set(s)
-	fmt.Fprintf(logw, "obs: control plane listening on http://%s (/metrics /progress /events /debug/pprof)\n", s.Addr())
+	if s.Addr() != "" {
+		fmt.Fprintf(logw, "obs: control plane listening on http://%s (/metrics /progress /events /debug/pprof)\n", s.Addr())
+	}
+	if f.EventsOut != "" {
+		fmt.Fprintf(logw, "obs: appending events to %s\n", f.EventsOut)
+	}
 	return s, nil
 }

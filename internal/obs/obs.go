@@ -53,6 +53,12 @@ const (
 	KindAuditResult   = "audit_result"
 	KindEarlyStop     = "early_stop"
 	KindWarning       = "warning"
+	// KindIncident is a sim-time congestion episode detected by the
+	// observatory (internal/observatory): Point is the host index, Key
+	// its catalog cell, Why the attributed cause, Value the peak NIC
+	// buffer fill, and DurMS the episode's *sim-time* duration in
+	// milliseconds (every other kind's DurMS is wall time).
+	KindIncident = "incident"
 )
 
 // Event is one executor lifecycle record. Fields are flat and typed so

@@ -31,6 +31,12 @@ type Options struct {
 	ProfileDir string
 	// ProfileInterval is the capture cadence (0 = 30s).
 	ProfileInterval time.Duration
+	// EventLog, when non-nil, receives every event as one JSON line at
+	// Emit time — the durable companion to the bounded ring (the
+	// -events-out flag). Writes are serialized by the server; the first
+	// write error disables the log with a warning. If it also
+	// implements io.Closer, Close closes it.
+	EventLog io.Writer
 }
 
 // Server is the HTTP control plane and the canonical Sink. Construct
@@ -49,6 +55,7 @@ type Server struct {
 	sources  []MetricSource
 	kinds    map[string]uint64
 	warnings uint64
+	eventLog io.Writer // nil after a write error or Close
 
 	ln   net.Listener
 	srv  *http.Server
@@ -75,6 +82,7 @@ func NewServer(o Options) *Server {
 		agg:   newFleetAgg(),
 	}
 	s.start = s.now()
+	s.eventLog = o.EventLog
 	s.tracker = NewTracker(func() time.Time { return s.now() })
 	return s
 }
@@ -104,16 +112,27 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the profiler and the HTTP server. The sink methods stay
-// safe to call after Close (events land in the ring, unserved).
+// Close stops the profiler, the HTTP server, and the event log (when
+// it is closable). The sink methods stay safe to call after Close
+// (events land in the ring, unserved and unlogged).
 func (s *Server) Close() error {
 	if s.prof != nil {
 		s.prof.stopAndWait()
 	}
-	if s.srv != nil {
-		return s.srv.Close()
+	s.mu.Lock()
+	w := s.eventLog
+	s.eventLog = nil
+	s.mu.Unlock()
+	var logErr error
+	if c, ok := w.(io.Closer); ok {
+		logErr = c.Close()
 	}
-	return nil
+	if s.srv != nil {
+		if err := s.srv.Close(); err != nil {
+			return err
+		}
+	}
+	return logErr
 }
 
 // Tracker returns the run registry (the /progress source).
@@ -140,12 +159,25 @@ func (s *Server) Emit(e Event) {
 	}
 	e = s.ring.Append(e)
 	warn := e.Kind == KindWarning || (e.Kind == KindAuditResult && e.OverTol)
+	var logErr error
 	s.mu.Lock()
 	s.kinds[e.Kind]++
 	if warn {
 		s.warnings++
 	}
+	if s.eventLog != nil {
+		if b, err := json.Marshal(e); err == nil {
+			b = append(b, '\n')
+			if _, werr := s.eventLog.Write(b); werr != nil {
+				s.eventLog = nil
+				logErr = werr
+			}
+		}
+	}
 	s.mu.Unlock()
+	if logErr != nil {
+		fmt.Fprintf(s.opts.Warn, "obs: event log write failed: %v (log disabled)\n", logErr)
+	}
 	if warn {
 		if b, err := json.Marshal(e); err == nil {
 			fmt.Fprintf(s.opts.Warn, "obs: WARN %s\n", b)

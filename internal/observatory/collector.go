@@ -1,0 +1,368 @@
+package observatory
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hic/internal/asciiplot"
+	"hic/internal/obs"
+	"hic/internal/stats"
+	"hic/internal/telemetry"
+)
+
+// Collector is the fleet rollup: cluster/sweep workers memoize per-host
+// reports into it and the ordered emit phase Records them, one host at
+// a time, into bounded aggregates (Welford moments, fixed-capacity
+// reservoirs, one bucket per catalog cell). Memory is O(cells), never
+// O(hosts). Live counters are atomics so the progress line and /metrics
+// can read them while workers run. All exported methods are
+// nil-receiver safe: a nil *Collector is the disabled observatory.
+type Collector struct {
+	cfg Config
+
+	// Live counters (read by Note and MetricsInto mid-run).
+	hostsDone atomic.Uint64
+	congHosts atomic.Uint64
+	liveCong  atomic.Uint64
+	episodes  atomic.Uint64
+
+	mu       sync.Mutex
+	memo     map[string]*HostReport
+	durMS    stats.Moments
+	durQ     *stats.Reservoir // episode durations, sim ms
+	sevQ     *stats.Reservoir // episode peak buffer fill
+	causeNs  [numCauses]int64
+	blind    uint64
+	drops    uint64
+	cells    map[string]*cellAgg
+	sink     obs.Sink
+	runLabel string
+	onReport func(hostIdx int, cell string, rep *HostReport) error
+}
+
+// cellAgg is one SKU×workload×antagonist bucket.
+type cellAgg struct {
+	hosts     int
+	congested int
+	episodes  int
+	causeNs   [numCauses]int64
+}
+
+// NewCollector builds a collector whose SamplerConfig carries cfg to
+// every attached monitor.
+func NewCollector(cfg Config) *Collector {
+	return &Collector{
+		cfg:   cfg.withDefaults(),
+		memo:  make(map[string]*HostReport),
+		durQ:  stats.NewReservoir(4096, 0x5eed0003),
+		sevQ:  stats.NewReservoir(4096, 0x5eed0004),
+		cells: make(map[string]*cellAgg),
+	}
+}
+
+// SamplerConfig returns the per-host sampling configuration.
+func (c *Collector) SamplerConfig() Config {
+	if c == nil {
+		return Config{}
+	}
+	return c.cfg
+}
+
+// SetSink routes one obs incident event per episode into s under the
+// given run label. Call before the fleet run starts.
+func (c *Collector) SetSink(s obs.Sink, runLabel string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sink, c.runLabel = s, runLabel
+	c.mu.Unlock()
+}
+
+// OnReport registers a callback invoked once per host, in host order,
+// after the report's episodes are stamped with host index and cell
+// label. Deduplicated hosts share one report object; callbacks must
+// not retain it across calls. A callback error aborts the fleet run.
+func (c *Collector) OnReport(fn func(hostIdx int, cell string, rep *HostReport) error) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onReport = fn
+	c.mu.Unlock()
+}
+
+// Memo stores a host report under its scenario cache key so collapsed
+// (deduplicated) hosts replay the same report — the simulation is
+// deterministic per key, so the replay is exact.
+func (c *Collector) Memo(key string, rep *HostReport) {
+	if c == nil || rep == nil {
+		return
+	}
+	c.mu.Lock()
+	c.memo[key] = rep
+	c.mu.Unlock()
+}
+
+// Lookup returns the memoized report for a scenario key (nil if none).
+func (c *Collector) Lookup(key string) *HostReport {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memo[key]
+}
+
+// Record folds one host's report into the fleet aggregates, emits one
+// obs incident event per episode, and invokes the OnReport callback.
+// Called from the ordered emit phase, host order, one call at a time.
+func (c *Collector) Record(hostIdx int, cell string, rep *HostReport) error {
+	if c == nil || rep == nil {
+		return nil
+	}
+	c.hostsDone.Add(1)
+	if len(rep.Episodes) > 0 {
+		c.congHosts.Add(1)
+	}
+	if rep.EndsCongested {
+		c.liveCong.Add(1)
+	}
+	c.episodes.Add(uint64(len(rep.Episodes)))
+
+	c.mu.Lock()
+	ca := c.cells[cell]
+	if ca == nil {
+		ca = &cellAgg{}
+		c.cells[cell] = ca
+	}
+	ca.hosts++
+	if len(rep.Episodes) > 0 {
+		ca.congested++
+	}
+	ca.episodes += len(rep.Episodes)
+	c.drops += rep.Drops
+	for i := range rep.Episodes {
+		e := &rep.Episodes[i]
+		e.Host, e.Cell = hostIdx, cell
+		ms := float64(e.Duration()) / 1e6
+		c.durMS.Add(ms)
+		c.durQ.Add(ms)
+		c.sevQ.Add(e.PeakBufferFrac)
+		if e.CCBlind {
+			c.blind++
+		}
+		for k := 0; k < numCauses; k++ {
+			c.causeNs[k] += int64(e.causeNs[k])
+			ca.causeNs[k] += int64(e.causeNs[k])
+		}
+	}
+	sink, label := c.sink, c.runLabel
+	onReport := c.onReport
+	c.mu.Unlock()
+
+	if sink != nil {
+		for _, e := range rep.Episodes {
+			sink.Emit(obs.Event{
+				Kind:  obs.KindIncident,
+				Run:   label,
+				Point: e.Host,
+				Key:   e.Cell,
+				Why:   e.Cause.String(),
+				Value: e.PeakBufferFrac,
+				DurMS: float64(e.Duration()) / 1e6,
+			})
+		}
+	}
+	if onReport != nil {
+		if err := onReport(hostIdx, cell, rep); err != nil {
+			return fmt.Errorf("observatory: report callback: %w", err)
+		}
+	}
+	return nil
+}
+
+// Note is the progress-line fragment: live incident count and
+// congested-host gauges. Safe to call concurrently with Record.
+func (c *Collector) Note() string {
+	if c == nil {
+		return ""
+	}
+	return fmt.Sprintf("incidents %d (%d/%d hosts congested, %d live)",
+		c.episodes.Load(), c.congHosts.Load(), c.hostsDone.Load(), c.liveCong.Load())
+}
+
+// MetricsInto implements obs.MetricSource: the hic_fleet_incident_*
+// series served live on /metrics.
+func (c *Collector) MetricsInto(emit func(name, typ string, v float64)) {
+	if c == nil {
+		return
+	}
+	emit("hic_fleet_incident_hosts_total", "counter", float64(c.hostsDone.Load()))
+	emit("hic_fleet_incident_hosts_congested_total", "counter", float64(c.congHosts.Load()))
+	emit("hic_fleet_incident_hosts_live_congested", "gauge", float64(c.liveCong.Load()))
+	emit("hic_fleet_incident_episodes_total", "counter", float64(c.episodes.Load()))
+	c.mu.Lock()
+	blind, drops, causeNs := c.blind, c.drops, c.causeNs
+	c.mu.Unlock()
+	emit("hic_fleet_incident_cc_blind_total", "counter", float64(blind))
+	emit("hic_fleet_incident_drops_total", "counter", float64(drops))
+	for _, cause := range telemetry.Causes() {
+		emit(fmt.Sprintf("hic_fleet_incident_cause_seconds_total{cause=%q}", cause.String()),
+			"counter", float64(causeNs[cause])/1e9)
+	}
+}
+
+// CellSummary is one catalog cell's rollup row.
+type CellSummary struct {
+	Cell      string
+	Hosts     int
+	Congested int
+	Episodes  int
+	// TopCause is the cell's dominant cause by episode time;
+	// TopCauseShare its fraction of the cell's episode time.
+	TopCause      telemetry.DropCause
+	TopCauseShare float64
+}
+
+// FleetSummary is the fleet-wide rollup Report renders.
+type FleetSummary struct {
+	Hosts          uint64
+	CongestedHosts uint64
+	LiveCongested  uint64
+	Episodes       uint64
+	Drops          uint64
+	CCBlind        uint64
+
+	DurMeanMS, DurP50MS, DurP90MS, DurP99MS, DurMaxMS float64
+	SevP50, SevP99                                    float64
+
+	// CauseShare is each cause's fraction of total episode time.
+	CauseShare [numCauses]float64
+	// Cells is every catalog cell, most episodes first.
+	Cells []CellSummary
+}
+
+// Summary computes the current rollup.
+func (c *Collector) Summary() FleetSummary {
+	if c == nil {
+		return FleetSummary{}
+	}
+	s := FleetSummary{
+		Hosts:          c.hostsDone.Load(),
+		CongestedHosts: c.congHosts.Load(),
+		LiveCongested:  c.liveCong.Load(),
+		Episodes:       c.episodes.Load(),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.Drops, s.CCBlind = c.drops, c.blind
+	if c.durMS.N() > 0 {
+		s.DurMeanMS = c.durMS.Mean()
+		s.DurMaxMS = c.durMS.Max()
+		s.DurP50MS = c.durQ.Quantile(0.5)
+		s.DurP90MS = c.durQ.Quantile(0.9)
+		s.DurP99MS = c.durQ.Quantile(0.99)
+		s.SevP50 = c.sevQ.Quantile(0.5)
+		s.SevP99 = c.sevQ.Quantile(0.99)
+	}
+	var total int64
+	for _, ns := range c.causeNs {
+		total += ns
+	}
+	if total > 0 {
+		for k := 0; k < numCauses; k++ {
+			s.CauseShare[k] = float64(c.causeNs[k]) / float64(total)
+		}
+	}
+	s.Cells = make([]CellSummary, 0, len(c.cells))
+	for name, ca := range c.cells {
+		cs := CellSummary{Cell: name, Hosts: ca.hosts, Congested: ca.congested, Episodes: ca.episodes}
+		var cellTotal int64
+		for k := 0; k < numCauses; k++ {
+			cellTotal += ca.causeNs[k]
+			if ca.causeNs[k] > ca.causeNs[cs.TopCause] {
+				cs.TopCause = telemetry.DropCause(k)
+			}
+		}
+		if cellTotal > 0 {
+			cs.TopCauseShare = float64(ca.causeNs[cs.TopCause]) / float64(cellTotal)
+		}
+		s.Cells = append(s.Cells, cs)
+	}
+	sort.Slice(s.Cells, func(i, j int) bool {
+		if s.Cells[i].Episodes != s.Cells[j].Episodes {
+			return s.Cells[i].Episodes > s.Cells[j].Episodes
+		}
+		return s.Cells[i].Cell < s.Cells[j].Cell
+	})
+	return s
+}
+
+// topCellRows bounds the per-cell table in the text report.
+const topCellRows = 10
+
+// WriteReport renders the paper-style fleet congestion report (the
+// Fig. 1 view: how much of the fleet is congested, for how long, and
+// why). With plot set it appends an ASCII episode-duration quantile
+// curve.
+func (c *Collector) WriteReport(w io.Writer, plot bool) error {
+	if c == nil {
+		return nil
+	}
+	s := c.Summary()
+	frac := 0.0
+	if s.Hosts > 0 {
+		frac = float64(s.CongestedHosts) / float64(s.Hosts) * 100
+	}
+	fmt.Fprintf(w, "sim-time congestion observatory: %d/%d hosts congested (%.1f%%), %d episodes, %d still congested at window end\n",
+		s.CongestedHosts, s.Hosts, frac, s.Episodes, s.LiveCongested)
+	if s.Episodes == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "episode duration (sim ms): mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+		s.DurMeanMS, s.DurP50MS, s.DurP90MS, s.DurP99MS, s.DurMaxMS)
+	fmt.Fprintf(w, "episode peak buffer fill: p50=%.2f p99=%.2f; drops observed: %d\n",
+		s.SevP50, s.SevP99, s.Drops)
+	fmt.Fprintf(w, "cc-blind episodes (peak drains under %v): %d/%d (%.1f%%)\n",
+		c.cfg.BlindHorizon, s.CCBlind, s.Episodes, float64(s.CCBlind)/float64(s.Episodes)*100)
+	fmt.Fprintf(w, "cause mix (share of episode time): memory-bus %.1f%%, iotlb-walk %.1f%%, overload %.1f%%\n",
+		s.CauseShare[telemetry.CauseMemoryBus]*100,
+		s.CauseShare[telemetry.CauseIOTLBWalk]*100,
+		s.CauseShare[telemetry.CauseOverload]*100)
+	if len(s.Cells) > 0 {
+		rows := make([][]string, 0, topCellRows)
+		for i, cs := range s.Cells {
+			if i >= topCellRows {
+				fmt.Fprintf(w, "(+%d more cells)\n", len(s.Cells)-topCellRows)
+				break
+			}
+			rows = append(rows, []string{
+				cs.Cell,
+				fmt.Sprintf("%d", cs.Hosts),
+				fmt.Sprintf("%d", cs.Congested),
+				fmt.Sprintf("%d", cs.Episodes),
+				fmt.Sprintf("%s %.0f%%", cs.TopCause, cs.TopCauseShare*100),
+			})
+		}
+		fmt.Fprintf(w, "top cells by episodes:\n%s",
+			asciiplot.FormatTable([]string{"cell", "hosts", "congested", "episodes", "top cause"}, rows))
+	}
+	if plot {
+		qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+		labels := make([]string, len(qs))
+		vals := make([]float64, len(qs))
+		c.mu.Lock()
+		for i, q := range qs {
+			labels[i] = fmt.Sprintf("p%.0f", q*100)
+			vals[i] = c.durQ.Quantile(q)
+		}
+		c.mu.Unlock()
+		fmt.Fprint(w, asciiplot.LinePlot("episode duration quantiles (sim ms)", labels,
+			[]asciiplot.Series{{Name: "dur_ms", Values: vals}}, 8))
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package observatory_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hic/internal/obs"
+	"hic/internal/observatory"
+	"hic/internal/sim"
+)
+
+// fakeSink captures emitted events for inspection.
+type fakeSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (f *fakeSink) Emit(e obs.Event) {
+	f.mu.Lock()
+	f.events = append(f.events, e)
+	f.mu.Unlock()
+}
+func (f *fakeSink) StartRun(string, int64, ...string) *obs.Run { return nil }
+func (f *fakeSink) RunMetrics(obs.Snapshot)                    {}
+
+// congestedReport builds a report with one memory-bus episode through a
+// real detector (Episode's cause split is detector-owned state).
+func congestedReport(t *testing.T) *observatory.HostReport {
+	t.Helper()
+	d := observatory.NewDetector(observatory.Config{}, 100e9)
+	for i := 1; i <= 5; i++ {
+		d.Observe(observatory.Sample{At: at(i), BufferFrac: 0.9, BufferBytes: 900 << 10, Drops: 2, MemLoadFactor: 1.5})
+	}
+	eps := d.Finish(at(6))
+	if len(eps) != 1 {
+		t.Fatalf("fixture built %d episodes, want 1", len(eps))
+	}
+	return &observatory.HostReport{
+		Samples:     6,
+		Drops:       d.Drops(),
+		CongestedNs: int64(d.CongestedTime()),
+		Episodes:    eps,
+	}
+}
+
+func TestCollectorRollupAndStamping(t *testing.T) {
+	c := observatory.NewCollector(observatory.DefaultConfig())
+	sink := &fakeSink{}
+	c.SetSink(sink, "fleet")
+
+	var cbHosts []int
+	c.OnReport(func(hostIdx int, cell string, rep *observatory.HostReport) error {
+		cbHosts = append(cbHosts, hostIdx)
+		return nil
+	})
+
+	rep := congestedReport(t)
+	if err := c.Record(3, "cellA", rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record(4, "cellB", &observatory.HostReport{Samples: 6}); err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Episodes[0].Host != 3 || rep.Episodes[0].Cell != "cellA" {
+		t.Errorf("episode not stamped: host=%d cell=%q", rep.Episodes[0].Host, rep.Episodes[0].Cell)
+	}
+
+	s := c.Summary()
+	if s.Hosts != 2 || s.CongestedHosts != 1 || s.Episodes != 1 {
+		t.Errorf("summary hosts=%d congested=%d episodes=%d, want 2/1/1", s.Hosts, s.CongestedHosts, s.Episodes)
+	}
+	if s.Drops != rep.Drops {
+		t.Errorf("summary drops = %d, want %d", s.Drops, rep.Drops)
+	}
+	if len(s.Cells) != 2 || s.Cells[0].Cell != "cellA" {
+		t.Errorf("cells = %+v, want cellA (most episodes) first", s.Cells)
+	}
+	if s.Cells[0].TopCause.String() != "memory-bus" || s.Cells[0].TopCauseShare != 1 {
+		t.Errorf("cellA top cause = %s %.2f, want memory-bus 1.00", s.Cells[0].TopCause, s.Cells[0].TopCauseShare)
+	}
+
+	if len(sink.events) != 1 {
+		t.Fatalf("sink got %d events, want 1", len(sink.events))
+	}
+	e := sink.events[0]
+	if e.Kind != obs.KindIncident || e.Run != "fleet" || e.Point != 3 || e.Key != "cellA" || e.Why != "memory-bus" {
+		t.Errorf("incident event = %+v", e)
+	}
+
+	if len(cbHosts) != 2 || cbHosts[0] != 3 || cbHosts[1] != 4 {
+		t.Errorf("OnReport hosts = %v, want [3 4]", cbHosts)
+	}
+
+	if note := c.Note(); !strings.Contains(note, "incidents 1") || !strings.Contains(note, "1/2 hosts congested") {
+		t.Errorf("note = %q", note)
+	}
+}
+
+func TestCollectorMemo(t *testing.T) {
+	c := observatory.NewCollector(observatory.Config{})
+	if c.Lookup("k") != nil {
+		t.Fatal("empty collector returned a memo")
+	}
+	rep := &observatory.HostReport{Samples: 1}
+	c.Memo("k", rep)
+	if c.Lookup("k") != rep {
+		t.Fatal("memoized report not returned")
+	}
+}
+
+func TestCollectorMetricsNames(t *testing.T) {
+	c := observatory.NewCollector(observatory.Config{})
+	if err := c.Record(0, "cell", congestedReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	c.MetricsInto(func(name, typ string, v float64) { got[name] = v })
+	for _, want := range []string{
+		"hic_fleet_incident_hosts_total",
+		"hic_fleet_incident_hosts_congested_total",
+		"hic_fleet_incident_hosts_live_congested",
+		"hic_fleet_incident_episodes_total",
+		"hic_fleet_incident_cc_blind_total",
+		"hic_fleet_incident_drops_total",
+		`hic_fleet_incident_cause_seconds_total{cause="memory-bus"}`,
+	} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("metric %s not emitted (got %v)", want, got)
+		}
+	}
+	if got["hic_fleet_incident_episodes_total"] != 1 {
+		t.Errorf("episodes_total = %g, want 1", got["hic_fleet_incident_episodes_total"])
+	}
+	if got[`hic_fleet_incident_cause_seconds_total{cause="memory-bus"}`] <= 0 {
+		t.Error("memory-bus cause seconds not accumulated")
+	}
+}
+
+func TestCollectorWriteReport(t *testing.T) {
+	c := observatory.NewCollector(observatory.Config{BlindHorizon: 90 * sim.Microsecond})
+	if err := c.Record(0, "sku12t-12mb/swift-s40/ant8", congestedReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteReport(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sim-time congestion observatory: 1/1 hosts congested",
+		"episode duration (sim ms)",
+		"cc-blind episodes",
+		"memory-bus",
+		"top cells by episodes",
+		"episode duration quantiles",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorOnReportError(t *testing.T) {
+	c := observatory.NewCollector(observatory.Config{})
+	c.OnReport(func(int, string, *observatory.HostReport) error {
+		return errSentinel
+	})
+	err := c.Record(0, "cell", &observatory.HostReport{})
+	if err == nil || !strings.Contains(err.Error(), "report callback") {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }

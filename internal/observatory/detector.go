@@ -1,0 +1,179 @@
+package observatory
+
+import (
+	"hic/internal/sim"
+	"hic/internal/telemetry"
+)
+
+// numCauses mirrors the telemetry taxonomy size (overload, iotlb-walk,
+// memory-bus); TestCauseDimensions keeps it in sync.
+const numCauses = 3
+
+// Episode is one contiguous congestion incident on a host: the
+// hysteresis detector opened it when the NIC buffer crossed the on
+// threshold (or drops appeared) and closed it when the buffer drained
+// below the off threshold with no drops. Host and Cell are stamped by
+// the fleet Collector; standalone detectors leave them zero.
+type Episode struct {
+	// Host is the fleet host index the episode belongs to.
+	Host int `json:"host"`
+	// Cell is the host's catalog cell label (SKU × workload ×
+	// antagonist tier) when known.
+	Cell string `json:"cell,omitempty"`
+	// Start and End bound the episode in sim time.
+	Start sim.Time `json:"start_ns"`
+	End   sim.Time `json:"end_ns"`
+	// PeakBufferFrac is the worst NIC buffer fill observed (may exceed
+	// 1 only by rounding; 1 means a full buffer — drops imminent).
+	PeakBufferFrac float64 `json:"peak_buffer_frac"`
+	// PeakBufferBytes is the worst absolute occupancy.
+	PeakBufferBytes int `json:"peak_buffer_bytes"`
+	// Drops counts NIC tail-drops during the episode.
+	Drops uint64 `json:"drops"`
+	// Cause is the dominant root cause: the telemetry taxonomy applied
+	// to each sample's pipeline state, weighted by time. CauseShare is
+	// the fraction of episode time attributed to that cause.
+	Cause      telemetry.DropCause `json:"cause"`
+	CauseShare float64             `json:"cause_share"`
+	// CCBlind marks episodes whose peak occupancy drains in less than
+	// the congestion-control reaction horizon (Swift's 90 µs): the
+	// buffer overflows before any end-to-end signal can help — the
+	// paper's §2 blind window.
+	CCBlind bool `json:"cc_blind"`
+
+	// causeNs is the per-cause time split the collector aggregates.
+	causeNs [numCauses]sim.Duration
+}
+
+// Duration is the episode's sim-time length.
+func (e Episode) Duration() sim.Duration { return e.End.Sub(e.Start) }
+
+// CauseTime returns the episode time attributed to one cause.
+func (e Episode) CauseTime(c telemetry.DropCause) sim.Duration {
+	if int(c) >= numCauses {
+		return 0
+	}
+	return e.causeNs[c]
+}
+
+// Detector is the streaming hysteresis state machine: Observe one
+// Sample at a time, Finish at end of run, read Episodes. A host is
+// congested while the buffer fill is at or above OnFraction (or any
+// interval saw drops) and stays congested until the fill falls to
+// OffFraction or below with a drop-free interval — the two-threshold
+// band is what keeps a signal oscillating around one threshold from
+// flapping into many micro-episodes. Episodes separated by less than
+// MergeGap are merged, so a one-sample dip does not split an incident.
+type Detector struct {
+	cfg      Config
+	lineRate sim.BitsPerSecond
+
+	open     bool
+	cur      Episode
+	episodes []Episode
+
+	congested sim.Duration
+	drops     uint64
+}
+
+// NewDetector builds a detector with cfg's thresholds. lineRate sizes
+// the CC-blind test (zero disables it).
+func NewDetector(cfg Config, lineRate sim.BitsPerSecond) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), lineRate: lineRate}
+}
+
+// Observe folds one sample and reports whether the host is congested
+// after it. Samples must arrive in time order.
+func (d *Detector) Observe(s Sample) bool {
+	d.drops += s.Drops
+	if !d.open {
+		if s.BufferFrac >= d.cfg.OnFraction || s.Drops > 0 {
+			d.openEpisode(s.At)
+			d.fold(s)
+		}
+		return d.open
+	}
+	d.fold(s)
+	if s.BufferFrac <= d.cfg.OffFraction && s.Drops == 0 {
+		d.closeEpisode(s.At)
+	}
+	return d.open
+}
+
+// openEpisode starts a new episode at t, or reopens the previous one
+// when the gap since its end is within MergeGap.
+func (d *Detector) openEpisode(t sim.Time) {
+	d.open = true
+	if n := len(d.episodes); n > 0 && t.Sub(d.episodes[n-1].End) <= d.cfg.MergeGap {
+		d.cur = d.episodes[n-1]
+		d.episodes = d.episodes[:n-1]
+		// The merged span will be re-counted in full at close.
+		d.congested -= d.cur.Duration()
+		return
+	}
+	d.cur = Episode{Start: t, End: t}
+}
+
+// fold accumulates one in-episode sample: peak severity, drops, and
+// one sampling interval of cause-attributed time.
+func (d *Detector) fold(s Sample) {
+	d.cur.End = s.At
+	d.cur.Drops += s.Drops
+	if s.BufferFrac > d.cur.PeakBufferFrac {
+		d.cur.PeakBufferFrac = s.BufferFrac
+	}
+	if s.BufferBytes > d.cur.PeakBufferBytes {
+		d.cur.PeakBufferBytes = s.BufferBytes
+	}
+	cause := telemetry.Classify(telemetry.DropContext{
+		MemLoadFactor:  s.MemLoadFactor,
+		IOTLBMissRate:  s.IOTLBMissRate,
+		MemQueueDelay:  sim.Duration(s.MemQueueNs),
+		CreditStallAge: sim.Duration(s.CreditStallNs),
+		BufferBytes:    s.BufferBytes,
+	})
+	d.cur.causeNs[cause] += d.cfg.SampleEvery
+}
+
+func (d *Detector) closeEpisode(t sim.Time) {
+	d.open = false
+	d.cur.End = t
+	d.cur.Cause = telemetry.CauseOverload
+	var total sim.Duration
+	for c, ns := range d.cur.causeNs {
+		total += ns
+		if ns > d.cur.causeNs[d.cur.Cause] {
+			d.cur.Cause = telemetry.DropCause(c)
+		}
+	}
+	if total > 0 {
+		d.cur.CauseShare = float64(d.cur.causeNs[d.cur.Cause]) / float64(total)
+	}
+	if d.lineRate > 0 {
+		d.cur.CCBlind = d.cur.PeakBufferBytes > 0 &&
+			d.lineRate.TransmitTime(d.cur.PeakBufferBytes) < d.cfg.BlindHorizon
+	}
+	d.congested += d.cur.Duration()
+	d.episodes = append(d.episodes, d.cur)
+}
+
+// Open reports whether an episode is in progress.
+func (d *Detector) Open() bool { return d.open }
+
+// Finish closes any open episode at t and returns all episodes in time
+// order. Idempotent; the returned slice is owned by the detector.
+func (d *Detector) Finish(t sim.Time) []Episode {
+	if d.open {
+		d.closeEpisode(t)
+	}
+	return d.episodes
+}
+
+// Episodes returns the closed episodes so far.
+func (d *Detector) Episodes() []Episode { return d.episodes }
+
+// CongestedTime is the total sim time spent inside closed episodes.
+func (d *Detector) CongestedTime() sim.Duration { return d.congested }
+
+// Drops is the total drop count observed across all samples.
+func (d *Detector) Drops() uint64 { return d.drops }

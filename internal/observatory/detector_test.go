@@ -1,0 +1,165 @@
+package observatory_test
+
+import (
+	"testing"
+
+	"hic/internal/observatory"
+	"hic/internal/sim"
+	"hic/internal/telemetry"
+)
+
+// feed runs a sequence of (bufferFrac, drops) samples through a fresh
+// detector at 100 µs spacing starting at t=100 µs and finishes it one
+// interval after the last sample.
+func feed(cfg observatory.Config, lineRate sim.BitsPerSecond, samples []observatory.Sample) []observatory.Episode {
+	d := observatory.NewDetector(cfg, lineRate)
+	var last sim.Time
+	for _, s := range samples {
+		d.Observe(s)
+		last = s.At
+	}
+	return d.Finish(last.Add(100 * sim.Microsecond))
+}
+
+// at builds the n-th 100 µs sample tick.
+func at(n int) sim.Time { return sim.Time(0).Add(sim.Duration(n) * 100 * sim.Microsecond) }
+
+func TestDetectorHysteresisNoFlap(t *testing.T) {
+	// A signal oscillating between 0.30 and 0.55 crosses the on
+	// threshold (0.5) repeatedly but never falls to the off threshold
+	// (0.25): the hysteresis band must hold this as ONE episode.
+	var samples []observatory.Sample
+	for i := 1; i <= 20; i++ {
+		frac := 0.55
+		if i%2 == 0 {
+			frac = 0.30
+		}
+		samples = append(samples, observatory.Sample{At: at(i), BufferFrac: frac, BufferBytes: int(frac * 1024)})
+	}
+	eps := feed(observatory.Config{MergeGap: sim.Microsecond}, 0, samples)
+	if len(eps) != 1 {
+		t.Fatalf("oscillation inside the hysteresis band produced %d episodes, want 1 (flapping)", len(eps))
+	}
+	// Never drained below the off threshold, so Finish closed it at the
+	// final tick.
+	if eps[0].Start != at(1) || eps[0].End != at(21) {
+		t.Errorf("episode spans [%d, %d], want [%d, %d]", eps[0].Start, eps[0].End, at(1), at(21))
+	}
+
+	// A signal oscillating below the on threshold with no drops never
+	// opens an episode at all.
+	samples = samples[:0]
+	for i := 1; i <= 20; i++ {
+		frac := 0.40
+		if i%2 == 0 {
+			frac = 0.20
+		}
+		samples = append(samples, observatory.Sample{At: at(i), BufferFrac: frac})
+	}
+	if eps := feed(observatory.Config{}, 0, samples); len(eps) != 0 {
+		t.Fatalf("sub-threshold oscillation produced %d episodes, want 0", len(eps))
+	}
+}
+
+func TestDetectorDropsOpenEpisode(t *testing.T) {
+	// Drops open an episode even with a near-empty buffer (the paper's
+	// low-utilization drops: the buffer overflowed and drained between
+	// samples).
+	eps := feed(observatory.Config{}, 0, []observatory.Sample{
+		{At: at(1), BufferFrac: 0.05, Drops: 3},
+		{At: at(2), BufferFrac: 0.05},
+	})
+	if len(eps) != 1 {
+		t.Fatalf("got %d episodes, want 1", len(eps))
+	}
+	if eps[0].Drops != 3 {
+		t.Errorf("episode drops = %d, want 3", eps[0].Drops)
+	}
+}
+
+func TestDetectorMergeAdjacent(t *testing.T) {
+	// Two bursts one sample apart: with the default 200 µs MergeGap the
+	// 100 µs dip between them reopens the same incident.
+	burst := func() []observatory.Sample {
+		return []observatory.Sample{
+			{At: at(1), BufferFrac: 0.8},
+			{At: at(2), BufferFrac: 0.8},
+			{At: at(3), BufferFrac: 0.1}, // closes
+			{At: at(4), BufferFrac: 0.8}, // reopens 100 µs later
+			{At: at(5), BufferFrac: 0.1}, // closes
+		}
+	}
+	eps := feed(observatory.Config{}, 0, burst())
+	if len(eps) != 1 {
+		t.Fatalf("default MergeGap: got %d episodes, want 1 (merged)", len(eps))
+	}
+	if eps[0].Start != at(1) || eps[0].End != at(5) {
+		t.Errorf("merged episode spans [%d, %d], want [%d, %d]", eps[0].Start, eps[0].End, at(1), at(5))
+	}
+
+	// With a MergeGap shorter than the dip the bursts stay separate.
+	eps = feed(observatory.Config{MergeGap: 50 * sim.Microsecond}, 0, burst())
+	if len(eps) != 2 {
+		t.Fatalf("MergeGap 50µs: got %d episodes, want 2", len(eps))
+	}
+}
+
+func TestDetectorAttribution(t *testing.T) {
+	cases := []struct {
+		name string
+		s    observatory.Sample
+		want telemetry.DropCause
+	}{
+		{"memory-bus", observatory.Sample{MemLoadFactor: 1.5, IOTLBMissRate: 0.3}, telemetry.CauseMemoryBus},
+		{"iotlb-walk", observatory.Sample{MemLoadFactor: 0.5, IOTLBMissRate: 0.4}, telemetry.CauseIOTLBWalk},
+		{"overload", observatory.Sample{MemLoadFactor: 0.5, IOTLBMissRate: 0.01}, telemetry.CauseOverload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var samples []observatory.Sample
+			for i := 1; i <= 5; i++ {
+				s := tc.s
+				s.At, s.BufferFrac = at(i), 0.9
+				samples = append(samples, s)
+			}
+			last := tc.s
+			last.At, last.BufferFrac = at(6), 0.1
+			eps := feed(observatory.Config{}, 0, append(samples, last))
+			if len(eps) != 1 {
+				t.Fatalf("got %d episodes, want 1", len(eps))
+			}
+			if eps[0].Cause != tc.want {
+				t.Errorf("cause = %s, want %s", eps[0].Cause, tc.want)
+			}
+			if eps[0].CauseShare != 1 {
+				t.Errorf("cause share = %g, want 1 (uniform samples)", eps[0].CauseShare)
+			}
+			if got := eps[0].CauseTime(tc.want); got != 6*100*sim.Microsecond {
+				t.Errorf("cause time = %v, want 600µs", got)
+			}
+		})
+	}
+}
+
+func TestDetectorCCBlind(t *testing.T) {
+	mb := 1 << 20
+	run := func(rate sim.BitsPerSecond) observatory.Episode {
+		eps := feed(observatory.Config{}, rate, []observatory.Sample{
+			{At: at(1), BufferFrac: 0.9, BufferBytes: mb},
+			{At: at(2), BufferFrac: 0.1},
+		})
+		if len(eps) != 1 {
+			t.Fatalf("got %d episodes, want 1", len(eps))
+		}
+		return eps[0]
+	}
+	// 1 MB at 100 Gbps drains in ~84 µs — inside Swift's 90 µs reaction
+	// horizon, so the transport never saw it coming.
+	if e := run(100e9); !e.CCBlind {
+		t.Errorf("1 MB peak at 100 Gbps (≈84µs drain) not flagged cc-blind")
+	}
+	// The same buffer at 10 Gbps takes ~840 µs: CC has time to react.
+	if e := run(10e9); e.CCBlind {
+		t.Errorf("1 MB peak at 10 Gbps (≈840µs drain) wrongly flagged cc-blind")
+	}
+}

@@ -1,0 +1,21 @@
+package observatory
+
+import (
+	"testing"
+
+	"hic/internal/telemetry"
+)
+
+// TestCauseDimensions keeps the local numCauses mirror in sync with the
+// telemetry taxonomy (the constant is duplicated because telemetry does
+// not export its size).
+func TestCauseDimensions(t *testing.T) {
+	if got := len(telemetry.Causes()); got != numCauses {
+		t.Fatalf("telemetry taxonomy has %d causes, observatory compiled for %d — update numCauses", got, numCauses)
+	}
+	for _, c := range telemetry.Causes() {
+		if int(c) >= numCauses {
+			t.Fatalf("cause %s indexes %d, out of range for numCauses=%d", c, int(c), numCauses)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package observatory is the sim-time congestion observatory: it
+// watches the *simulated system* the way internal/obs watches the
+// executor. Where obs reports wall-clock progress of a fleet run, the
+// observatory reports what each simulated host experienced in sim time
+// — when its NIC buffer filled, how long the episode lasted, and which
+// interconnect mechanism caused it — reproducing the paper's §1 fleet
+// monitoring (continuous per-host signals → congestion incidents →
+// root-cause attribution → fleet-wide rollup).
+//
+// Three layers:
+//
+//   - Monitor — an engine-clocked sampler attached to one host.Testbed.
+//     Every SampleEvery of sim time it snapshots the datapath signals
+//     (NIC buffer fill and drops, PCIe credit occupancy and stall age,
+//     IOTLB miss rate, memory load factor and queue delay, goodput)
+//     into a bounded ring timeline.
+//   - Detector — a streaming hysteresis state machine folding samples
+//     into congestion Episodes with per-episode peak severity, drop
+//     counts, telemetry-taxonomy root cause, and a CC-blind flag
+//     (buffer drains faster than the transport can react).
+//   - Collector — the fleet rollup: per-host reports stream in with
+//     O(cells) memory into Moments/Reservoir aggregates and per-cell
+//     cause mixes, out to a paper-style report, hic_fleet_incident_*
+//     metrics, incident obs events, and JSONL exports.
+//
+// Sampling is passive: the timer callback only reads state and
+// consumes no engine RNG, so enabling the observatory leaves Results
+// bit-identical (the golden-hash tests prove it), and every disabled-
+// path entry point is nil-receiver safe and allocation-free
+// (TestObservatoryDisabledZeroAlloc).
+package observatory
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hic/internal/host"
+	"hic/internal/sim"
+)
+
+// Config tunes the sampler and detector. The zero value means "use the
+// defaults below".
+type Config struct {
+	// SampleEvery is the sim-time sampling interval (default 100 µs —
+	// fine enough to catch sub-millisecond episodes, ~200 samples per
+	// default fleet window).
+	SampleEvery sim.Duration
+	// RingCap bounds the retained timeline per host (default 1024
+	// samples; older samples are overwritten).
+	RingCap int
+	// OnFraction is the NIC buffer fill at which an episode opens
+	// (default 0.5). Any interval containing drops also opens one.
+	OnFraction float64
+	// OffFraction is the fill at or below which a drop-free interval
+	// closes the episode (default 0.25). The on/off band is the
+	// hysteresis that prevents flapping.
+	OffFraction float64
+	// MergeGap merges episodes separated by less than this much sim
+	// time into one incident (default 200 µs).
+	MergeGap sim.Duration
+	// BlindHorizon is the congestion-control reaction horizon for the
+	// CC-blind flag (default 90 µs, Swift's fabric+host target).
+	BlindHorizon sim.Duration
+}
+
+// DefaultConfig returns the default observatory tuning.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 100 * sim.Microsecond
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = 1024
+	}
+	if c.RingCap < 16 {
+		c.RingCap = 16
+	}
+	if c.OnFraction <= 0 {
+		c.OnFraction = 0.5
+	}
+	if c.OffFraction <= 0 {
+		c.OffFraction = 0.25
+	}
+	if c.MergeGap <= 0 {
+		c.MergeGap = 200 * sim.Microsecond
+	}
+	if c.BlindHorizon <= 0 {
+		c.BlindHorizon = 90 * sim.Microsecond
+	}
+	return c
+}
+
+// Sample is one timeline point: interval quantities (goodput, drops)
+// cover the sampling interval ending at At; the rest are instantaneous
+// readings.
+type Sample struct {
+	At              sim.Time `json:"t_ns"`
+	GoodputGbps     float64  `json:"goodput_gbps"`
+	BufferBytes     int      `json:"buffer_bytes"`
+	BufferFrac      float64  `json:"buffer_frac"`
+	Drops           uint64   `json:"drops"`
+	CreditOccupancy float64  `json:"credit_occupancy"`
+	CreditStallNs   int64    `json:"credit_stall_ns"`
+	IOTLBMissRate   float64  `json:"iotlb_miss_rate"`
+	MemLoadFactor   float64  `json:"mem_load_factor"`
+	MemQueueNs      int64    `json:"mem_queue_ns"`
+	// Congested is the detector's verdict after folding this sample.
+	Congested bool `json:"congested,omitempty"`
+}
+
+// Monitor samples one testbed on the engine clock. Attach before
+// Run; Report after. All methods are nil-receiver safe so callers can
+// hold a nil *Monitor on the disabled path.
+type Monitor struct {
+	tb      *host.Testbed
+	cfg     Config
+	statics host.SignalStatics
+	det     *Detector
+
+	ring  []Sample
+	total uint64
+
+	samples   uint64
+	drops     uint64
+	prevGood  uint64
+	prevDrops uint64
+}
+
+// Attach registers a sampling timer on the testbed's engine and
+// returns the monitor. The callback is read-only and draws no engine
+// randomness, so an attached monitor never perturbs the simulation.
+func Attach(tb *host.Testbed, cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		tb:      tb,
+		cfg:     cfg,
+		statics: tb.SignalStatics(),
+		ring:    make([]Sample, 0, cfg.RingCap),
+	}
+	m.det = NewDetector(cfg, m.statics.LineRate)
+	tb.Engine.Every(cfg.SampleEvery, m.sample)
+	return m
+}
+
+func (m *Monitor) sample() {
+	sig := m.tb.ReadSignals()
+	// The window counters reset when a measurement window begins
+	// (Registry.ResetAll); a cumulative reading below the previous one
+	// means the baseline restarted at zero.
+	if sig.GoodputBytes < m.prevGood {
+		m.prevGood = 0
+	}
+	if sig.Drops < m.prevDrops {
+		m.prevDrops = 0
+	}
+	s := Sample{
+		At:              sig.At,
+		GoodputGbps:     float64(sig.GoodputBytes-m.prevGood) * 8 / m.cfg.SampleEvery.Seconds() / 1e9,
+		BufferBytes:     sig.BufferBytes,
+		Drops:           sig.Drops - m.prevDrops,
+		CreditOccupancy: sig.CreditOccupancy,
+		CreditStallNs:   int64(sig.CreditStallAge),
+		IOTLBMissRate:   sig.IOTLBMissRate,
+		MemLoadFactor:   sig.MemLoadFactor,
+		MemQueueNs:      int64(sig.MemQueueDelay),
+	}
+	m.prevGood, m.prevDrops = sig.GoodputBytes, sig.Drops
+	if m.statics.NICBufferBytes > 0 {
+		s.BufferFrac = float64(s.BufferBytes) / float64(m.statics.NICBufferBytes)
+	}
+	s.Congested = m.det.Observe(s)
+	m.samples++
+	m.drops += s.Drops
+	if len(m.ring) < cap(m.ring) {
+		m.ring = append(m.ring, s)
+	} else {
+		m.ring[int(m.total%uint64(cap(m.ring)))] = s
+	}
+	m.total++
+}
+
+// Timeline returns the retained samples oldest-first (a copy).
+func (m *Monitor) Timeline() []Sample {
+	if m == nil || len(m.ring) == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, len(m.ring))
+	if m.total > uint64(cap(m.ring)) {
+		head := int(m.total % uint64(cap(m.ring)))
+		out = append(out, m.ring[head:]...)
+		out = append(out, m.ring[:head]...)
+	} else {
+		out = append(out, m.ring...)
+	}
+	return out
+}
+
+// HostReport is one host's observatory output: its episodes, summary
+// counters, and the retained timeline.
+type HostReport struct {
+	// Samples is how many signal samples were taken.
+	Samples uint64 `json:"samples"`
+	// Drops is the total NIC drops observed across all samples.
+	Drops uint64 `json:"drops"`
+	// CongestedNs is total sim time inside episodes.
+	CongestedNs int64 `json:"congested_ns"`
+	// EndsCongested marks a run that finished mid-episode — the live
+	// "currently congested" gauge counts these.
+	EndsCongested bool `json:"ends_congested,omitempty"`
+	// Episodes are the detected incidents in time order.
+	Episodes []Episode `json:"episodes"`
+	// Timeline is the retained sample ring (not marshaled; exported
+	// separately via WriteTimeline).
+	Timeline []Sample `json:"-"`
+}
+
+// Report closes any open episode at the current sim time and returns
+// the host's report. Nil-safe: a nil monitor reports nil.
+func (m *Monitor) Report() *HostReport {
+	if m == nil {
+		return nil
+	}
+	rep := &HostReport{
+		Samples:       m.samples,
+		Drops:         m.drops,
+		EndsCongested: m.det.Open(),
+	}
+	rep.Episodes = m.det.Finish(m.tb.Engine.Now())
+	rep.CongestedNs = int64(m.det.CongestedTime())
+	rep.Timeline = m.Timeline()
+	return rep
+}
+
+// timelineLine stamps a host index onto each exported sample so many
+// hosts can share one JSONL stream.
+type timelineLine struct {
+	Host int `json:"host"`
+	Sample
+}
+
+// WriteTimeline writes the retained timeline as JSONL, one sample per
+// line stamped with the host index. Nil-safe.
+func (r *HostReport) WriteTimeline(w io.Writer, hostIdx int) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, s := range r.Timeline {
+		if err := enc.Encode(timelineLine{Host: hostIdx, Sample: s}); err != nil {
+			return fmt.Errorf("observatory: writing timeline: %w", err)
+		}
+	}
+	return nil
+}

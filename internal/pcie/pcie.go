@@ -221,6 +221,13 @@ func (l *Link) CreditsAvailable() int { return l.creditsFree }
 // InFlightBytes returns the credit bytes currently held.
 func (l *Link) InFlightBytes() int { return l.cfg.CreditBytes - l.creditsFree }
 
+// CreditOccupancy returns the held fraction of the posted-write credit
+// pool (0 = all free, 1 = exhausted). The observatory samples this as
+// its normalized PCIe-backpressure severity.
+func (l *Link) CreditOccupancy() float64 {
+	return float64(l.cfg.CreditBytes-l.creditsFree) / float64(l.cfg.CreditBytes)
+}
+
 // QueuedWaiters returns how many acquirers are blocked on credits.
 func (l *Link) QueuedWaiters() int { return len(l.waiters) }
 

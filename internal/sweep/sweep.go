@@ -14,6 +14,7 @@ import (
 	"hic/internal/asciiplot"
 	"hic/internal/core"
 	"hic/internal/obs"
+	"hic/internal/observatory"
 	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
@@ -94,7 +95,8 @@ func (s Spec) Validate() error {
 }
 
 // Row is one sweep point's coordinates and measurements. Telemetry is
-// non-nil only for RunDetailed sweeps.
+// non-nil only for RunDetailed sweeps; Incidents only for RunObserved
+// sweeps.
 type Row struct {
 	Coords    []float64
 	Results   core.Results
@@ -105,6 +107,10 @@ type Row struct {
 	// JSONL exporter skips these rows and reports the count instead of
 	// emitting empty span records.
 	TelemetrySkippedFluid bool
+	// Incidents is the sim-time observatory report for this grid point
+	// (RunObserved sweeps only): the congestion episodes the host
+	// experienced, with root-cause attribution.
+	Incidents *observatory.HostReport
 }
 
 // points enumerates the cross product and lowers each coordinate vector
@@ -272,6 +278,65 @@ func RunDetailedVia(spec Spec, exec core.Executor, spanRate float64) ([]Row, err
 		return nil, err
 	}
 	return rows, nil
+}
+
+// RunObserved is Run with the sim-time observatory attached to every
+// grid point: each point executes full DES (the observatory watches the
+// simulated datapath, which the fluid solver and the run cache cannot
+// reproduce) and its Row carries the incident report — congestion
+// episodes with peak severity, drop counts, and root-cause attribution.
+// Sampling is passive, so Results are bit-identical to Run's.
+func RunObserved(spec Spec, ocfg observatory.Config) ([]Row, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	coords, ps := points(spec)
+	rows := make([]Row, len(coords))
+	var orun *obs.Run // nil-safe
+	if s := obs.Default(); s != nil {
+		orun = s.StartRun("sweep-observatory", int64(len(ps)))
+		defer orun.Finish()
+	}
+	err := runner.Shared().Map(len(ps), func(i int, a *runner.Arena) error {
+		defer orun.Advance(1)
+		res, rep, err := core.RunObservedOn(ps[i], ocfg, a)
+		if err != nil {
+			return err
+		}
+		for j := range rep.Episodes {
+			rep.Episodes[j].Host = i
+		}
+		rows[i] = Row{Coords: coords[i], Results: res, Incidents: rep}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// IncidentsJSONL renders one JSON object per observed sweep point: the
+// axis coordinates, the headline measurements, and the incident report
+// (episodes carry the grid-point index in their host field). One line
+// per grid point for streaming/grepping downstream.
+func IncidentsJSONL(spec Spec, rows []Row) (string, error) {
+	var b strings.Builder
+	for _, r := range rows {
+		point := make(map[string]any, len(spec.Axes)+3)
+		for d, a := range spec.Axes {
+			point[a.Param] = r.Coords[d]
+		}
+		point["gbps"] = r.Results.AppThroughputGbps
+		point["drop_pct"] = r.Results.DropRatePct
+		point["incidents"] = r.Incidents
+		line, err := json.Marshal(point)
+		if err != nil {
+			return "", fmt.Errorf("sweep: encoding incident row: %w", err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
 }
 
 // TelemetryJSONL renders one JSON object per sweep point: the axis

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hic/internal/core"
+	"hic/internal/observatory"
 	"hic/internal/runner"
 	"hic/internal/sim"
 )
@@ -286,5 +287,59 @@ func TestRunDetailedNoExecUnchanged(t *testing.T) {
 	}
 	if rows[0].TelemetrySkippedFluid || rows[0].Telemetry == nil {
 		t.Errorf("nil-executor sweep must instrument every point: %+v", rows[0].TelemetrySkippedFluid)
+	}
+}
+
+// TestRunObservedAndIncidentsJSONL: an observed sweep attaches the
+// observatory to every grid point, its Results stay identical to a
+// plain sweep, and the JSONL export carries one line per point with
+// the incident report inline.
+func TestRunObservedAndIncidentsJSONL(t *testing.T) {
+	spec := Spec{Base: quickBase(), Axes: []Axis{
+		{Param: "antagonists", Values: []float64{0, 8}},
+	}}
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunObserved(spec, observatory.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Results != plain[i].Results {
+			t.Errorf("point %d: observed Results differ from plain sweep (sampling must be passive)", i)
+		}
+		if r.Incidents == nil || r.Incidents.Samples == 0 {
+			t.Fatalf("point %d carries no incident report", i)
+		}
+		for _, e := range r.Incidents.Episodes {
+			if e.Host != i {
+				t.Errorf("point %d episode stamped host %d", i, e.Host)
+			}
+		}
+	}
+
+	jsonl, err := IncidentsJSONL(spec, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", len(lines))
+	}
+	for i, l := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(l), &obj); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		for _, k := range []string{"antagonists", "gbps", "drop_pct", "incidents"} {
+			if _, ok := obj[k]; !ok {
+				t.Errorf("line %d missing %q: %s", i, k, l)
+			}
+		}
 	}
 }

@@ -39,6 +39,22 @@ func (c DropCause) String() string {
 	return fmt.Sprintf("cause(%d)", int(c))
 }
 
+// MarshalText renders the cause name, so JSON artifacts (observatory
+// episode records, incident events) carry "memory-bus" rather than an
+// opaque code.
+func (c DropCause) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses a cause name produced by MarshalText.
+func (c *DropCause) UnmarshalText(b []byte) error {
+	for i, n := range causeNames {
+		if n == string(b) {
+			*c = DropCause(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown drop cause %q", b)
+}
+
 // Causes lists all causes in classification-priority order (memory bus is
 // checked first; see Classify).
 func Causes() []DropCause { return []DropCause{CauseOverload, CauseIOTLBWalk, CauseMemoryBus} }
