@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-fleet bench-compare vet check check-tests figs cluster fuzz cover trace-demo clean
+.PHONY: all build test bench bench-json bench-fleet bench-compare bench-warm vet check check-tests figs cluster fuzz cover trace-demo clean
 
 all: build test
 
@@ -17,9 +17,9 @@ test-short:
 	$(GO) test -short ./...
 
 # check is the CI gate (.github/workflows/ci.yml runs exactly this):
-# the test gate (check-tests) plus the bench-regression gate
-# (bench-compare).
-check: check-tests bench-compare
+# the test gate (check-tests) plus the bench-regression gates
+# (bench-compare and bench-warm).
+check: check-tests bench-compare bench-warm
 
 # check-tests: vet, the race-enabled test suite, a focused race pass
 # over the worker pool and singleflight layers (their concurrency tests
@@ -49,8 +49,19 @@ check-tests:
 # count in the new report fails at any tolerance.
 bench-compare:
 	mkdir -p results
-	$(GO) run ./cmd/hicbench -out results/bench_smoke.json -fleet-hosts 400 -fleet-baseline-hosts 16
+	$(GO) run ./cmd/hicbench -out results/bench_smoke.json -fleet-hosts 400 -fleet-baseline-hosts 16 -no-warm
 	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_smoke.json
+
+# bench-warm is the cross-run warm-start gate: a cold-then-warm fleet
+# pair at smoke scale (rates are skipped against the committed 10k
+# baseline — host counts differ) whose hard gates are scale-free: any
+# warm-audited point over tolerance fails unconditionally, and the
+# warm-resumed point's allocation profile is near-exact-class (0.1%
+# noise floor, see cmd/hicbench/compare.go).
+bench-warm:
+	mkdir -p results
+	$(GO) run ./cmd/hicbench -out results/bench_warm.json -fleet-hosts 400 -warm-only
+	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_warm.json
 
 trace-demo:
 	mkdir -p results
@@ -63,9 +74,11 @@ bench:
 
 # bench-json runs the hot-path comparison harness (current engine vs the
 # preserved pre-rewrite engine, pooled vs heap packet path, the Figure 6
-# scenario end to end, the fleet execution bench, and the multi-fidelity
+# scenario end to end, the fleet execution bench, the multi-fidelity
 # section: fluid vs DES per-point cost plus the -fidelity=auto fleet
-# against the pure-DES fleet) and writes BENCH_hotpath.json.
+# against the pure-DES fleet, and the warm-start section: the same
+# auto fleet cold then warm against one persistent calibration and
+# checkpoint store) and writes BENCH_hotpath.json.
 bench-json:
 	$(GO) run ./cmd/hicbench -out BENCH_hotpath.json
 

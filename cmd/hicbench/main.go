@@ -19,7 +19,11 @@
 //     the fluid solver vs full DES, and the same fleet re-run with
 //     -fidelity=auto routing (calibrated fluid + early stopping +
 //     audit), reporting hosts/sec, the routing counters, and the
-//     speedup over the pure-DES fleet section above.
+//     speedup over the pure-DES fleet section above;
+//   - warm_start: the cross-run warm start — the auto-routed fleet run
+//     cold then warm against one persistent store (anchors reloaded,
+//     DES points resumed from checkpoints), plus one warm-resumed
+//     point's allocation profile for the regression gate.
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 	"hic/internal/obs"
 	"hic/internal/observatory"
 	"hic/internal/pkt"
+	"hic/internal/runcache"
 	"hic/internal/runner"
 	"hic/internal/sim"
 	"hic/internal/sim/legacy"
@@ -209,7 +214,13 @@ func runObservatory(off fig6Scenario) (observatoryBench, error) {
 // records how many were actually run. Peak memory is HeapInuse+
 // StackInuse sampled during the run (not VmHWM, which never shrinks).
 type fleetBench struct {
-	Hosts                int     `json:"hosts"`
+	Hosts int `json:"hosts"`
+	// FidelityMode and Warm record how this fleet executed ("des"/"off"
+	// here) so -compare can refuse to gate rates across modes: a DES
+	// fleet and an auto-routed or warm-started fleet measure different
+	// work even at the same host count.
+	FidelityMode         string  `json:"fidelity_mode,omitempty"`
+	Warm                 string  `json:"warm,omitempty"`
 	WallSeconds          float64 `json:"wall_seconds"`
 	HostsPerSec          float64 `json:"hosts_per_sec"`
 	Simulated            uint64  `json:"simulated"`
@@ -286,6 +297,8 @@ func runFleet(hosts, baselineHosts int) (fleetBench, error) {
 	}
 	fb := fleetBench{
 		Hosts:        hosts,
+		FidelityMode: "des",
+		Warm:         "off",
 		WallSeconds:  wall,
 		HostsPerSec:  float64(hosts) / wall,
 		Simulated:    st.Simulated,
@@ -341,7 +354,10 @@ type fidelityBench struct {
 	// The auto-routed fleet (same size and windows as the fleet
 	// section): routing tolerance, execution accounting, and audit
 	// outcome. SpeedupVsDES compares hosts/sec against the pure-DES
-	// fleet section measured in the same process.
+	// fleet section measured in the same process. FidelityMode/Warm
+	// ("auto"/"off") mark the execution mode for the -compare gate.
+	FidelityMode string  `json:"fidelity_mode,omitempty"`
+	Warm         string  `json:"warm,omitempty"`
 	Tol          float64 `json:"tol"`
 	AuditRate    float64 `json:"audit_rate"`
 	Hosts        int     `json:"hosts"`
@@ -366,7 +382,7 @@ func runFleetFidelity(hosts int, tol, auditRate, desHostsPerSec float64) (fideli
 	p := core.DefaultParams(12)
 	p.AntagonistCores = 8
 	p.Warmup, p.Measure = 4*sim.Millisecond, 6*sim.Millisecond
-	fb := fidelityBench{Tol: tol, AuditRate: auditRate, Hosts: hosts}
+	fb := fidelityBench{FidelityMode: "auto", Warm: "off", Tol: tol, AuditRate: auditRate, Hosts: hosts}
 	fluidRes := toResult(testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.RunFluid(p); err != nil {
@@ -426,6 +442,156 @@ func runFleetFidelity(hosts int, tol, auditRate, desHostsPerSec float64) (fideli
 	return fb, nil
 }
 
+// warmStartBench measures the cross-run warm start: the same
+// auto-routed fleet run twice against one persistent warm store. The
+// cold pass calibrates from scratch and donates checkpoints; the warm
+// pass uses a fresh router over the same store, so anchors load from
+// disk and DES-routed points warm-start from the nearest checkpointed
+// donor. WarmSpeedup is the warm pass's hosts/sec over the cold
+// pass's — the "second invocation" win a user sees with -warm=full.
+//
+// WarmPoint is one fixed warm-started DES point measured under
+// testing.Benchmark. Its allocation counts are the exact-class metric
+// for the -compare gate: fleet-level totals flap with dedup
+// scheduling, a single deterministic warm resume does not.
+type warmStartBench struct {
+	Hosts         int     `json:"hosts"`
+	FidelityMode  string  `json:"fidelity_mode,omitempty"`
+	Warm          string  `json:"warm,omitempty"`
+	Tol           float64 `json:"tol"`
+	AuditRate     float64 `json:"audit_rate"`
+	WarmAuditRate float64 `json:"warm_audit_rate"`
+
+	ColdWallSeconds float64 `json:"cold_wall_seconds"`
+	ColdHostsPerSec float64 `json:"cold_hosts_per_sec"`
+	WarmWallSeconds float64 `json:"warm_wall_seconds"`
+	WarmHostsPerSec float64 `json:"warm_hosts_per_sec"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+
+	// Cold-pass persistence: anchor DES runs paid once, calibration
+	// blobs and checkpoints written for the warm pass to consume.
+	ColdAnchorRuns  uint64 `json:"cold_anchor_runs"`
+	AnchorPersisted uint64 `json:"anchor_persisted"`
+	Checkpoints     uint64 `json:"checkpoints"`
+
+	// Warm-pass consumption and the warm-start accuracy audit.
+	WarmAnchorRuns   uint64  `json:"warm_anchor_runs"`
+	AnchorLoaded     uint64  `json:"anchor_loaded"`
+	WarmStarted      uint64  `json:"warm_started"`
+	WarmAudited      uint64  `json:"warm_audited"`
+	WarmAuditOverTol uint64  `json:"warm_audit_over_tol"`
+	WarmAuditMaxErr  float64 `json:"warm_audit_max_err"`
+
+	WarmPoint    benchResult `json:"warm_point"`
+	PeakMemBytes uint64      `json:"peak_mem_bytes"`
+}
+
+// runWarmStart runs the cold-then-warm fleet pair against a throwaway
+// warm store, then benchmarks a single warm-started point.
+func runWarmStart(hosts int, tol, auditRate, warmAuditRate float64) (warmStartBench, error) {
+	wb := warmStartBench{
+		Hosts: hosts, FidelityMode: "auto", Warm: "full",
+		Tol: tol, AuditRate: auditRate, WarmAuditRate: warmAuditRate,
+	}
+	warmDir, err := os.MkdirTemp("", "hicbench-warm-")
+	if err != nil {
+		return wb, err
+	}
+	defer os.RemoveAll(warmDir)
+
+	// Each pass opens its own store and router: checkpoints captured
+	// in-process are never donors, so a fresh router per pass is what
+	// makes the second pass a faithful "second invocation".
+	runOnce := func(label string) (fidelity.Counters, float64, error) {
+		store, err := runcache.Open(warmDir)
+		if err != nil {
+			return fidelity.Counters{}, 0, err
+		}
+		cfg := fleetConfig(hosts)
+		router, err := fidelity.New(fidelity.Config{
+			Mode:          fidelity.ModeAuto,
+			Tol:           tol,
+			AuditRate:     auditRate,
+			EarlyStop:     true,
+			AnchorSeeds:   cluster.SeedPool(cfg),
+			Warm:          fidelity.WarmFull,
+			WarmStore:     store,
+			WarmAuditRate: warmAuditRate,
+		})
+		if err != nil {
+			return fidelity.Counters{}, 0, err
+		}
+		cfg.Exec = router
+		cfg.Progress = runner.NewProgress(os.Stderr, label, "hosts", hosts, 5*time.Second)
+		start := time.Now()
+		_, err = cluster.RunStream(cfg, nil)
+		wall := time.Since(start).Seconds()
+		cfg.Progress.Finish()
+		if err != nil {
+			return fidelity.Counters{}, 0, err
+		}
+		return router.Counters(), wall, nil
+	}
+
+	mp := startMemPeak()
+	coldC, coldWall, err := runOnce("fleet cold")
+	if err != nil {
+		mp.Stop()
+		return wb, err
+	}
+	warmC, warmWall, err := runOnce("fleet warm")
+	wb.PeakMemBytes = mp.Stop()
+	if err != nil {
+		return wb, err
+	}
+	wb.ColdWallSeconds = coldWall
+	wb.ColdHostsPerSec = float64(hosts) / coldWall
+	wb.WarmWallSeconds = warmWall
+	wb.WarmHostsPerSec = float64(hosts) / warmWall
+	if wb.ColdHostsPerSec > 0 {
+		wb.WarmSpeedup = wb.WarmHostsPerSec / wb.ColdHostsPerSec
+	}
+	wb.ColdAnchorRuns = coldC.AnchorRuns
+	wb.AnchorPersisted = coldC.AnchorPersisted
+	wb.Checkpoints = coldC.WarmCheckpoints
+	wb.WarmAnchorRuns = warmC.AnchorRuns
+	wb.AnchorLoaded = warmC.AnchorLoaded
+	wb.WarmStarted = warmC.WarmStarted
+	wb.WarmAudited = warmC.WarmAudited
+	wb.WarmAuditOverTol = warmC.WarmAuditOverTol
+	wb.WarmAuditMaxErr = warmC.WarmAuditMaxErr
+	if wb.WarmAuditOverTol > 0 {
+		fmt.Fprintf(os.Stderr, "hicbench: WARNING: %d/%d warm-audited points exceeded tol %.3f (max err %.4f)\n",
+			wb.WarmAuditOverTol, wb.WarmAudited, tol, wb.WarmAuditMaxErr)
+	}
+
+	// Warm-point microbenchmark: one checkpoint donation plus the
+	// sibling seed's warm resume (build, prime, guard window, measure),
+	// timed at the core layer so every iteration really re-simulates —
+	// the router's singleflight retains completed results, which would
+	// turn a repeated planned run into a map lookup.
+	p := core.DefaultParams(4)
+	p.Warmup, p.Measure = 2*sim.Millisecond, 3*sim.Millisecond
+	_, snap, err := core.RunAndSnapshotOn(p, nil)
+	if err != nil {
+		return wb, err
+	}
+	p2 := p
+	p2.Seed = 42
+	guard := core.DefaultWarmGuard(p2)
+	if _, err := core.RunWarmOn(p2, snap, guard, nil); err != nil { // pool warm-up outside the timed loop
+		return wb, err
+	}
+	wb.WarmPoint = toResult(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunWarmOn(p2, snap, guard, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), 0)
+	return wb, nil
+}
+
 type report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
@@ -448,6 +614,11 @@ type report struct {
 	Observatory observatoryBench `json:"observatory"`
 	Fleet       fleetBench       `json:"fleet"`
 	Fidelity    fidelityBench    `json:"fidelity"`
+	// WarmStart is the cross-run warm-start pair: the auto-routed fleet
+	// cold (calibrating, donating checkpoints) then warm (fresh router,
+	// same persistent store) plus one warm-resumed point's exact-class
+	// allocation profile.
+	WarmStart warmStartBench `json:"warm_start"`
 }
 
 var heapSink *pkt.Packet
@@ -464,6 +635,9 @@ func main() {
 	fidelityTol := flag.Float64("fidelity-tol", 0.10, "auto-routing tolerance for the fidelity fleet bench")
 	auditRate := flag.Float64("audit-rate", 0.05, "fraction of fluid-routed hosts shadow-run under DES in the fidelity fleet bench")
 	noFidelity := flag.Bool("no-fidelity", false, "skip the fidelity (auto-routed fleet) section")
+	warmAuditRate := flag.Float64("warm-audit-rate", 0.05, "fraction of warm-startable points re-run cold under DES in the warm-start fleet bench")
+	noWarm := flag.Bool("no-warm", false, "skip the warm_start (cold-then-warm fleet) section")
+	warmOnly := flag.Bool("warm-only", false, "run only the warm_start section, skipping everything else")
 	compareOld := flag.String("compare", "", "regression gate: compare this baseline JSON against the new JSON given as the positional argument, exit non-zero on regression (no benches run)")
 	compareTol := flag.Float64("compare-tol", 0.25, "allowed relative degradation for noisy (timing/rate) metrics with -compare; allocation counts are exact-class and tolerate nothing")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -485,7 +659,7 @@ func main() {
 	} else if srv != nil {
 		defer srv.Close()
 		srv.AddSource(runner.Shared())
-		orun = srv.StartRun("bench", 6, "engine", "packet_path", "fig6", "observatory", "fleet", "fidelity")
+		orun = srv.StartRun("bench", 7, "engine", "packet_path", "fig6", "observatory", "fleet", "fidelity", "warm_start")
 		defer orun.Finish()
 	}
 
@@ -493,7 +667,7 @@ func main() {
 	rep.GoVersion = runtime.Version()
 	rep.GOARCH = runtime.GOARCH
 
-	if !*fleetOnly {
+	if !*fleetOnly && !*warmOnly {
 		// Each workload processes ~1 event per op (the churn fires one event
 		// and schedules one replacement plus a timer arm/cancel pair).
 		orun.SetPhase("engine")
@@ -546,7 +720,7 @@ func main() {
 		orun.Advance(1)
 	}
 
-	if *fleetHosts > 0 {
+	if *fleetHosts > 0 && !*warmOnly {
 		orun.SetPhase("fleet")
 		fleet, err := runFleet(*fleetHosts, *fleetBaseline)
 		if err != nil {
@@ -568,6 +742,17 @@ func main() {
 		}
 	}
 
+	if *fleetHosts > 0 && !*noWarm {
+		orun.SetPhase("warm_start")
+		warm, err := runWarmStart(*fleetHosts, *fidelityTol, *auditRate, *warmAuditRate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicbench: warm-start bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.WarmStart = warm
+		orun.Advance(1)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
@@ -582,8 +767,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s %.2fx, auto %.1f hosts/s %.2fx)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s %.2fx, auto %.1f hosts/s %.2fx, warm %.1f hosts/s %.2fx)\n",
 		*out, rep.Engine.SpeedupRatio, rep.Fig6.EventsPerSec/1e6,
 		rep.Fleet.HostsPerSec, rep.Fleet.SpeedupRatio,
-		rep.Fidelity.HostsPerSec, rep.Fidelity.SpeedupVsDES)
+		rep.Fidelity.HostsPerSec, rep.Fidelity.SpeedupVsDES,
+		rep.WarmStart.WarmHostsPerSec, rep.WarmStart.WarmSpeedup)
 }

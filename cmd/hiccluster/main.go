@@ -56,6 +56,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit per-host CSV instead of the scatter (streams: RSS stays bounded at any fleet size)")
 	useCache := flag.Bool("cache", false, "memoize per-host results in the content-addressed run cache (single-window fleets only)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	cacheMaxMB := flag.Int("cache-max-mb", 0, "prune the run cache and warm store to this size at startup, oldest entries first (0 = unbounded)")
 	noDedup := flag.Bool("no-dedup", false, "disable singleflight dedup of byte-identical hosts (never changes results; for benchmarking)")
 	progress := flag.Bool("progress", true, "report progress, rate, and ETA on stderr")
 	verbose := flag.Bool("v", false, "print cache and dedup statistics on stderr")
@@ -93,6 +94,24 @@ func main() {
 	}
 	if router != nil {
 		cfg.Exec = router
+	}
+	var warmStore *runcache.Store
+	if router != nil {
+		warmStore = router.WarmStore()
+	}
+	if *cacheMaxMB > 0 {
+		budget := int64(*cacheMaxMB) << 20
+		for _, s := range []*runcache.Store{store, warmStore} {
+			if s == nil {
+				continue
+			}
+			if removed, freed, perr := s.Prune(budget); perr != nil {
+				fmt.Fprintf(os.Stderr, "hiccluster: pruning %s: %v\n", s.Dir(), perr)
+			} else if removed > 0 && *verbose {
+				fmt.Fprintf(os.Stderr, "pruned %d entries (%.1f MB) from %s\n",
+					removed, float64(freed)/(1<<20), s.Dir())
+			}
+		}
 	}
 
 	var collector *observatory.Collector
@@ -148,6 +167,9 @@ func main() {
 		}
 		if router != nil {
 			srv.AddSource(router)
+		}
+		if warmStore != nil {
+			srv.AddSource(warmStore)
 		}
 		if collector != nil {
 			srv.AddSource(collector)
@@ -236,6 +258,15 @@ func main() {
 					stats.Audited, stats.AuditMaxErr, stats.AuditOverTol, router.Tol())
 			}
 			fmt.Fprintln(os.Stderr)
+			if stats.AnchorLoaded+stats.AnchorPersisted+stats.WarmStarted+stats.WarmCheckpoints > 0 {
+				fmt.Fprintf(os.Stderr, "warm start: %d anchors loaded, %d persisted, %d hosts warm-started, %d checkpoints captured",
+					stats.AnchorLoaded, stats.AnchorPersisted, stats.WarmStarted, stats.WarmCheckpoints)
+				if stats.WarmAudited > 0 {
+					fmt.Fprintf(os.Stderr, "; warm-audited %d max-err %.4f (%d over tol %.3f)",
+						stats.WarmAudited, stats.WarmAuditMaxErr, stats.WarmAuditOverTol, router.Tol())
+				}
+				fmt.Fprintln(os.Stderr)
+			}
 		}
 		if store != nil {
 			fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary())

@@ -40,6 +40,7 @@ func main() {
 	outdir := flag.String("outdir", "", "also write per-experiment CSV files here")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	cacheMaxMB := flag.Int("cache-max-mb", 0, "prune the run cache and warm store to this size at startup, oldest entries first (0 = unbounded)")
 	incidents := flag.Bool("incidents", false, "run the fig6 antagonist point with the sim-time observatory and print its congestion episodes, then exit")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -82,7 +83,30 @@ func main() {
 			c := router.Counters()
 			fmt.Fprintf(os.Stderr, "fidelity: %d fluid, %d DES (%d early-stopped), %d anchors\n",
 				c.FluidRouted, c.DESRouted, c.EarlyStopped, c.AnchorRuns)
+			if c.AnchorLoaded+c.AnchorPersisted+c.WarmStarted+c.WarmCheckpoints > 0 {
+				fmt.Fprintf(os.Stderr, "warm start: %d anchors loaded, %d persisted, %d warm-started, %d checkpoints; warm-audited %d max-err %.4f (%d over tol)\n",
+					c.AnchorLoaded, c.AnchorPersisted, c.WarmStarted, c.WarmCheckpoints,
+					c.WarmAudited, c.WarmAuditMaxErr, c.WarmAuditOverTol)
+			}
 		}()
+	}
+	var warmStore *runcache.Store
+	if router != nil {
+		warmStore = router.WarmStore()
+	}
+	if *cacheMaxMB > 0 {
+		budget := int64(*cacheMaxMB) << 20
+		for _, s := range []*runcache.Store{opt.Cache, warmStore} {
+			if s == nil {
+				continue
+			}
+			if removed, freed, perr := s.Prune(budget); perr != nil {
+				fmt.Fprintf(os.Stderr, "hicfigs: pruning %s: %v\n", s.Dir(), perr)
+			} else if removed > 0 {
+				fmt.Fprintf(os.Stderr, "pruned %d entries (%.1f MB) from %s\n",
+					removed, float64(freed)/(1<<20), s.Dir())
+			}
+		}
 	}
 
 	var ids []string
@@ -111,6 +135,9 @@ func main() {
 		}
 		if router != nil {
 			srv.AddSource(router)
+		}
+		if warmStore != nil {
+			srv.AddSource(warmStore)
 		}
 		// One registry run with one phase per experiment: /progress shows
 		// which figure is executing even though the per-figure point count

@@ -46,6 +46,7 @@ func main() {
 	observeEvery := flag.Int("observe-every-us", 100, "observatory sampling interval in sim µs (with -incidents-out)")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache (ignored with -telemetry-out)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	cacheMaxMB := flag.Int("cache-max-mb", 0, "prune the run cache and warm store to this size at startup, oldest entries first (0 = unbounded)")
 	verbose := flag.Bool("v", false, "print detailed run-cache counters on stderr (with -cache)")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -94,6 +95,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
 		os.Exit(1)
 	}
+	var warmStore *runcache.Store
+	if router != nil {
+		warmStore = router.WarmStore()
+	}
+	if *cacheMaxMB > 0 {
+		budget := int64(*cacheMaxMB) << 20
+		for _, s := range []*runcache.Store{store, warmStore} {
+			if s == nil {
+				continue
+			}
+			if removed, freed, perr := s.Prune(budget); perr != nil {
+				fmt.Fprintf(os.Stderr, "hicsweep: pruning %s: %v\n", s.Dir(), perr)
+			} else if removed > 0 && *verbose {
+				fmt.Fprintf(os.Stderr, "pruned %d entries (%.1f MB) from %s\n",
+					removed, float64(freed)/(1<<20), s.Dir())
+			}
+		}
+	}
 
 	if srv, err := obsFlags.Start(os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
@@ -106,6 +125,9 @@ func main() {
 		}
 		if router != nil {
 			srv.AddSource(router)
+		}
+		if warmStore != nil {
+			srv.AddSource(warmStore)
 		}
 	}
 
@@ -143,6 +165,15 @@ func main() {
 					c.Audited, c.AuditMaxErr, c.AuditOverTol)
 			}
 			fmt.Fprintln(os.Stderr)
+			if c.AnchorLoaded+c.AnchorPersisted+c.WarmStarted+c.WarmCheckpoints > 0 {
+				fmt.Fprintf(os.Stderr, "warm start: %d anchors loaded, %d persisted, %d warm-started, %d checkpoints",
+					c.AnchorLoaded, c.AnchorPersisted, c.WarmStarted, c.WarmCheckpoints)
+				if c.WarmAudited > 0 {
+					fmt.Fprintf(os.Stderr, "; warm-audited %d max-err %.4f (%d over tol)",
+						c.WarmAudited, c.WarmAuditMaxErr, c.WarmAuditOverTol)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
 		}()
 	}
 	if store != nil {

@@ -534,6 +534,13 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 		// Points served from a coinciding anchor's memoized result were
 		// not re-simulated — account them with the dedup collapses.
 		s.Collapsed += d.AnchorReused - routerBefore.AnchorReused
+		s.AnchorLoaded = d.AnchorLoaded - routerBefore.AnchorLoaded
+		s.AnchorPersisted = d.AnchorPersisted - routerBefore.AnchorPersisted
+		s.WarmStarted = d.WarmStarted - routerBefore.WarmStarted
+		s.WarmCheckpoints = d.WarmCheckpoints - routerBefore.WarmCheckpoints
+		s.WarmAudited = d.WarmAudited - routerBefore.WarmAudited
+		s.WarmAuditOverTol = d.WarmAuditOverTol - routerBefore.WarmAuditOverTol
+		s.WarmAuditMaxErr = d.WarmAuditMaxErr
 	}
 	if flight != nil {
 		s.Collapsed += flight.Collapses()
@@ -594,6 +601,22 @@ type Stats struct {
 	Audited      uint64
 	AuditOverTol uint64
 	AuditMaxErr  float64
+
+	// Cross-run warm-start accounting (non-zero only with -warm):
+	// AnchorLoaded anchors/noise tiers were served from the persistent
+	// warm store, AnchorPersisted were computed here and written back,
+	// WarmStarted DES hosts ran from a persisted checkpoint,
+	// WarmCheckpoints converged snapshots were captured, and WarmAudited
+	// warm-startable hosts were cold-re-run to measure warm-start error
+	// (WarmAuditMaxErr the largest observed, WarmAuditOverTol how many
+	// exceeded the router's tolerance).
+	AnchorLoaded     uint64
+	AnchorPersisted  uint64
+	WarmStarted      uint64
+	WarmCheckpoints  uint64
+	WarmAudited      uint64
+	WarmAuditOverTol uint64
+	WarmAuditMaxErr  float64
 }
 
 // aggregator folds points into Stats one at a time — the online path

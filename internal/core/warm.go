@@ -1,0 +1,119 @@
+package core
+
+import (
+	"hic/internal/host"
+	"hic/internal/obs"
+	"hic/internal/runner"
+	"hic/internal/sim"
+)
+
+// Warm-start entry points: the steady-state checkpointing half of the
+// cross-run warm-start layer. A converged run's slow state (CC windows,
+// IOTLB working set, memory demand EWMA — see host.Snapshot) is
+// captured after a cold run and persisted by internal/fidelity; a later
+// run of a nearby scenario in the same calibration signature primes a
+// fresh testbed with that snapshot and replays only a short
+// re-convergence guard window instead of the full warmup ramp.
+//
+// Warm-started results are approximate and must never be stored under
+// the pure-DES cache salt; internal/fidelity derives a distinct
+// "+warm(...)" version for them and audits a deterministic fraction
+// against cold DES.
+
+// DefaultWarmGuard returns the guard window for a warm start of p: a
+// quarter of the configured warmup, floored at one millisecond (and
+// never longer than the warmup it replaces). Long enough for the NIC
+// buffer, PCIe credits, and pacing to re-establish around the primed
+// slow state; short enough to keep the ramp saving that motivates warm
+// starts.
+func DefaultWarmGuard(p Params) sim.Duration {
+	p.normalizeWindows()
+	g := p.Warmup / 4
+	if g < sim.Millisecond {
+		g = sim.Millisecond
+	}
+	if g > p.Warmup {
+		g = p.Warmup
+	}
+	return AlignWarmGuard(p, g)
+}
+
+// AlignWarmGuard rounds guard up to a whole number of burst periods for
+// duty-cycled workloads, floored at one full period. The burst gate
+// fires on period boundaries from t=0 and the first period runs
+// ungated, so a sub-periodic guard starts measurement mid-period and
+// folds part of that continuous-transmission phase into a duty-cycled
+// window — inflating throughput 2× and more. Non-bursty configs pass
+// through unchanged.
+func AlignWarmGuard(p Params, g sim.Duration) sim.Duration {
+	p.normalizeWindows()
+	if p.BurstDuty <= 0 || p.BurstPeriod <= 0 {
+		return g
+	}
+	periods := (g + p.BurstPeriod - 1) / p.BurstPeriod
+	if periods < 1 {
+		periods = 1
+	}
+	return periods * p.BurstPeriod
+}
+
+// RunAndSnapshotOn is RunOn plus a steady-state capture of the testbed
+// after the measurement window — the checkpoint-producing cold run.
+func RunAndSnapshotOn(p Params, a *runner.Arena) (Results, host.Snapshot, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
+	if err != nil {
+		return Results{}, host.Snapshot{}, err
+	}
+	res := tb.Run(p.Warmup, p.Measure)
+	snap := tb.Snapshot()
+	if s := obs.Default(); s != nil {
+		s.RunMetrics(tb.Registry.Snapshot())
+	}
+	return res, snap, nil
+}
+
+// RunAdaptiveAndSnapshotOn is RunAdaptiveOn plus a steady-state capture.
+// An early-stopped run is still a valid donor: termination requires the
+// convergence test to pass, so the captured state is converged by
+// construction.
+func RunAdaptiveAndSnapshotOn(p Params, a *runner.Arena, rule host.StopRule) (Results, host.Snapshot, bool, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
+	if err != nil {
+		return Results{}, host.Snapshot{}, false, err
+	}
+	res, stopped := tb.RunAdaptive(p.Warmup, p.Measure, rule.Fit(p.Measure))
+	return res, tb.Snapshot(), stopped, nil
+}
+
+// RunWarmOn runs p warm-started from a donor snapshot: a fresh testbed
+// is built for p, primed with snap, and run with the guard window in
+// place of the full warmup.
+func RunWarmOn(p Params, snap host.Snapshot, guard sim.Duration, a *runner.Arena) (Results, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
+	if err != nil {
+		return Results{}, err
+	}
+	tb.Prime(snap)
+	res := tb.Run(guard, p.Measure)
+	if s := obs.Default(); s != nil {
+		s.RunMetrics(tb.Registry.Snapshot())
+	}
+	return res, nil
+}
+
+// RunWarmAdaptiveOn is RunWarmOn with steady-state early termination,
+// and additionally captures the warm run's own snapshot so a warm chain
+// keeps producing donors.
+func RunWarmAdaptiveOn(p Params, snap host.Snapshot, guard sim.Duration, a *runner.Arena, rule host.StopRule) (Results, host.Snapshot, bool, error) {
+	p.normalizeWindows()
+	tb, err := p.BuildOn(a)
+	if err != nil {
+		return Results{}, host.Snapshot{}, false, err
+	}
+	tb.Prime(snap)
+	res, stopped := tb.RunAdaptive(guard, p.Measure, rule.Fit(p.Measure))
+	return res, tb.Snapshot(), stopped, nil
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"hic/internal/sim"
+)
+
+func TestAlignWarmGuard(t *testing.T) {
+	p := DefaultParams(4)
+	if got := AlignWarmGuard(p, 3*sim.Millisecond); got != 3*sim.Millisecond {
+		t.Errorf("non-bursty guard changed: %v", got)
+	}
+	p.BurstDuty, p.BurstPeriod = 0.2, 2*sim.Millisecond
+	cases := []struct{ in, want sim.Duration }{
+		{0, 2 * sim.Millisecond},
+		{sim.Millisecond, 2 * sim.Millisecond},
+		{2 * sim.Millisecond, 2 * sim.Millisecond},
+		{2*sim.Millisecond + 1, 4 * sim.Millisecond},
+	}
+	for _, c := range cases {
+		if got := AlignWarmGuard(p, c.in); got != c.want {
+			t.Errorf("AlignWarmGuard(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if g := DefaultWarmGuard(p); g <= 0 || g%p.BurstPeriod != 0 {
+		t.Errorf("DefaultWarmGuard(bursty) = %v, want positive whole number of burst periods", g)
+	}
+}

@@ -35,11 +35,22 @@ const (
 // (tier, seed): anchor coordinates are drawn from the caller's seed
 // pool, so these are real fleet/sweep points and any DES-routed point
 // that coincides with one is served from here instead of re-simulated.
+// loaded, ckpts, ckptNew, and ckptCoords belong to the persistent
+// warm-start layer (persist.go/warm.go): loaded latches the one-time
+// warm-store consultation; ckpts are donor checkpoints loaded from
+// disk (the only ones warm starts draw from); ckptNew are checkpoints
+// this process captured (persisted for future runs, never self-served);
+// ckptCoords indexes both to dedupe captures.
 type sigCalib struct {
 	mu      sync.Mutex
 	anchors map[int]*anchorPoint
 	noise   map[int]float64
 	des     map[anchorCoord]core.Results
+
+	loaded     bool
+	ckpts      []persistedCkpt
+	ckptNew    []persistedCkpt
+	ckptCoords map[anchorCoord]bool
 }
 
 // anchorCoord addresses one calibration DES run.
@@ -71,9 +82,10 @@ func (r *Router) sigFor(p core.Params) *sigCalib {
 	s := r.sigs[key]
 	if s == nil {
 		s = &sigCalib{
-			anchors: make(map[int]*anchorPoint),
-			noise:   make(map[int]float64),
-			des:     make(map[anchorCoord]core.Results),
+			anchors:    make(map[int]*anchorPoint),
+			noise:      make(map[int]float64),
+			des:        make(map[anchorCoord]core.Results),
+			ckptCoords: make(map[anchorCoord]bool),
 		}
 		r.sigs[key] = s
 	}
@@ -137,6 +149,7 @@ func (r *Router) ensureAnchor(s *sigCalib, p core.Params, ant int) (*anchorPoint
 	}
 	s.anchors[ant] = a
 	s.des[anchorCoord{ant, ap.Seed}] = des
+	r.saveCalib(s, p, 1)
 	return a, nil
 }
 
@@ -169,6 +182,7 @@ func (r *Router) ensureNoise(s *sigCalib, p core.Params, ant int) (float64, erro
 	s.des[anchorCoord{ant, ap.Seed}] = other
 	n := observedError(a.des, other)
 	s.noise[ant] = n
+	r.saveCalib(s, p, 1)
 	return n, nil
 }
 
@@ -207,6 +221,7 @@ func (r *Router) memoizedAnchor(p core.Params) (core.Results, bool) {
 	s := r.sigFor(p)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	r.loadSig(s, p)
 	if des, ok := s.des[anchorCoord{p.AntagonistCores, p.Seed}]; ok {
 		return des, true
 	}
@@ -234,6 +249,7 @@ func (r *Router) calibrate(p core.Params, pred fluid.Prediction) (adj core.Resul
 	s := r.sigFor(p)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	r.loadSig(s, p)
 
 	var gain, dropOff float64
 	if exact {

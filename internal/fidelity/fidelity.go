@@ -75,6 +75,7 @@ import (
 	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/runner"
+	"hic/internal/sim"
 )
 
 // Mode selects the execution strategy.
@@ -134,6 +135,24 @@ type Config struct {
 	// empty = {0, 4, 8, 12, 15} — denser toward the high tiers, where the
 	// gain curve bends).
 	AnchorAnts []int
+	// Warm selects cross-run warm start ("" = WarmOff): WarmCalib
+	// persists calibration state (anchors, noise tiers, calibration DES
+	// runs) to WarmStore and reloads it on a signature's first touch in
+	// a later process; WarmFull additionally checkpoints every cold
+	// DES-routed run's converged state and warm-starts later DES points
+	// from the nearest persisted donor (see warm.go).
+	Warm WarmMode
+	// WarmStore is the persistent warm-start store (a second
+	// content-addressed runcache namespace, normally a separate
+	// directory from Cache). Required when Warm != WarmOff.
+	WarmStore *runcache.Store
+	// WarmAuditRate cold-re-runs this deterministic fraction of
+	// warm-startable points to bound warm-start error (0 = off; audited
+	// points return the exact cold result).
+	WarmAuditRate float64
+	// WarmGuard overrides the re-convergence window a warm start
+	// replays (0 = core.DefaultWarmGuard: warmup/4, floored at 1 ms).
+	WarmGuard sim.Duration
 	// Log, when non-nil, receives one-line routing diagnostics.
 	Log io.Writer
 	// Sink, when non-nil, receives structured routing and audit events;
@@ -167,6 +186,23 @@ type Counters struct {
 	Audited      uint64
 	AuditOverTol uint64
 	AuditMaxErr  float64
+	// AnchorLoaded counts anchors and noise tiers served from the
+	// persistent warm store instead of being simulated;
+	// AnchorPersisted counts the ones this process computed and wrote
+	// back.
+	AnchorLoaded    uint64
+	AnchorPersisted uint64
+	// WarmCheckpoints counts converged snapshots captured and
+	// persisted; WarmStarted counts DES points warm-started from a
+	// persisted donor checkpoint.
+	WarmCheckpoints uint64
+	WarmStarted     uint64
+	// WarmAudited counts warm-vs-cold audit comparisons performed;
+	// WarmAuditMaxErr is the largest observed warm-start error and
+	// WarmAuditOverTol how many audited warm starts exceeded Tol.
+	WarmAudited      uint64
+	WarmAuditOverTol uint64
+	WarmAuditMaxErr  float64
 }
 
 // Router implements core.Executor. It is safe for concurrent use by
@@ -195,6 +231,14 @@ type Router struct {
 	audited      atomic.Uint64
 	auditOverTol atomic.Uint64
 	auditMaxErr  atomicFloatMax
+
+	anchorLoaded     atomic.Uint64
+	anchorPersisted  atomic.Uint64
+	warmCheckpoints  atomic.Uint64
+	warmStarted      atomic.Uint64
+	warmAudited      atomic.Uint64
+	warmAuditOverTol atomic.Uint64
+	warmAuditMaxErr  atomicFloatMax
 }
 
 // New validates cfg and builds a Router.
@@ -210,6 +254,18 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.AuditRate < 0 || cfg.AuditRate > 1 {
 		return nil, fmt.Errorf("fidelity: AuditRate %v outside [0, 1]", cfg.AuditRate)
+	}
+	if cfg.Warm == "" {
+		cfg.Warm = WarmOff
+	}
+	if _, err := ParseWarmMode(string(cfg.Warm)); err != nil {
+		return nil, err
+	}
+	if cfg.Warm != WarmOff && cfg.WarmStore == nil {
+		return nil, fmt.Errorf("fidelity: Warm %q requires a WarmStore", cfg.Warm)
+	}
+	if cfg.WarmAuditRate < 0 || cfg.WarmAuditRate > 1 {
+		return nil, fmt.Errorf("fidelity: WarmAuditRate %v outside [0, 1]", cfg.WarmAuditRate)
 	}
 	if len(cfg.AnchorSeeds) == 0 {
 		cfg.AnchorSeeds = []uint64{1, 2}
@@ -254,6 +310,14 @@ func (r *Router) Counters() Counters {
 		Audited:      r.audited.Load(),
 		AuditOverTol: r.auditOverTol.Load(),
 		AuditMaxErr:  r.auditMaxErr.Load(),
+
+		AnchorLoaded:     r.anchorLoaded.Load(),
+		AnchorPersisted:  r.anchorPersisted.Load(),
+		WarmCheckpoints:  r.warmCheckpoints.Load(),
+		WarmStarted:      r.warmStarted.Load(),
+		WarmAudited:      r.warmAudited.Load(),
+		WarmAuditOverTol: r.warmAuditOverTol.Load(),
+		WarmAuditMaxErr:  r.warmAuditMaxErr.Load(),
 	}
 	if r.estop != nil {
 		c.EarlyStopped = r.estop.Stopped.Load()
@@ -278,7 +342,19 @@ func (r *Router) MetricsInto(emit func(name, typ string, v float64)) {
 	emit("hic_fidelity_audit_over_tol_total", "counter", float64(c.AuditOverTol))
 	emit("hic_fidelity_audit_max_err", "gauge", c.AuditMaxErr)
 	emit("hic_fidelity_tol", "gauge", r.tol)
+	emit("hic_fidelity_anchor_loaded_total", "counter", float64(c.AnchorLoaded))
+	emit("hic_fidelity_anchor_persisted_total", "counter", float64(c.AnchorPersisted))
+	emit("hic_fidelity_warm_checkpoints_total", "counter", float64(c.WarmCheckpoints))
+	emit("hic_fidelity_warm_started_total", "counter", float64(c.WarmStarted))
+	emit("hic_fidelity_warm_audited_total", "counter", float64(c.WarmAudited))
+	emit("hic_fidelity_warm_audit_over_tol_total", "counter", float64(c.WarmAuditOverTol))
+	emit("hic_fidelity_warm_audit_max_err", "gauge", c.WarmAuditMaxErr)
 }
+
+// WarmStore exposes the persistent warm-start store (nil when warm
+// start is off) so CLIs can register it as a metrics source and prune
+// it alongside the result cache.
+func (r *Router) WarmStore() *runcache.Store { return r.cfg.WarmStore }
 
 // emit delivers a structured event to the configured sink, falling
 // back to the process-global one; no sink installed costs a nil check.
@@ -336,18 +412,48 @@ func (r *Router) Plan(p core.Params) (string, func(*runner.Arena) (core.Results,
 // desPlan routes to DES, with early stopping when configured. The run
 // executes under the router's singleflight so it can collapse with a
 // calibration anchor at the same coordinates racing on another worker.
+// Under WarmFull, a persisted donor checkpoint diverts the point to a
+// warm start first; a point that runs cold donates its own converged
+// snapshot for future processes.
 func (r *Router) desPlan(p core.Params, why string) (string, func(*runner.Arena) (core.Results, error), error) {
+	if version, run, ok, err := r.warmPlan(p, why); ok || err != nil {
+		return version, run, err
+	}
 	r.logf("fidelity: DES %s ant=%d%s", sigLabel(p), p.AntagonistCores, reason(why))
 	r.emitRoute(p, "des", why)
 	version := core.SimVersion
 	var run func(*runner.Arena) (core.Results, error)
-	if r.estop != nil {
+	switch {
+	case r.warmFullOn() && r.estop != nil:
+		version = r.estop.Version()
+		run = func(a *runner.Arena) (core.Results, error) {
+			res, snap, stopped, err := core.RunAdaptiveAndSnapshotOn(p, a, r.estop.Rule)
+			if err != nil {
+				return core.Results{}, err
+			}
+			if stopped {
+				r.estop.Stopped.Add(1)
+				r.emit(obs.Event{Kind: obs.KindEarlyStop, Key: p.Canonical()})
+			}
+			r.recordCkpt(p, snap)
+			return res, nil
+		}
+	case r.warmFullOn():
+		run = func(a *runner.Arena) (core.Results, error) {
+			res, snap, err := core.RunAndSnapshotOn(p, a)
+			if err != nil {
+				return core.Results{}, err
+			}
+			r.recordCkpt(p, snap)
+			return res, nil
+		}
+	case r.estop != nil:
 		var err error
 		version, run, err = r.estop.Plan(p)
 		if err != nil {
 			return "", nil, err
 		}
-	} else {
+	default:
 		run = func(a *runner.Arena) (core.Results, error) { return core.RunOn(p, a) }
 	}
 	if r.cfg.Cache != nil {

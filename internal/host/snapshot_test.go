@@ -1,0 +1,140 @@
+package host
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"hic/internal/sim"
+)
+
+// TestSnapshotCapturesConvergedState runs a testbed to steady state and
+// checks the snapshot holds the restorable pieces: per-connection CC
+// state, the memory demand estimate, and the engine RNG stream.
+func TestSnapshotCapturesConvergedState(t *testing.T) {
+	cfg := swiftConfig(4)
+	cfg.Senders = 8
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Run(2*sim.Millisecond, 5*sim.Millisecond)
+	if res.Goodput == 0 {
+		t.Fatal("no goodput; snapshot would capture an idle run")
+	}
+	s := tb.Snapshot()
+	if len(s.Conns) != len(tb.Conns) {
+		t.Fatalf("snapshot has %d conns, testbed %d", len(s.Conns), len(tb.Conns))
+	}
+	primed := 0
+	for i, ws := range s.Conns {
+		if ws.Cwnd > 0 {
+			primed++
+		}
+		if ws.SRTT <= 0 {
+			t.Errorf("conn %d: SRTT %v not positive after a loaded run", i, ws.SRTT)
+		}
+	}
+	if primed == 0 {
+		t.Error("no connection captured a positive cwnd")
+	}
+	if s.MemIOOffered <= 0 {
+		t.Error("memory IO demand estimate not captured")
+	}
+	if s.Engine.RNG == ([4]uint64{}) {
+		t.Error("engine RNG state all zero")
+	}
+	if s.Engine.Now <= 0 {
+		t.Error("engine time not captured")
+	}
+}
+
+// TestSnapshotRoundTripsThroughJSON pins serializability: the snapshot
+// must survive the content-addressed store's JSON encoding unchanged.
+func TestSnapshotRoundTripsThroughJSON(t *testing.T) {
+	cfg := swiftConfig(2)
+	cfg.Senders = 4
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(sim.Millisecond, 2*sim.Millisecond)
+	s := tb.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("snapshot did not round-trip:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+// TestPrimeWarmStartApproximatesCold is the warm-start fidelity
+// property at the host layer: a sibling scenario primed from a
+// converged donor and run with a quarter-length guard window lands
+// close to its own cold full-warmup result.
+func TestPrimeWarmStartApproximatesCold(t *testing.T) {
+	build := func(seed uint64) *Testbed {
+		cfg := swiftConfig(4)
+		cfg.Senders = 8
+		cfg.Seed = seed
+		tb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	const warmup, measure = 4 * sim.Millisecond, 6 * sim.Millisecond
+
+	donor := build(1)
+	donor.Run(warmup, measure)
+	snap := donor.Snapshot()
+
+	cold := build(2).Run(warmup, measure)
+
+	warmTb := build(2)
+	warmTb.Prime(snap)
+	warm := warmTb.Run(warmup/4, measure)
+
+	if warm.Goodput == 0 {
+		t.Fatal("warm-started run produced no goodput")
+	}
+	rel := (warm.AppThroughputGbps - cold.AppThroughputGbps) / cold.AppThroughputGbps
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.1 {
+		t.Errorf("warm-started throughput %.2f Gbps deviates %.1f%% from cold %.2f Gbps",
+			warm.AppThroughputGbps, rel*100, cold.AppThroughputGbps)
+	}
+}
+
+// TestPrimeAfterStartIsNoOp pins the guard: live state must never be
+// overwritten mid-run.
+func TestPrimeAfterStartIsNoOp(t *testing.T) {
+	cfg := swiftConfig(2)
+	cfg.Senders = 4
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := tb.Run(sim.Millisecond, 2*sim.Millisecond)
+	snap := tb.Snapshot()
+
+	tb2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := tb2.Run(sim.Millisecond, 2*sim.Millisecond)
+	tb2.Prime(snap) // started: must change nothing
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatal("determinism broken independent of Prime; test invalid")
+	}
+	if !reflect.DeepEqual(tb2.Snapshot().Conns, snap.Conns) {
+		t.Error("Prime on a started testbed mutated connection state")
+	}
+}

@@ -368,6 +368,41 @@ func New(engine *sim.Engine, memory *mem.Controller, reg *metrics.Registry, cfg 
 // Enabled reports whether translation is active.
 func (u *IOMMU) Enabled() bool { return u.cfg.Enabled }
 
+// ResidentKeys returns the IOTLB's resident translation keys in
+// deterministic order: sets ascending, within each set least-recently
+// used first, so that PrimeKeys replaying the slice reproduces the
+// donor's exact LRU stack. It is the IOMMU half of a steady-state
+// checkpoint — the working set a converged run has pulled into the
+// IOTLB, which a cold start re-faults over the whole ramp. Returns nil
+// when translation is disabled.
+func (u *IOMMU) ResidentKeys() []uint64 {
+	if u.iotlb == nil {
+		return nil
+	}
+	var keys []uint64
+	for _, s := range u.iotlb.sets {
+		for i := len(s) - 1; i >= 0; i-- {
+			keys = append(keys, uint64(s[i]))
+		}
+	}
+	return keys
+}
+
+// PrimeKeys seeds the IOTLB with a donor run's resident keys before the
+// warm-started run begins. Inserts bypass the hit/miss counters and pay
+// no walk latency — the donor run already paid for these translations.
+// Keys whose set has filled simply evict LRU entries like any insert,
+// so a donor captured under a different TLB geometry still primes
+// safely. No-op when translation is disabled.
+func (u *IOMMU) PrimeKeys(keys []uint64) {
+	if u.iotlb == nil {
+		return
+	}
+	for _, k := range keys {
+		u.iotlb.insert(tlbKey(k))
+	}
+}
+
 // missEWMAAlpha weights the recent-miss estimator: ~128 translations of
 // memory, i.e. a few tens of packets at ~5 translations each — long
 // enough to smooth per-packet noise, short enough to track the onset of

@@ -268,6 +268,24 @@ func (c *Controller) AccessLatency() sim.Duration {
 // LoadFactor returns the current latency multiplier (≥1).
 func (c *Controller) LoadFactor() float64 { return c.loadFactor }
 
+// IOOffered returns the smoothed IO offered-load estimate (bytes/s) —
+// the memory controller's slow state, captured into steady-state
+// checkpoints so a warm start begins at the donor's converged demand
+// estimate instead of re-learning it over many EWMA epochs.
+func (c *Controller) IOOffered() float64 { return c.ioOffered }
+
+// PrimeIOOffered seeds the smoothed IO offered-load estimate from a
+// donor run and recomputes the bandwidth allocation, so the first
+// accesses of a warm-started run already pay converged contention
+// latency. Negative values are ignored.
+func (c *Controller) PrimeIOOffered(bytesPerSecond float64) {
+	if bytesPerSecond < 0 {
+		return
+	}
+	c.ioOffered = bytesPerSecond
+	c.recompute()
+}
+
 // QueueDelay returns the current backlog of the IO virtual server: how
 // long a request issued now would wait before its transfer begins. Spans
 // annotate their memory stages with it, and drop attribution reads it as

@@ -531,6 +531,30 @@ func (n *NIC) DropsByFlow() map[uint32]uint64 {
 // BufferUsed returns the current input-buffer occupancy in bytes.
 func (n *NIC) BufferUsed() int { return n.bufferUsed }
 
+// WarmState is the NIC's contribution to a steady-state checkpoint.
+// Buffered packets are live pkt.Packet objects and cannot be fabricated
+// into a fresh run, so occupancy is record-only — it documents how full
+// the donor's buffer ran (useful for checkpoint provenance) and
+// re-establishes itself within a few RTTs of the warm guard window. The
+// round-robin service cursor is the one piece that is restored.
+type WarmState struct {
+	BufferBytes int `json:"buffer_bytes"`
+	RRNext      int `json:"rr_next"`
+}
+
+// WarmState captures the NIC's datapath occupancy for a checkpoint.
+func (n *NIC) WarmState() WarmState {
+	return WarmState{BufferBytes: n.bufferUsed, RRNext: n.rrNext}
+}
+
+// Prime restores the restorable part of a donor WarmState (the
+// round-robin cursor) before the warm-started run begins.
+func (n *NIC) Prime(ws WarmState) {
+	if len(n.buffers) > 0 && ws.RRNext >= 0 {
+		n.rrNext = ws.RRNext % len(n.buffers)
+	}
+}
+
 // Drops returns the cumulative tail-drop count — Stats().Drops without
 // assembling the full snapshot, for callers (the observatory sampler)
 // that poll it every few sim-microseconds.

@@ -53,6 +53,12 @@ const (
 	KindAuditResult   = "audit_result"
 	KindEarlyStop     = "early_stop"
 	KindWarning       = "warning"
+	// KindWarmStart is a DES point warm-started from a persisted
+	// steady-state checkpoint (internal/fidelity): Key is the
+	// calibration-signature label, Point the antagonist tier, Why the
+	// donor coordinates. Warm-start audit results reuse KindAuditResult
+	// with Route "warm".
+	KindWarmStart = "warm_start"
 	// KindIncident is a sim-time congestion episode detected by the
 	// observatory (internal/observatory): Point is the host index, Key
 	// its catalog cell, Why the attributed cause, Value the peak NIC

@@ -231,6 +231,23 @@ func (l *Link) CreditOccupancy() float64 {
 // QueuedWaiters returns how many acquirers are blocked on credits.
 func (l *Link) QueuedWaiters() int { return len(l.waiters) }
 
+// WarmState is the link's contribution to a steady-state checkpoint.
+// Credits are held by in-flight DMA chains whose continuations are Go
+// closures, so nothing here can be restored into a fresh run — the
+// credit pool refills within microseconds once the warm-started
+// datapath flows. The snapshot is record-only: it documents how deep
+// the donor ran into the posted-write credit pool (checkpoint
+// provenance, donor scoring).
+type WarmState struct {
+	InFlightBytes int `json:"in_flight_bytes"`
+	QueuedWaiters int `json:"queued_waiters"`
+}
+
+// WarmState captures the link's credit occupancy for a checkpoint.
+func (l *Link) WarmState() WarmState {
+	return WarmState{InFlightBytes: l.InFlightBytes(), QueuedWaiters: l.QueuedWaiters()}
+}
+
 // OldestWaiterAge returns how long the head credit waiter has been
 // blocked, or zero when credits are flowing. A sustained positive age is
 // the Little's-law backpressure signal: downstream latency is holding

@@ -1,0 +1,149 @@
+package runcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Blob namespace: a second content-addressed entry kind for warm state
+// that is not a host.Results — persisted fidelity calibrations (anchors,
+// noise tiers, gain/drop-offset corrections) and converged DES
+// checkpoints. Blob entries share the store directory and the Key
+// scheme, but carry an arbitrary JSON payload and record their own
+// version salt, so a blob can never satisfy a result lookup or vice
+// versa: result lookups decode the `results` field, blob lookups the
+// `blob` field, and the two kinds are salted with disjoint version
+// strings (result salts start with core.SimVersion, blob salts with a
+// "hic-calib-"/"hic-ckpt-" family prefix).
+//
+// Blobs have no in-memory write-through layer: callers (fidelity.Router)
+// already keep their own per-signature in-memory state and touch the
+// store once per signature per process.
+
+// blobEntry is the on-disk format of the second namespace.
+type blobEntry struct {
+	Version   string          `json:"version"`
+	Canonical string          `json:"canonical"`
+	Blob      json.RawMessage `json:"blob"`
+}
+
+// GetBlob decodes the blob stored under key into out. Like Get, any
+// missing, corrupt, or version/canonical-mismatched entry is a miss;
+// corrupt files are deleted and counted.
+func (s *Store) GetBlob(key, version, canonical string, out any) bool {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	var e blobEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		s.dropCorrupt(key)
+		return false
+	}
+	if e.Version != version || e.Canonical != canonical || e.Blob == nil {
+		s.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(e.Blob, out); err != nil {
+		s.dropCorrupt(key)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// PutBlob stores v (JSON-encoded) under key, atomically like Put.
+func (s *Store) PutBlob(key, version, canonical string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runcache: encoding blob: %w", err)
+	}
+	data, err := json.MarshalIndent(blobEntry{Version: version, Canonical: canonical, Blob: raw}, "", " ")
+	if err != nil {
+		return fmt.Errorf("runcache: encoding blob entry: %w", err)
+	}
+	return s.writeAtomic(key, data)
+}
+
+// writeAtomic writes data to the entry file for key via temp file +
+// rename, shared by Put and PutBlob.
+func (s *Store) writeAtomic(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Prune deletes the oldest entries (by modification time) until the
+// store's total entry size is at most maxBytes. It returns how many
+// entries were removed and how many bytes were freed. A persistent
+// cache, calibration, or checkpoint directory shared across many runs
+// is bounded by calling Prune at process start (-cache-max-mb); the
+// mtime order makes it an LRU over write time, which tracks use well
+// enough because hot entries are re-written only when recomputed.
+func (s *Store) Prune(maxBytes int64) (removed int, freed int64, err error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	type fileInfo struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var files []fileInfo
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent delete
+		}
+		files = append(files, fileInfo{de.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if total <= maxBytes {
+		return 0, 0, nil
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mtime != files[j].mtime {
+			return files[i].mtime < files[j].mtime
+		}
+		return files[i].name < files[j].name
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(s.dir, f.name)); err != nil {
+			continue
+		}
+		delete(s.mem, f.name[:len(f.name)-len(".json")])
+		total -= f.size
+		freed += f.size
+		removed++
+	}
+	return removed, freed, nil
+}

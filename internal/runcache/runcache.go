@@ -69,8 +69,9 @@ type Store struct {
 	mu  sync.Mutex
 	mem map[string]host.Results // write-through in-memory layer
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
 
 	// flight collapses concurrent computations of one key into a single
 	// simulation; its memo layer is disabled because mem above already
@@ -112,8 +113,16 @@ func (s *Store) Get(key, version, canonical string) (host.Results, bool) {
 		return host.Results{}, false
 	}
 	var e entry
-	if err := json.Unmarshal(data, &e); err != nil ||
-		e.Version != version || e.Canonical != canonical {
+	if err := json.Unmarshal(data, &e); err != nil {
+		// Corrupt or truncated entry (interrupted write on a filesystem
+		// without atomic rename, disk trouble, manual tampering): delete
+		// it so the recomputed result can be stored cleanly, and count it
+		// separately from ordinary misses so a rotting cache directory is
+		// visible in -v output and on /metrics.
+		s.dropCorrupt(key)
+		return host.Results{}, false
+	}
+	if e.Version != version || e.Canonical != canonical {
 		s.misses.Add(1)
 		return host.Results{}, false
 	}
@@ -122,6 +131,29 @@ func (s *Store) Get(key, version, canonical string) (host.Results, bool) {
 	s.mu.Unlock()
 	s.hits.Add(1)
 	return e.Results, true
+}
+
+// Contains reports whether a valid entry for key exists, without
+// counting a hit or a miss — a pure peek for callers (the fidelity
+// warm-start planner) that only need to know whether the exact result
+// is already paid for, and must not skew the lookup accounting of the
+// run that follows.
+func (s *Store) Contains(key, version, canonical string) bool {
+	s.mu.Lock()
+	if _, ok := s.mem[key]; ok {
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return false
+	}
+	return e.Version == version && e.Canonical == canonical
 }
 
 // Put stores results under key. The write is atomic (temp file + rename)
@@ -178,16 +210,31 @@ func (s *Store) GetOrCompute(key, version, canonical string, compute func() (hos
 	})
 }
 
+// dropCorrupt removes an undecodable entry file and records the event.
+// A corrupt entry counts as a miss too, so hit+miss totals still add up
+// to lookups.
+func (s *Store) dropCorrupt(key string) {
+	os.Remove(s.path(key))
+	s.corrupt.Add(1)
+	s.misses.Add(1)
+}
+
 // Hits returns how many lookups were served from the cache.
 func (s *Store) Hits() uint64 { return s.hits.Load() }
 
 // Misses returns how many lookups fell through to a simulation run.
 func (s *Store) Misses() uint64 { return s.misses.Load() }
 
+// Corrupt returns how many undecodable entries were found and deleted.
+func (s *Store) Corrupt() uint64 { return s.corrupt.Load() }
+
 // Stats is the counter bundle the cmd/ tools print with -v.
 type Stats struct {
 	// Hits and Misses count store lookups (memory layer + disk).
 	Hits, Misses uint64
+	// Corrupt counts undecodable entries found during lookups; each was
+	// deleted and also counted as a miss.
+	Corrupt uint64
 	// Collapses counts simulations avoided by in-process singleflight:
 	// GetOrCompute calls that shared another caller's in-flight run.
 	Collapses uint64
@@ -195,7 +242,7 @@ type Stats struct {
 
 // Stats returns the store's lookup and singleflight counters.
 func (s *Store) Stats() Stats {
-	return Stats{Hits: s.Hits(), Misses: s.Misses(), Collapses: s.flight.Collapses()}
+	return Stats{Hits: s.Hits(), Misses: s.Misses(), Corrupt: s.Corrupt(), Collapses: s.flight.Collapses()}
 }
 
 // MetricsInto implements the control plane's MetricSource interface:
@@ -206,15 +253,20 @@ func (s *Store) MetricsInto(emit func(name, typ string, v float64)) {
 	emit("hic_runcache_hits_total", "counter", float64(st.Hits))
 	emit("hic_runcache_misses_total", "counter", float64(st.Misses))
 	emit("hic_runcache_collapses_total", "counter", float64(st.Collapses))
+	emit("hic_runcache_corrupt_total", "counter", float64(st.Corrupt))
 }
 
 // Summary renders the stats on one line for the cmd/ tools' logs.
 func (s *Store) Summary() string {
 	st := s.Stats()
-	if st.Collapses == 0 {
-		return fmt.Sprintf("%d hits, %d misses", st.Hits, st.Misses)
+	out := fmt.Sprintf("%d hits, %d misses", st.Hits, st.Misses)
+	if st.Collapses > 0 {
+		out += fmt.Sprintf(", %d singleflight collapses", st.Collapses)
 	}
-	return fmt.Sprintf("%d hits, %d misses, %d singleflight collapses", st.Hits, st.Misses, st.Collapses)
+	if st.Corrupt > 0 {
+		out += fmt.Sprintf(", %d corrupt entries dropped", st.Corrupt)
+	}
+	return out
 }
 
 // Len reports how many entries the store directory currently holds.

@@ -247,6 +247,34 @@ func (e *Engine) Reset(seed uint64) {
 	e.rng.Seed(seed)
 }
 
+// EngineState is a serializable fingerprint of the engine at a point in
+// simulated time: the clock, event accounting, and the full RNG state.
+// It is the sim-layer half of a steady-state checkpoint. The event
+// queue itself holds Go closures and cannot be serialized, so a
+// checkpoint restore rebuilds the event population from primed
+// component state rather than from the queue; EngineState records where
+// the donor run stood (for checkpoint provenance and cache salting) and
+// carries the RNG stream a warm start resumes from.
+type EngineState struct {
+	Now       Time      `json:"now"`
+	Processed uint64    `json:"processed"`
+	Pending   int       `json:"pending"`
+	RNG       [4]uint64 `json:"rng"`
+}
+
+// State captures the engine's current clock, event counts, and RNG
+// state. See EngineState for what a capture does and does not include.
+func (e *Engine) State() EngineState {
+	return EngineState{Now: e.now, Processed: e.processed, Pending: e.queue.len(), RNG: e.rng.State()}
+}
+
+// PrimeRNG replaces the engine's RNG state with one captured from a
+// donor run's State. Only the random stream is restored — the clock and
+// queue are deliberately untouched, because a warm start replays a
+// short guard window on a freshly built host rather than resuming the
+// donor's event queue.
+func (e *Engine) PrimeRNG(s [4]uint64) { e.rng.SetState(s) }
+
 // At schedules fn to run at absolute time at. Scheduling into the past
 // panics: it always indicates a component bug.
 func (e *Engine) At(at Time, fn func()) EventID {

@@ -124,3 +124,20 @@ func (r *RNG) Jitter(d Duration, frac float64) Duration {
 func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64())
 }
+
+// State returns the generator's full internal state. Together with
+// SetState it lets a warm-started simulation resume the exact stream a
+// converged donor run left off at, so checkpoint restores stay
+// deterministic across process invocations.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. An all-zero
+// state would wedge xoshiro256** (it is the one fixed point), so it is
+// replaced by a fresh Seed(0) expansion.
+func (r *RNG) SetState(s [4]uint64) {
+	if s == ([4]uint64{}) {
+		r.Seed(0)
+		return
+	}
+	r.s = s
+}

@@ -78,6 +78,13 @@ func (d *DCTCP) Name() string { return "dctcp" }
 // Cwnd implements transport.CongestionControl.
 func (d *DCTCP) Cwnd() float64 { return d.cwnd }
 
+// SetCwnd implements transport.CwndPrimer: it seeds the window from a
+// converged donor run on warm start. The configured clamps still apply.
+func (d *DCTCP) SetCwnd(cwnd float64) {
+	d.cwnd = cwnd
+	d.clamp()
+}
+
 // Alpha returns the current marked-fraction estimate.
 func (d *DCTCP) Alpha() float64 { return d.alpha }
 

@@ -111,6 +111,13 @@ func (s *Swift) Name() string { return "swift" }
 // Cwnd implements transport.CongestionControl.
 func (s *Swift) Cwnd() float64 { return s.cwnd }
 
+// SetCwnd implements transport.CwndPrimer: it seeds the window from a
+// converged donor run on warm start. The configured clamps still apply.
+func (s *Swift) SetCwnd(cwnd float64) {
+	s.cwnd = cwnd
+	s.clamp()
+}
+
 func (s *Swift) clamp() {
 	if s.cwnd < s.cfg.MinCwnd {
 		s.cwnd = s.cfg.MinCwnd

@@ -211,6 +211,44 @@ func (c *Conn) SRTT() sim.Duration { return c.srtt }
 // InflightPackets returns the current outstanding packet count.
 func (c *Conn) InflightPackets() int { return len(c.inflight) }
 
+// WarmState is a connection's serializable congestion state — the part
+// of steady state that takes many RTTs to re-learn on a cold start and
+// therefore dominates the ramp a warm-started simulation skips.
+type WarmState struct {
+	Cwnd float64      `json:"cwnd"`
+	SRTT sim.Duration `json:"srtt"`
+}
+
+// CwndPrimer is implemented by congestion controllers whose window can
+// be seeded from a converged donor run (Swift, DCTCP). Fixed-window
+// controllers deliberately do not implement it: their window is part of
+// the scenario, not learned state.
+type CwndPrimer interface {
+	SetCwnd(cwnd float64)
+}
+
+// WarmState captures the connection's congestion state for a steady-
+// state checkpoint.
+func (c *Conn) WarmState() WarmState {
+	return WarmState{Cwnd: c.cc.Cwnd(), SRTT: c.srtt}
+}
+
+// Prime seeds the connection with donor congestion state. Call before
+// Start: the first transmissions then pace at the donor's converged
+// window and RTT estimate instead of the configured initial window. The
+// controller's own clamps stay authoritative, and non-positive donor
+// values are ignored.
+func (c *Conn) Prime(ws WarmState) {
+	if ws.SRTT > 0 {
+		c.srtt = ws.SRTT
+	}
+	if ws.Cwnd > 0 {
+		if p, ok := c.cc.(CwndPrimer); ok {
+			p.SetCwnd(ws.Cwnd)
+		}
+	}
+}
+
 // SetActive pauses (false) or resumes (true) the application. While
 // inactive the connection sends nothing new; in-flight packets drain
 // normally. Bursty workloads toggle this — and because the congestion
