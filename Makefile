@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-fleet bench-compare bench-warm vet check check-tests figs cluster fuzz cover trace-demo clean
+.PHONY: all build test bench bench-json bench-fleet bench-compare bench-warm bench-serve vet check check-tests figs cluster fuzz cover trace-demo clean
 
 all: build test
 
@@ -18,8 +18,8 @@ test-short:
 
 # check is the CI gate (.github/workflows/ci.yml runs exactly this):
 # the test gate (check-tests) plus the bench-regression gates
-# (bench-compare and bench-warm).
-check: check-tests bench-compare bench-warm
+# (bench-compare, bench-warm, and bench-serve).
+check: check-tests bench-compare bench-warm bench-serve
 
 # check-tests: vet, the race-enabled test suite, a focused race pass
 # over the worker pool and singleflight layers (their concurrency tests
@@ -63,6 +63,18 @@ bench-warm:
 	$(GO) run ./cmd/hicbench -out results/bench_warm.json -fleet-hosts 400 -warm-only
 	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_warm.json
 
+# bench-serve is the serving-layer gate: a coordinator plus two
+# in-process workers run a 400-host catalog query cold then warm and
+# the section is compared against the committed baseline. Two gates are
+# tolerance-free at any scale: the merged aggregate hash must equal the
+# single-process run's (sharding may never change bytes), and the warm
+# query must re-calibrate nothing (worker residency). Throughput and
+# scaling gate with the loose noise tolerance like every rate metric.
+bench-serve:
+	mkdir -p results
+	$(GO) run ./cmd/hicbench -out results/bench_serve.json -serve-only -serve-hosts 400
+	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_serve.json
+
 trace-demo:
 	mkdir -p results
 	$(GO) run ./cmd/hicsim -config configs/fig3_iommu_on_12cores.json \
@@ -76,9 +88,11 @@ bench:
 # preserved pre-rewrite engine, pooled vs heap packet path, the Figure 6
 # scenario end to end, the fleet execution bench, the multi-fidelity
 # section: fluid vs DES per-point cost plus the -fidelity=auto fleet
-# against the pure-DES fleet, and the warm-start section: the same
+# against the pure-DES fleet, the warm-start section: the same
 # auto fleet cold then warm against one persistent calibration and
-# checkpoint store) and writes BENCH_hotpath.json.
+# checkpoint store, and the serve section: one catalog query sharded
+# across a coordinator and two workers, cold and warm) and writes
+# BENCH_hotpath.json.
 bench-json:
 	$(GO) run ./cmd/hicbench -out BENCH_hotpath.json
 

@@ -203,6 +203,38 @@ func compareReports(oldRep, newRep report, tol float64) cmpResult {
 			oldRep.WarmStart.WarmPoint.BytesPerOp, newRep.WarmStart.WarmPoint.BytesPerOp)
 	}
 
+	// Serve: throughput and scaling are noisy-class at matching scale;
+	// the correctness contracts below are unconditional.
+	if oldRep.Serve.Hosts > 0 && newRep.Serve.Hosts > 0 {
+		if oldRep.Serve.Hosts == newRep.Serve.Hosts {
+			if c.sameMode("serve rates", oldRep.Serve.FidelityMode, oldRep.Serve.Warm,
+				newRep.Serve.FidelityMode, newRep.Serve.Warm) {
+				c.higherBetter("serve.cold_hosts_per_sec", oldRep.Serve.ColdHostsPerSec, newRep.Serve.ColdHostsPerSec, tol)
+				c.higherBetter("serve.scaling_ratio", oldRep.Serve.ScalingRatio, newRep.Serve.ScalingRatio, tol)
+				c.higherBetter("serve.warm_speedup", oldRep.Serve.WarmSpeedup, newRep.Serve.WarmSpeedup, tol)
+			}
+		} else {
+			c.notef("skip serve rates: host counts differ (%d vs %d)",
+				oldRep.Serve.Hosts, newRep.Serve.Hosts)
+		}
+	} else {
+		c.skipNote("serve rates", float64(oldRep.Serve.Hosts), float64(newRep.Serve.Hosts))
+	}
+	// The serving layer's reason to exist: merged aggregates must be
+	// byte-identical to a single-process run, and a second identical
+	// query must re-use resident state instead of re-calibrating. Both
+	// are correctness, not noise — they fail at any -compare-tol.
+	if newRep.Serve.Hosts > 0 {
+		if !newRep.Serve.HashMatch {
+			c.failf("serve.hash_match = false (single %s, cold %s, warm %s): sharded merge is not byte-identical, fails unconditionally",
+				newRep.Serve.SingleHash, newRep.Serve.ColdHash, newRep.Serve.WarmHash)
+		}
+		if newRep.Serve.WarmAnchorRuns > 0 {
+			c.failf("serve.warm_anchor_runs = %d: warm query re-calibrated (resident routers not reused), fails unconditionally",
+				newRep.Serve.WarmAnchorRuns)
+		}
+	}
+
 	// Accuracy is never noise: any audited point over tolerance in the
 	// new report fails regardless of scale or -compare-tol. The warm
 	// audit is the same contract for checkpoint-resumed points.

@@ -20,6 +20,20 @@ func baseline() report {
 	r.Fleet.PeakMemBytes = 200 << 20
 	r.Fidelity.Hosts = 10000
 	r.Fidelity.HostsPerSec = 95
+	r.Serve = serveBench{
+		Hosts:             400,
+		SingleHash:        "aaaa",
+		ColdHash:          "aaaa",
+		WarmHash:          "aaaa",
+		HashMatch:         true,
+		SingleHostsPerSec: 17,
+		ColdHostsPerSec:   16.8,
+		WarmHostsPerSec:   6000,
+		ScalingRatio:      0.99,
+		WarmSpeedup:       350,
+		Workers:           2,
+		Ranges:            16,
+	}
 	return r
 }
 
@@ -62,6 +76,9 @@ func TestCompareCatchesRegressions(t *testing.T) {
 		{"fleet throughput drop", func(r *report) { r.Fleet.HostsPerSec /= 2 }, "fleet.hosts_per_sec"},
 		{"fleet memory growth", func(r *report) { r.Fleet.PeakMemBytes *= 2 }, "fleet.peak_mem_bytes"},
 		{"fidelity throughput drop", func(r *report) { r.Fidelity.HostsPerSec /= 2 }, "fidelity.hosts_per_sec"},
+		{"serve cold throughput drop", func(r *report) { r.Serve.ColdHostsPerSec /= 2 }, "serve.cold_hosts_per_sec"},
+		{"serve scaling collapse", func(r *report) { r.Serve.ScalingRatio /= 2 }, "serve.scaling_ratio"},
+		{"serve warm speedup loss", func(r *report) { r.Serve.WarmSpeedup /= 2 }, "serve.warm_speedup"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -102,6 +119,27 @@ func TestCompareAuditOverTolFailsUnconditionally(t *testing.T) {
 	res := compareReports(baseline(), degraded, 100.0)
 	if len(res.fails) != 1 || !strings.Contains(res.fails[0], "audit_over_tol") {
 		t.Errorf("fails = %v, want the accuracy violation", res.fails)
+	}
+}
+
+// TestCompareServeContractsFailUnconditionally: the two serving-layer
+// correctness contracts — merged-aggregate byte-identity and warm-query
+// residency — fail at any tolerance and any scale.
+func TestCompareServeContractsFailUnconditionally(t *testing.T) {
+	hashBroken := baseline()
+	hashBroken.Serve.Hosts = 37 // scale mismatch must not save it
+	hashBroken.Serve.WarmHash = "bbbb"
+	hashBroken.Serve.HashMatch = false
+	res := compareReports(baseline(), hashBroken, 100.0)
+	if len(res.fails) != 1 || !strings.Contains(res.fails[0], "serve.hash_match") {
+		t.Errorf("fails = %v, want the hash-identity violation", res.fails)
+	}
+
+	notResident := baseline()
+	notResident.Serve.WarmAnchorRuns = 12
+	res = compareReports(baseline(), notResident, 100.0)
+	if len(res.fails) != 1 || !strings.Contains(res.fails[0], "serve.warm_anchor_runs") {
+		t.Errorf("fails = %v, want the residency violation", res.fails)
 	}
 }
 

@@ -23,7 +23,12 @@
 //   - warm_start: the cross-run warm start — the auto-routed fleet run
 //     cold then warm against one persistent store (anchors reloaded,
 //     DES points resumed from checkpoints), plus one warm-resumed
-//     point's allocation profile for the regression gate.
+//     point's allocation profile for the regression gate;
+//   - serve: the long-lived serving layer — one catalog query run
+//     single-process, then cold and warm through a coordinator sharding
+//     ranges across two in-process workers over loopback HTTP, gating
+//     merged-aggregate byte-identity (hash_match) and worker residency
+//     (the warm query calibrates and simulates nothing).
 package main
 
 import (
@@ -619,6 +624,10 @@ type report struct {
 	// same persistent store) plus one warm-resumed point's exact-class
 	// allocation profile.
 	WarmStart warmStartBench `json:"warm_start"`
+	// Serve is the serving layer: a coordinator sharding one catalog
+	// query across two workers, gated on byte-identity with the
+	// single-process run and on warm-query residency.
+	Serve serveBench `json:"serve"`
 }
 
 var heapSink *pkt.Packet
@@ -638,6 +647,9 @@ func main() {
 	warmAuditRate := flag.Float64("warm-audit-rate", 0.05, "fraction of warm-startable points re-run cold under DES in the warm-start fleet bench")
 	noWarm := flag.Bool("no-warm", false, "skip the warm_start (cold-then-warm fleet) section")
 	warmOnly := flag.Bool("warm-only", false, "run only the warm_start section, skipping everything else")
+	serveHosts := flag.Int("serve-hosts", 400, "catalog-query size for the serve (coordinator + 2 workers) section (0 skips it)")
+	noServe := flag.Bool("no-serve", false, "skip the serve (sharded coordinator) section")
+	serveOnly := flag.Bool("serve-only", false, "run only the serve section, skipping everything else")
 	compareOld := flag.String("compare", "", "regression gate: compare this baseline JSON against the new JSON given as the positional argument, exit non-zero on regression (no benches run)")
 	compareTol := flag.Float64("compare-tol", 0.25, "allowed relative degradation for noisy (timing/rate) metrics with -compare; allocation counts are exact-class and tolerate nothing")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -659,7 +671,7 @@ func main() {
 	} else if srv != nil {
 		defer srv.Close()
 		srv.AddSource(runner.Shared())
-		orun = srv.StartRun("bench", 7, "engine", "packet_path", "fig6", "observatory", "fleet", "fidelity", "warm_start")
+		orun = srv.StartRun("bench", 8, "engine", "packet_path", "fig6", "observatory", "fleet", "fidelity", "warm_start", "serve")
 		defer orun.Finish()
 	}
 
@@ -667,7 +679,7 @@ func main() {
 	rep.GoVersion = runtime.Version()
 	rep.GOARCH = runtime.GOARCH
 
-	if !*fleetOnly && !*warmOnly {
+	if !*fleetOnly && !*warmOnly && !*serveOnly {
 		// Each workload processes ~1 event per op (the churn fires one event
 		// and schedules one replacement plus a timer arm/cancel pair).
 		orun.SetPhase("engine")
@@ -720,7 +732,7 @@ func main() {
 		orun.Advance(1)
 	}
 
-	if *fleetHosts > 0 && !*warmOnly {
+	if *fleetHosts > 0 && !*warmOnly && !*serveOnly {
 		orun.SetPhase("fleet")
 		fleet, err := runFleet(*fleetHosts, *fleetBaseline)
 		if err != nil {
@@ -742,7 +754,7 @@ func main() {
 		}
 	}
 
-	if *fleetHosts > 0 && !*noWarm {
+	if *fleetHosts > 0 && !*noWarm && !*serveOnly {
 		orun.SetPhase("warm_start")
 		warm, err := runWarmStart(*fleetHosts, *fidelityTol, *auditRate, *warmAuditRate)
 		if err != nil {
@@ -750,6 +762,17 @@ func main() {
 			os.Exit(1)
 		}
 		rep.WarmStart = warm
+		orun.Advance(1)
+	}
+
+	if *serveHosts > 0 && !*noServe && !*fleetOnly && !*warmOnly {
+		orun.SetPhase("serve")
+		sb, err := runServe(*serveHosts, *fidelityTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicbench: serve bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Serve = sb
 		orun.Advance(1)
 	}
 
@@ -767,9 +790,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s %.2fx, auto %.1f hosts/s %.2fx, warm %.1f hosts/s %.2fx)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s %.2fx, auto %.1f hosts/s %.2fx, warm %.1f hosts/s %.2fx, serve scaling %.2fx warm %.2fx)\n",
 		*out, rep.Engine.SpeedupRatio, rep.Fig6.EventsPerSec/1e6,
 		rep.Fleet.HostsPerSec, rep.Fleet.SpeedupRatio,
 		rep.Fidelity.HostsPerSec, rep.Fidelity.SpeedupVsDES,
-		rep.WarmStart.WarmHostsPerSec, rep.WarmStart.WarmSpeedup)
+		rep.WarmStart.WarmHostsPerSec, rep.WarmStart.WarmSpeedup,
+		rep.Serve.ScalingRatio, rep.Serve.WarmSpeedup)
 }

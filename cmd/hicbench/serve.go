@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"hic/internal/cluster"
+	"hic/internal/fidelity"
+	"hic/internal/runcache"
+	"hic/internal/serve"
+)
+
+// serveBench is the serving-layer section: the same catalog query run
+// three ways — single-process (the golden reference), cold through a
+// coordinator sharding across two in-process workers, and again warm
+// against the workers' resident routers and the coordinator's shared
+// cache. Two contracts gate it:
+//
+//   - hash_match: every merged aggregate hash equals the
+//     single-process hash (byte-identity across sharding and
+//     residency) — a mismatch fails -compare unconditionally;
+//   - warm_anchor_runs/warm_simulated: the warm query re-calibrates
+//     and re-simulates nothing (residency) — a nonzero anchor count
+//     fails -compare unconditionally.
+//
+// scaling_ratio (cold sharded hosts/sec over single-process) and
+// warm_speedup are noisy-class: on a single-core runner the sharded
+// cold pass only shows protocol overhead (ratio ≈ 1); with real cores
+// per worker it shows the fan-out win.
+type serveBench struct {
+	Hosts        int     `json:"hosts"`
+	FidelityMode string  `json:"fidelity_mode,omitempty"`
+	Warm         string  `json:"warm,omitempty"`
+	Tol          float64 `json:"tol"`
+
+	SingleHash        string  `json:"single_hash"`
+	SingleWallSeconds float64 `json:"single_wall_seconds"`
+	SingleHostsPerSec float64 `json:"single_hosts_per_sec"`
+
+	ColdHash        string  `json:"cold_hash"`
+	ColdWallSeconds float64 `json:"cold_wall_seconds"`
+	ColdHostsPerSec float64 `json:"cold_hosts_per_sec"`
+
+	WarmHash        string  `json:"warm_hash"`
+	WarmWallSeconds float64 `json:"warm_wall_seconds"`
+	WarmHostsPerSec float64 `json:"warm_hosts_per_sec"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+	WarmAnchorRuns  uint64  `json:"warm_anchor_runs"`
+	WarmSimulated   uint64  `json:"warm_simulated"`
+
+	HashMatch    bool    `json:"hash_match"`
+	ScalingRatio float64 `json:"scaling_ratio"`
+	Workers      int     `json:"workers"`
+	Ranges       int     `json:"ranges"`
+	Reassigned   uint64  `json:"reassigned"`
+	Duplicates   uint64  `json:"duplicates"`
+	MergeSkew    float64 `json:"merge_skew"`
+}
+
+// runServe measures the serving layer end to end in one process:
+// coordinator, two workers, and the client all here, talking over real
+// loopback HTTP exactly as the hicserve binary wires them.
+func runServe(hosts int, tol float64) (serveBench, error) {
+	sb := serveBench{Hosts: hosts, FidelityMode: "auto", Warm: "off", Tol: tol}
+	spec := serve.QueryRequest{
+		Hosts:     hosts,
+		Seed:      1,
+		WarmupMS:  2,
+		MeasureMS: 3,
+		Fidelity:  "auto",
+		Tol:       tol,
+		EarlyStop: true,
+		// Fixed shard granularity so the range count (and therefore the
+		// lease protocol traffic) is machine-independent.
+		RangeHosts: (hosts + 15) / 16,
+	}
+
+	// Single-process reference: the identical scenario and router config
+	// a worker builds (see serve.(*Worker).routerFor), private cache.
+	singleDir, err := os.MkdirTemp("", "hicbench-serve-single-")
+	if err != nil {
+		return sb, err
+	}
+	defer os.RemoveAll(singleDir)
+	sstore, err := runcache.Open(singleDir)
+	if err != nil {
+		return sb, err
+	}
+	scfg := spec.ClusterConfig()
+	scfg.Cache = sstore
+	router, err := fidelity.New(fidelity.Config{
+		Mode:        fidelity.ModeAuto,
+		Tol:         tol,
+		EarlyStop:   true,
+		AnchorSeeds: cluster.SeedPool(scfg),
+		Cache:       sstore,
+	})
+	if err != nil {
+		return sb, err
+	}
+	scfg.Exec = router
+	hasher := cluster.NewPointHasher()
+	start := time.Now()
+	if _, err := cluster.RunStream(scfg, func(p cluster.Point) error {
+		hasher.Add(p)
+		return nil
+	}); err != nil {
+		return sb, err
+	}
+	sb.SingleWallSeconds = time.Since(start).Seconds()
+	sb.SingleHash = hasher.Sum()
+	sb.SingleHostsPerSec = float64(hosts) / sb.SingleWallSeconds
+
+	// Coordinator with a fresh store, two in-process workers over real
+	// loopback HTTP.
+	coordDir, err := os.MkdirTemp("", "hicbench-serve-coord-")
+	if err != nil {
+		return sb, err
+	}
+	defer os.RemoveAll(coordDir)
+	cstore, err := runcache.Open(coordDir)
+	if err != nil {
+		return sb, err
+	}
+	srv, err := serve.NewServer(serve.Options{Store: cstore, LeaseTimeout: 2 * time.Minute})
+	if err != nil {
+		return sb, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sb, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const nWorkers = 2
+	for i := 0; i < nWorkers; i++ {
+		w := serve.NewWorker(base, serve.WorkerOptions{Name: fmt.Sprintf("bench%d", i)})
+		go w.Run(ctx) //nolint:errcheck // ends with ctx
+	}
+	sb.Workers = nWorkers
+
+	client := serve.NewClient(base, nil)
+	cold, err := client.Query(ctx, spec, nil)
+	if err != nil {
+		return sb, fmt.Errorf("cold query: %w", err)
+	}
+	warm, err := client.Query(ctx, spec, nil)
+	if err != nil {
+		return sb, fmt.Errorf("warm query: %w", err)
+	}
+
+	sb.ColdHash = cold.AggregateHash
+	sb.ColdWallSeconds = cold.ElapsedMS / 1e3
+	sb.ColdHostsPerSec = cold.HostsPerSec
+	sb.WarmHash = warm.AggregateHash
+	sb.WarmWallSeconds = warm.ElapsedMS / 1e3
+	sb.WarmHostsPerSec = warm.HostsPerSec
+	if sb.ColdHostsPerSec > 0 {
+		sb.WarmSpeedup = sb.WarmHostsPerSec / sb.ColdHostsPerSec
+	}
+	sb.WarmAnchorRuns = warm.Stats.AnchorRuns
+	sb.WarmSimulated = warm.Stats.Simulated
+	sb.HashMatch = cold.AggregateHash == sb.SingleHash && warm.AggregateHash == sb.SingleHash
+	if sb.SingleHostsPerSec > 0 {
+		sb.ScalingRatio = sb.ColdHostsPerSec / sb.SingleHostsPerSec
+	}
+	sb.Ranges = cold.Ranges
+	sb.Reassigned = cold.Reassigned + warm.Reassigned
+	sb.Duplicates = cold.Duplicates + warm.Duplicates
+	sb.MergeSkew = cold.MergeSkew
+	if warm.MergeSkew > sb.MergeSkew {
+		sb.MergeSkew = warm.MergeSkew
+	}
+	if !sb.HashMatch {
+		fmt.Fprintf(os.Stderr, "hicbench: WARNING: serve hash mismatch: single %s cold %s warm %s\n",
+			sb.SingleHash, sb.ColdHash, sb.WarmHash)
+	}
+	return sb, nil
+}

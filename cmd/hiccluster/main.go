@@ -56,6 +56,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit per-host CSV instead of the scatter (streams: RSS stays bounded at any fleet size)")
 	useCache := flag.Bool("cache", false, "memoize per-host results in the content-addressed run cache (single-window fleets only)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	cacheURL := flag.String("cache-url", "", "share a hicserve coordinator's run cache over HTTP instead of -cache-dir (implies -cache)")
 	cacheMaxMB := flag.Int("cache-max-mb", 0, "prune the run cache and warm store to this size at startup, oldest entries first (0 = unbounded)")
 	noDedup := flag.Bool("no-dedup", false, "disable singleflight dedup of byte-identical hosts (never changes results; for benchmarking)")
 	progress := flag.Bool("progress", true, "report progress, rate, and ETA on stderr")
@@ -79,7 +80,10 @@ func main() {
 	cfg.Log = os.Stderr
 
 	var store *runcache.Store
-	if *useCache {
+	if *cacheURL != "" {
+		store = runcache.OpenRemote(*cacheURL)
+		cfg.Cache = store
+	} else if *useCache {
 		var err error
 		if store, err = runcache.Open(*cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "hiccluster: %v\n", err)

@@ -40,6 +40,7 @@ func main() {
 	outdir := flag.String("outdir", "", "also write per-experiment CSV files here")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	cacheURL := flag.String("cache-url", "", "share a hicserve coordinator's run cache over HTTP instead of -cache-dir (implies -cache)")
 	cacheMaxMB := flag.Int("cache-max-mb", 0, "prune the run cache and warm store to this size at startup, oldest entries first (0 = unbounded)")
 	incidents := flag.Bool("incidents", false, "run the fig6 antagonist point with the sim-time observatory and print its congestion episodes, then exit")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
@@ -61,7 +62,11 @@ func main() {
 		}
 		return
 	}
-	if *useCache {
+	if *cacheURL != "" {
+		store := runcache.OpenRemote(*cacheURL)
+		opt.Cache = store
+		defer func() { fmt.Fprintf(os.Stderr, "run cache: %s\n", store.Summary()) }()
+	} else if *useCache {
 		store, err := runcache.Open(*cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hicfigs: %v\n", err)

@@ -46,6 +46,7 @@ func main() {
 	observeEvery := flag.Int("observe-every-us", 100, "observatory sampling interval in sim µs (with -incidents-out)")
 	useCache := flag.Bool("cache", false, "memoize per-point results in the content-addressed run cache (ignored with -telemetry-out)")
 	cacheDir := flag.String("cache-dir", runcache.DefaultDir, "run-cache directory (with -cache)")
+	cacheURL := flag.String("cache-url", "", "share a hicserve coordinator's run cache over HTTP instead of -cache-dir (implies -cache)")
 	cacheMaxMB := flag.Int("cache-max-mb", 0, "prune the run cache and warm store to this size at startup, oldest entries first (0 = unbounded)")
 	verbose := flag.Bool("v", false, "print detailed run-cache counters on stderr (with -cache)")
 	fid := fidelity.RegisterFlags(flag.CommandLine, fidelity.ModeDES)
@@ -83,10 +84,14 @@ func main() {
 	}
 
 	var store *runcache.Store
-	if *useCache && *telemetryOut == "" && *incidentsOut == "" {
-		if store, err = runcache.Open(*cacheDir); err != nil {
-			fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
-			os.Exit(1)
+	if *telemetryOut == "" && *incidentsOut == "" {
+		if *cacheURL != "" {
+			store = runcache.OpenRemote(*cacheURL)
+		} else if *useCache {
+			if store, err = runcache.Open(*cacheDir); err != nil {
+				fmt.Fprintf(os.Stderr, "hicsweep: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 

@@ -91,6 +91,11 @@ type Config struct {
 	// /progress run registration; nil falls back to the process-global
 	// obs sink (nil there too = fully disabled, zero overhead).
 	Sink obs.Sink
+	// Pool, when non-nil, executes the run on a private worker pool
+	// instead of the shared process-wide one. Serve shard workers bound
+	// their own concurrency this way, so N workers on one machine split
+	// the cores instead of oversubscribing them.
+	Pool *runner.Pool
 	// Observatory, when non-nil, attaches the sim-time congestion
 	// observatory to every host and streams per-host incident reports
 	// into the collector (Record is called in host order from the emit
@@ -331,9 +336,25 @@ type hostOut struct {
 // many simulations actually executed versus how many hosts were served
 // by dedup or the cache.
 func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
+	return RunRange(cfg, 0, cfg.Hosts, emit)
+}
+
+// RunRange is RunStream restricted to hosts [lo, hi) of the fleet: the
+// same catalog draws, execution strategies, and ordered emission, over
+// a contiguous index range. Because hosts are generated random-access,
+// a range run is byte-identical to the corresponding slice of a full
+// run — which is what lets serve's coordinator dispense ranges to shard
+// workers and still merge a fleet whose aggregates match the
+// single-process golden exactly. The returned Stats cover only this
+// range.
+func RunRange(cfg Config, lo, hi int, emit func(Point) error) (Stats, error) {
 	if cfg.Hosts <= 0 {
 		return Stats{}, fmt.Errorf("cluster: Hosts must be positive")
 	}
+	if lo < 0 || hi > cfg.Hosts || lo >= hi {
+		return Stats{}, fmt.Errorf("cluster: range [%d, %d) outside fleet [0, %d)", lo, hi, cfg.Hosts)
+	}
+	n := hi - lo
 	windows := cfg.WindowsPerHost
 	if windows < 1 {
 		windows = 1
@@ -362,7 +383,7 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log,
 				"cluster: %d observatory hosts bypass the run cache (episode records are not cached)\n",
-				cfg.Hosts)
+				n)
 		}
 		cache = nil
 	}
@@ -371,7 +392,7 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 			if cfg.Log != nil {
 				fmt.Fprintf(cfg.Log,
 					"cluster: %d multi-window hosts bypass the run cache (later bins continue one testbed's state)\n",
-					cfg.Hosts)
+					n)
 			}
 			cache = nil
 		}
@@ -397,30 +418,35 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 	}
 	var orun *obs.Run // nil-safe: all methods no-op without a sink
 	if sink != nil {
-		orun = sink.StartRun("fleet", int64(cfg.Hosts))
+		orun = sink.StartRun("fleet", int64(n))
 		defer orun.Finish()
 		obsv.SetSink(sink, orun.Label())
 	}
 
+	pool := cfg.Pool
+	if pool == nil {
+		pool = runner.Shared()
+	}
 	var simulated atomic.Uint64
 	agg := newAggregator()
-	err := runner.MapOrdered(runner.Shared(), cfg.Hosts,
+	err := runner.MapOrdered(pool, n,
 		func(i int, a *runner.Arena) (hostOut, error) {
+			host := lo + i
 			defer cfg.Progress.Add(1)
 			defer orun.Advance(1)
 			if sink != nil {
-				sink.Emit(obs.Event{Kind: obs.KindPointStart, Run: orun.Label(), Point: i})
+				sink.Emit(obs.Event{Kind: obs.KindPointStart, Run: orun.Label(), Point: host})
 				t0 := time.Now()
 				defer func() {
 					sink.Emit(obs.Event{
 						Kind:  obs.KindPointFinish,
 						Run:   orun.Label(),
-						Point: i,
+						Point: host,
 						DurMS: float64(time.Since(t0).Nanoseconds()) / 1e6,
 					})
 				}()
 			}
-			p, meta := HostScenario(cfg, i)
+			p, meta := HostScenario(cfg, host)
 			if windows == 1 {
 				var r core.Results
 				var rep *observatory.HostReport
@@ -509,7 +535,7 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 				}
 			}
 			if obsv != nil {
-				if err := obsv.Record(i, CellLabel(cfg, i), out.rep); err != nil {
+				if err := obsv.Record(lo+i, CellLabel(cfg, lo+i), out.rep); err != nil {
 					return err
 				}
 			}
@@ -549,7 +575,7 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 		s.Collapsed += (after.Hits - cacheBefore.Hits) + (after.Collapses - cacheBefore.Collapses)
 	}
 	if cfg.Cache != nil && (windows > 1 || obsv != nil) {
-		s.CacheSkipped = cfg.Hosts
+		s.CacheSkipped = n
 	}
 	return s, nil
 }

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"crypto/sha256"
 	"fmt"
 	"strings"
 	"testing"
@@ -9,6 +8,7 @@ import (
 	"hic/internal/fidelity"
 	"hic/internal/observatory"
 	"hic/internal/runcache"
+	"hic/internal/runner"
 	"hic/internal/sim"
 )
 
@@ -17,14 +17,9 @@ func quickConfig(hosts int) Config {
 }
 
 // fleetHash fingerprints a scatter point-by-point (full float formatting,
-// so any bit-level drift shows).
-func fleetHash(points []Point) string {
-	h := sha256.New()
-	for _, p := range points {
-		fmt.Fprintf(h, "%+v\n", p)
-	}
-	return fmt.Sprintf("%x", h.Sum(nil)[:8])
-}
+// so any bit-level drift shows). It is the exported HashPoints — aliased
+// here so the golden pin reads the same as it always has.
+func fleetHash(points []Point) string { return HashPoints(points) }
 
 // goldenFleetHash pins the 32-host quick fleet (the same population
 // TestFleetReproducesFig1Claims checks). Captured with dedup disabled on
@@ -345,5 +340,110 @@ func TestCellLabelConsistent(t *testing.T) {
 	}
 	if len(labels) < 2 {
 		t.Error("64 hosts share one cell label — catalog labeling collapsed")
+	}
+}
+
+// TestRunRangeConcatenationMatchesFullRun pins the property serve's
+// sharding depends on: hosts are random-access, so running the fleet as
+// disjoint index ranges (on private pools, like shard workers do) and
+// concatenating the ranges in order is byte-identical to one full run —
+// including against the committed golden.
+func TestRunRangeConcatenationMatchesFullRun(t *testing.T) {
+	cfg := quickConfig(32)
+	var merged []Point
+	var simulated uint64
+	for _, r := range [][2]int{{0, 9}, {9, 10}, {10, 24}, {24, 32}} {
+		rcfg := cfg
+		rcfg.Pool = runner.New(2)
+		stats, err := RunRange(rcfg, r[0], r[1], func(p Point) error {
+			merged = append(merged, p)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Hosts != r[1]-r[0] {
+			t.Fatalf("range [%d,%d) reported %d hosts", r[0], r[1], stats.Hosts)
+		}
+		simulated += stats.Simulated
+	}
+	if got := fleetHash(merged); got != goldenFleetHash {
+		t.Errorf("concatenated range hash = %s, want %s", got, goldenFleetHash)
+	}
+	if simulated == 0 {
+		t.Error("no simulations accounted across ranges")
+	}
+	// Range Stats fold the same aggregates a full run would when merged
+	// over the same ordered points.
+	full := Summarize(merged)
+	whole, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := Summarize(whole); w != full {
+		t.Errorf("summaries diverge:\nranges: %+v\nfull:   %+v", full, w)
+	}
+}
+
+// TestRunRangeValidation: out-of-fleet ranges are errors, not silent
+// truncation — a coordinator bug must not drop hosts.
+func TestRunRangeValidation(t *testing.T) {
+	cfg := quickConfig(8)
+	for _, r := range [][2]int{{-1, 4}, {4, 4}, {5, 4}, {0, 9}} {
+		if _, err := RunRange(cfg, r[0], r[1], nil); err == nil {
+			t.Errorf("range [%d,%d) accepted", r[0], r[1])
+		}
+	}
+}
+
+// TestFleetAutoRouterRerunDeterministic pins the serving invariant
+// behind hicserve's resident routers: rerunning an identical fleet
+// against the SAME router (calibration now fully resident) must
+// reproduce the first pass byte-for-byte. Routing decisions therefore
+// cannot depend on what happened to be calibrated when a point
+// arrived — the regression this guards is anchor-coincident points
+// fluid-routing on a cold pass but anchor-reusing on a warm one.
+func TestFleetAutoRouterRerunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a calibrated fleet twice")
+	}
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Hosts: 32, Seed: 1, Warmup: 2 * sim.Millisecond, Measure: 3 * sim.Millisecond, Cache: store}
+	router, err := fidelity.New(fidelity.Config{
+		Mode: fidelity.ModeAuto, Tol: 0.08, EarlyStop: true,
+		Cache: store, AnchorSeeds: SeedPool(cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exec = router
+	run := func() ([]Point, Stats) {
+		var pts []Point
+		st, err := RunStream(cfg, func(p Point) error {
+			pts = append(pts, p)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts, st
+	}
+	cold, cs := run()
+	warm, ws := run()
+	if fleetHash(cold) != fleetHash(warm) {
+		for i := range cold {
+			if cold[i] != warm[i] {
+				t.Errorf("host %d diverges on rerun: %+v vs %+v", cold[i].Host, cold[i], warm[i])
+			}
+		}
+	}
+	if cs.AnchorRuns == 0 {
+		t.Error("cold pass calibrated nothing — test is vacuous")
+	}
+	if ws.AnchorRuns != 0 || ws.Simulated != 0 {
+		t.Errorf("warm pass re-executed: %d anchors, %d simulations (want 0, 0)", ws.AnchorRuns, ws.Simulated)
 	}
 }

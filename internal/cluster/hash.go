@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+)
+
+// PointHasher fingerprints a scatter stream point by point, in emission
+// order, with full float formatting so any bit-level drift shows. It is
+// the scheme behind the committed fleet golden hash: a sharded serve
+// run whose coordinator folds worker ranges in order produces exactly
+// the hash a single-process RunStream produces, which is how the query
+// service proves its merged aggregates byte-match the golden.
+type PointHasher struct {
+	h hash.Hash
+	n int
+}
+
+// NewPointHasher returns an empty hasher.
+func NewPointHasher() *PointHasher {
+	return &PointHasher{h: sha256.New()}
+}
+
+// Add folds one point in. Order matters — callers must add points in
+// host order (windows within a host in window order), the order
+// RunStream emits.
+func (ph *PointHasher) Add(p Point) {
+	fmt.Fprintf(ph.h, "%+v\n", p)
+	ph.n++
+}
+
+// Count returns how many points were folded in.
+func (ph *PointHasher) Count() int { return ph.n }
+
+// Sum returns the 16-hex-digit fingerprint of the stream so far.
+func (ph *PointHasher) Sum() string {
+	return fmt.Sprintf("%x", ph.h.Sum(nil)[:8])
+}
+
+// HashPoints fingerprints a buffered scatter (see PointHasher).
+func HashPoints(points []Point) string {
+	ph := NewPointHasher()
+	for _, p := range points {
+		ph.Add(p)
+	}
+	return ph.Sum()
+}

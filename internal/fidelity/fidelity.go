@@ -542,11 +542,27 @@ func nearKnee(pred fluid.Prediction) (string, bool) {
 }
 
 func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Results, error), error) {
+	pred, err := core.RunFluid(p)
+	if err != nil {
+		if isUnsupported(err) {
+			return r.desPlan(p, "unsupported")
+		}
+		return "", nil, err
+	}
 	// A point that coincides exactly with a calibration run (anchor or
-	// noise measurement) is served its memoized DES result outright:
-	// the exact answer is already in hand, so fluid-routing it would
-	// trade accuracy for nothing.
-	if des, hit := r.memoizedAnchor(p); hit {
+	// noise measurement) is served that run's DES result outright: the
+	// exact answer is (or is about to be) in hand, so fluid-routing it
+	// would trade accuracy for nothing. Coincidence is structural —
+	// anchor grid × anchor seeds, via anchorCoincident — not "is the
+	// memo populated yet", so the same point routes the same way
+	// whether its signature's calibration already happened (earlier in
+	// this run, or resident from a previous query in a serving
+	// process) or is materialized right here.
+	if r.anchorCoincident(p) {
+		des, cerr := r.ensureCoincidentDES(p)
+		if cerr != nil {
+			return "", nil, fmt.Errorf("fidelity: calibrating %s: %w", sigLabel(p), cerr)
+		}
 		r.logf("fidelity: anchor-reuse %s ant=%d", sigLabel(p), p.AntagonistCores)
 		r.emitRoute(p, "anchor-reuse", "")
 		version := core.SimVersion
@@ -557,13 +573,6 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 			r.anchorReused.Add(1)
 			return des, nil
 		}, nil
-	}
-	pred, err := core.RunFluid(p)
-	if err != nil {
-		if isUnsupported(err) {
-			return r.desPlan(p, "unsupported")
-		}
-		return "", nil, err
 	}
 	if why, near := nearKnee(pred); near {
 		r.kneeForced.Add(1)

@@ -18,6 +18,7 @@ type Flags struct {
 
 	Warm          string
 	WarmDir       string
+	WarmURL       string
 	WarmAuditRate float64
 }
 
@@ -42,6 +43,8 @@ func RegisterFlags(fs *flag.FlagSet, defaultMode Mode) *Flags {
 		"cross-run warm start: off, calib (persist and reload calibration anchors), full (calib plus checkpointed DES warm starts)")
 	fs.StringVar(&f.WarmDir, "warm-dir", DefaultWarmDir,
 		"persistent warm-start store directory (calibration state and steady-state checkpoints)")
+	fs.StringVar(&f.WarmURL, "warm-url", "",
+		"share a hicserve coordinator's warm store over HTTP instead of -warm-dir (e.g. http://coordinator:8091)")
 	fs.Float64Var(&f.WarmAuditRate, "warm-audit-rate", 0.05,
 		"cold-re-run this fraction of warm-startable points and record the observed warm-start error")
 	return f
@@ -68,8 +71,10 @@ func (f *Flags) Router(cache *runcache.Store, anchorSeeds []uint64, log io.Write
 	}
 	var warmStore *runcache.Store
 	if warm != WarmOff {
-		warmStore, err = runcache.Open(f.WarmDir)
-		if err != nil {
+		if f.WarmURL != "" {
+			warmStore = runcache.NewStore(runcache.NewHTTP(
+				runcache.RemoteURL(f.WarmURL, runcache.RemoteWarmPath), nil))
+		} else if warmStore, err = runcache.Open(f.WarmDir); err != nil {
 			return nil, fmt.Errorf("fidelity: opening warm store: %w", err)
 		}
 	}

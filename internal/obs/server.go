@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -203,16 +204,56 @@ func (s *Server) RunMetrics(snap Snapshot) { s.agg.merge(snap) }
 // Handler returns the control plane mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.Register(mux)
 	return mux
+}
+
+// Register installs the control-plane endpoints on an existing mux,
+// skipping any pattern the mux already serves — so a host process (the
+// serve daemon) can hang its own API and the control plane off one
+// server and port without http.ServeMux's duplicate-registration
+// panic. The host's handlers win on conflict; the patterns actually
+// registered are returned so callers can log what the control plane
+// ended up owning.
+func (s *Server) Register(mux *http.ServeMux) []string {
+	endpoints := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"/", s.handleIndex},
+		{"/metrics", s.handleMetrics},
+		{"/progress", s.handleProgress},
+		{"/events", s.handleEvents},
+		{"/debug/pprof/", pprof.Index},
+		{"/debug/pprof/cmdline", pprof.Cmdline},
+		{"/debug/pprof/profile", pprof.Profile},
+		{"/debug/pprof/symbol", pprof.Symbol},
+		{"/debug/pprof/trace", pprof.Trace},
+	}
+	var added []string
+	for _, e := range endpoints {
+		if muxHasPattern(mux, e.pattern) {
+			continue
+		}
+		mux.HandleFunc(e.pattern, e.h)
+		added = append(added, e.pattern)
+	}
+	return added
+}
+
+// muxHasPattern reports whether mux already has a handler registered
+// under exactly this pattern. ServeMux has no lookup API, so probe with
+// a synthetic request for the pattern's path: Handler returns the
+// pattern that would serve it, which equals ours only if ours (or an
+// identical one) is registered — a shallower fallback like "/" comes
+// back as its own pattern and does not mask deeper registrations.
+func muxHasPattern(mux *http.ServeMux, pattern string) bool {
+	_, got := mux.Handler(&http.Request{
+		Method: http.MethodGet,
+		Host:   "probe.invalid",
+		URL:    &url.URL{Path: pattern},
+	})
+	return got == pattern
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"flag"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
@@ -279,5 +281,61 @@ func TestGlobalSinkInstall(t *testing.T) {
 	Set(nil)
 	if Default() != nil {
 		t.Error("Set(nil) did not uninstall")
+	}
+}
+
+// TestRegisterSharesMuxWithoutPanic pins the serve-daemon contract: the
+// control plane can be registered onto a mux that already serves its
+// own API under some of the same patterns, the host's handlers win the
+// conflicts, and everything else still works — no duplicate-pattern
+// panic, one port.
+func TestRegisterSharesMuxWithoutPanic(t *testing.T) {
+	s := NewServer(Options{Warn: io.Discard})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "host root")
+	})
+	mux.HandleFunc("/api/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "host api")
+	})
+
+	added := s.Register(mux)
+	for _, p := range added {
+		if p == "/" {
+			t.Errorf("Register overrode the host's %q handler", p)
+		}
+	}
+	found := map[string]bool{}
+	for _, p := range added {
+		found[p] = true
+	}
+	for _, want := range []string{"/metrics", "/progress", "/events", "/debug/pprof/"} {
+		if !found[want] {
+			t.Errorf("Register skipped %q on a mux that does not serve it", want)
+		}
+	}
+
+	// Registering twice must be a no-op, not a panic.
+	if again := s.Register(mux); len(again) != 0 {
+		t.Errorf("second Register added %v", again)
+	}
+
+	get := func(path string) string {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec.Body.String()
+	}
+	if got := get("/"); got != "host root" {
+		t.Errorf("GET / = %q, want the host handler", got)
+	}
+	if got := get("/api/v1/query"); got != "host api" {
+		t.Errorf("GET /api/v1/query = %q, want the host handler", got)
+	}
+	if got := get("/metrics"); !strings.Contains(got, "hic_obs_uptime_seconds") {
+		t.Errorf("GET /metrics not served by control plane:\n%s", got)
+	}
+	if got := get("/progress"); !strings.Contains(got, "\"runs\"") {
+		t.Errorf("GET /progress not served by control plane:\n%s", got)
 	}
 }

@@ -3,15 +3,13 @@ package runcache
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 )
 
 // Blob namespace: a second content-addressed entry kind for warm state
 // that is not a host.Results — persisted fidelity calibrations (anchors,
 // noise tiers, gain/drop-offset corrections) and converged DES
-// checkpoints. Blob entries share the store directory and the Key
+// checkpoints. Blob entries share the store's backend and the Key
 // scheme, but carry an arbitrary JSON payload and record their own
 // version salt, so a blob can never satisfy a result lookup or vice
 // versa: result lookups decode the `results` field, blob lookups the
@@ -23,7 +21,7 @@ import (
 // already keep their own per-signature in-memory state and touch the
 // store once per signature per process.
 
-// blobEntry is the on-disk format of the second namespace.
+// blobEntry is the stored format of the second namespace.
 type blobEntry struct {
 	Version   string          `json:"version"`
 	Canonical string          `json:"canonical"`
@@ -32,10 +30,10 @@ type blobEntry struct {
 
 // GetBlob decodes the blob stored under key into out. Like Get, any
 // missing, corrupt, or version/canonical-mismatched entry is a miss;
-// corrupt files are deleted and counted.
+// corrupt entries are deleted and counted, and a hit bumps recency.
 func (s *Store) GetBlob(key, version, canonical string, out any) bool {
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
+	data, ok := s.be.Load(key)
+	if !ok {
 		s.misses.Add(1)
 		return false
 	}
@@ -52,6 +50,7 @@ func (s *Store) GetBlob(key, version, canonical string, out any) bool {
 		s.dropCorrupt(key)
 		return false
 	}
+	s.be.Touch(key)
 	s.hits.Add(1)
 	return true
 }
@@ -66,61 +65,30 @@ func (s *Store) PutBlob(key, version, canonical string, v any) error {
 	if err != nil {
 		return fmt.Errorf("runcache: encoding blob entry: %w", err)
 	}
-	return s.writeAtomic(key, data)
+	return s.be.Store(key, data)
 }
 
-// writeAtomic writes data to the entry file for key via temp file +
-// rename, shared by Put and PutBlob.
-func (s *Store) writeAtomic(key string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, "put-*")
-	if err != nil {
-		return fmt.Errorf("runcache: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: %w", err)
-	}
-	return nil
-}
-
-// Prune deletes the oldest entries (by modification time) until the
-// store's total entry size is at most maxBytes. It returns how many
-// entries were removed and how many bytes were freed. A persistent
-// cache, calibration, or checkpoint directory shared across many runs
-// is bounded by calling Prune at process start (-cache-max-mb); the
-// mtime order makes it an LRU over write time, which tracks use well
-// enough because hot entries are re-written only when recomputed.
+// Prune deletes the least-recently-used entries (by backend mtime — Get
+// and GetBlob bump it on every backend hit) until the store's total
+// entry size is at most maxBytes. It returns how many entries were
+// removed and how many bytes were freed. A persistent cache,
+// calibration, or checkpoint directory shared across many runs is
+// bounded by calling Prune at process start (-cache-max-mb). Backends
+// that don't enumerate entries (remote stores) prune nothing: the
+// machine that owns the bytes — the coordinator — owns the eviction
+// policy.
 func (s *Store) Prune(maxBytes int64) (removed int, freed int64, err error) {
-	des, err := os.ReadDir(s.dir)
+	l, ok := s.be.(lister)
+	if !ok {
+		return 0, 0, nil
+	}
+	files, err := l.entries()
 	if err != nil {
 		return 0, 0, err
 	}
-	type fileInfo struct {
-		name  string
-		size  int64
-		mtime int64
-	}
-	var files []fileInfo
 	var total int64
-	for _, de := range des {
-		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
-			continue
-		}
-		info, err := de.Info()
-		if err != nil {
-			continue // raced with a concurrent delete
-		}
-		files = append(files, fileInfo{de.Name(), info.Size(), info.ModTime().UnixNano()})
-		total += info.Size()
+	for _, f := range files {
+		total += f.size
 	}
 	if total <= maxBytes {
 		return 0, 0, nil
@@ -129,7 +97,7 @@ func (s *Store) Prune(maxBytes int64) (removed int, freed int64, err error) {
 		if files[i].mtime != files[j].mtime {
 			return files[i].mtime < files[j].mtime
 		}
-		return files[i].name < files[j].name
+		return files[i].key < files[j].key
 	})
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -137,10 +105,8 @@ func (s *Store) Prune(maxBytes int64) (removed int, freed int64, err error) {
 		if total <= maxBytes {
 			break
 		}
-		if err := os.Remove(filepath.Join(s.dir, f.name)); err != nil {
-			continue
-		}
-		delete(s.mem, f.name[:len(f.name)-len(".json")])
+		s.be.Delete(f.key)
+		delete(s.mem, f.key)
 		total -= f.size
 		freed += f.size
 		removed++

@@ -13,6 +13,12 @@
 // salt (core.SimVersion) is bumped whenever simulator behavior changes,
 // so stale entries are simply never addressed again.
 //
+// The byte layer underneath a Store is pluggable (see Backend): the
+// default is a local directory, and NewHTTP reaches the same namespace
+// served by a hicserve coordinator, so content-addressed results,
+// calibration blobs, and warm checkpoints dedup across machines — one
+// worker's DES anchor warms every other worker's fluid routing.
+//
 // The execution fidelity participates in the version salt. Pure DES
 // results are stored under core.SimVersion exactly as before; the
 // fidelity layer (internal/fidelity) salts every approximate strategy
@@ -30,8 +36,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -53,7 +57,7 @@ func Key(version, canonical string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// entry is the on-disk format. Canonical is stored alongside the results
+// entry is the stored format. Canonical is stored alongside the results
 // so a cache directory is auditable (and hash collisions detectable).
 type entry struct {
 	Version   string       `json:"version"`
@@ -61,10 +65,10 @@ type entry struct {
 	Results   host.Results `json:"results"`
 }
 
-// Store is a directory-backed result cache. It is safe for concurrent
+// Store is a Backend-backed result cache. It is safe for concurrent
 // use by the parallel sweep runners.
 type Store struct {
-	dir string
+	be Backend
 
 	mu  sync.Mutex
 	mem map[string]host.Results // write-through in-memory layer
@@ -79,25 +83,44 @@ type Store struct {
 	flight *Flight
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a disk store rooted at dir.
 func Open(dir string) (*Store, error) {
-	if dir == "" {
-		dir = DefaultDir
+	be, err := NewDisk(dir)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("runcache: creating %s: %w", dir, err)
-	}
-	return &Store{dir: dir, mem: make(map[string]host.Results), flight: NewFlight(false)}, nil
+	return NewStore(be), nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+// NewStore wraps a Backend in the full Store machinery (memory layer,
+// singleflight, accounting).
+func NewStore(be Backend) *Store {
+	return &Store{be: be, mem: make(map[string]host.Results), flight: NewFlight(false)}
+}
 
-func (s *Store) path(key string) string { return filepath.Join(s.dir, key+".json") }
+// OpenRemote opens the results namespace a hicserve coordinator serves
+// at base (e.g. "http://coordinator:8091") — the -cache-url path every
+// CLI shares. Remote stores never prune (the coordinator owns
+// eviction) and degrade to misses when the coordinator is unreachable.
+func OpenRemote(base string) *Store {
+	return NewStore(NewHTTP(RemoteURL(base, RemoteResultsPath), nil))
+}
+
+// Backend exposes the byte layer, so a coordinator can serve its own
+// store's backend over HTTP (see BackendHandler).
+func (s *Store) Backend() Backend { return s.be }
+
+// Dir returns the store's backing location — the root directory for
+// disk stores, the base URL for remote ones.
+func (s *Store) Dir() string { return s.be.Name() }
 
 // Get returns the memoized results for key. A missing, unreadable, or
 // version/canonical-mismatched entry is a miss — the cache is purely an
-// accelerator and never an error source.
+// accelerator and never an error source. A backend hit bumps the
+// entry's recency (Backend.Touch) so size-budget pruning evicts cold
+// entries instead of hot ones; hits served by the in-memory layer don't
+// re-touch, which is harmless because the first hit of the process
+// already did.
 func (s *Store) Get(key, version, canonical string) (host.Results, bool) {
 	s.mu.Lock()
 	if r, ok := s.mem[key]; ok {
@@ -107,8 +130,8 @@ func (s *Store) Get(key, version, canonical string) (host.Results, bool) {
 	}
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
+	data, ok := s.be.Load(key)
+	if !ok {
 		s.misses.Add(1)
 		return host.Results{}, false
 	}
@@ -129,6 +152,7 @@ func (s *Store) Get(key, version, canonical string) (host.Results, bool) {
 	s.mu.Lock()
 	s.mem[key] = e.Results
 	s.mu.Unlock()
+	s.be.Touch(key)
 	s.hits.Add(1)
 	return e.Results, true
 }
@@ -137,7 +161,7 @@ func (s *Store) Get(key, version, canonical string) (host.Results, bool) {
 // counting a hit or a miss — a pure peek for callers (the fidelity
 // warm-start planner) that only need to know whether the exact result
 // is already paid for, and must not skew the lookup accounting of the
-// run that follows.
+// run that follows. It doesn't touch recency either.
 func (s *Store) Contains(key, version, canonical string) bool {
 	s.mu.Lock()
 	if _, ok := s.mem[key]; ok {
@@ -145,8 +169,8 @@ func (s *Store) Contains(key, version, canonical string) bool {
 		return true
 	}
 	s.mu.Unlock()
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
+	data, ok := s.be.Load(key)
+	if !ok {
 		return false
 	}
 	var e entry
@@ -156,9 +180,9 @@ func (s *Store) Contains(key, version, canonical string) bool {
 	return e.Version == version && e.Canonical == canonical
 }
 
-// Put stores results under key. The write is atomic (temp file + rename)
-// so concurrent sweep goroutines and interrupted runs never leave a
-// torn entry behind.
+// Put stores results under key. Disk writes are atomic (temp file +
+// rename) so concurrent sweep goroutines and interrupted runs never
+// leave a torn entry behind.
 func (s *Store) Put(key, version, canonical string, r host.Results) error {
 	s.mu.Lock()
 	s.mem[key] = r
@@ -168,24 +192,7 @@ func (s *Store) Put(key, version, canonical string, r host.Results) error {
 	if err != nil {
 		return fmt.Errorf("runcache: encoding entry: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "put-*")
-	if err != nil {
-		return fmt.Errorf("runcache: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runcache: %w", err)
-	}
-	return nil
+	return s.be.Store(key, data)
 }
 
 // GetOrCompute returns the results for key, computing and storing them
@@ -210,11 +217,11 @@ func (s *Store) GetOrCompute(key, version, canonical string, compute func() (hos
 	})
 }
 
-// dropCorrupt removes an undecodable entry file and records the event.
-// A corrupt entry counts as a miss too, so hit+miss totals still add up
+// dropCorrupt removes an undecodable entry and records the event. A
+// corrupt entry counts as a miss too, so hit+miss totals still add up
 // to lookups.
 func (s *Store) dropCorrupt(key string) {
-	os.Remove(s.path(key))
+	s.be.Delete(key)
 	s.corrupt.Add(1)
 	s.misses.Add(1)
 }
@@ -230,7 +237,7 @@ func (s *Store) Corrupt() uint64 { return s.corrupt.Load() }
 
 // Stats is the counter bundle the cmd/ tools print with -v.
 type Stats struct {
-	// Hits and Misses count store lookups (memory layer + disk).
+	// Hits and Misses count store lookups (memory layer + backend).
 	Hits, Misses uint64
 	// Corrupt counts undecodable entries found during lookups; each was
 	// deleted and also counted as a miss.
@@ -269,17 +276,17 @@ func (s *Store) Summary() string {
 	return out
 }
 
-// Len reports how many entries the store directory currently holds.
+// Len reports how many entries the store's backend currently holds.
+// Backends that don't enumerate (remote stores — the coordinator owns
+// the bytes) report zero.
 func (s *Store) Len() (int, error) {
-	des, err := os.ReadDir(s.dir)
+	l, ok := s.be.(lister)
+	if !ok {
+		return 0, nil
+	}
+	es, err := l.entries()
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	for _, de := range des {
-		if filepath.Ext(de.Name()) == ".json" {
-			n++
-		}
-	}
-	return n, nil
+	return len(es), nil
 }

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client issues what-if queries against a coordinator.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the coordinator at base. nil hc uses
+// http.DefaultClient (queries stream indefinitely; rely on ctx, not a
+// client timeout, to bound them).
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// Query posts q and consumes the NDJSON response. Every line is handed
+// to onEvent (nil = discard progress and points); the final result is
+// returned. A KindError line, a malformed stream, or a non-200 status
+// becomes an error.
+func (c *Client) Query(ctx context.Context, q QueryRequest, onEvent func(QueryEvent) error) (*QueryResult, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+QueryPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("serve: query: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e QueryEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("serve: bad response line: %w", err)
+		}
+		switch e.Kind {
+		case KindResult:
+			if e.Result == nil {
+				return nil, fmt.Errorf("serve: result line without a result")
+			}
+			return e.Result, nil
+		case KindError:
+			return nil, fmt.Errorf("serve: query failed: %s", e.Error)
+		}
+		if onEvent != nil {
+			if err := onEvent(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: reading response: %w", err)
+	}
+	return nil, fmt.Errorf("serve: response ended without a result (coordinator died mid-query?)")
+}

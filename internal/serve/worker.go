@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"hic/internal/cluster"
+	"hic/internal/fidelity"
+	"hic/internal/runcache"
+	"hic/internal/runner"
+)
+
+// Worker is one shard executor: it registers with a coordinator, polls
+// for range leases, runs each through the existing cluster/fidelity
+// stack on a private runner pool, and streams the partial back.
+//
+// Everything expensive stays resident across leases — the pool's
+// arenas, the calibrated fidelity routers (keyed by query signature),
+// and the HTTP-backed run-cache client — which is what makes the
+// second identical query orders of magnitude cheaper than the first.
+//
+// A worker executes one lease at a time, by design: per-range fidelity
+// accounting is a counter delta around the run, which is only exact
+// when leases do not overlap on one router.
+type WorkerOptions struct {
+	// Name labels the worker in coordinator logs and results.
+	Name string
+	// Threads bounds the private runner pool (0 = GOMAXPROCS). On a
+	// shared machine, give each worker cores/workers so co-resident
+	// workers split the cores instead of oversubscribing them.
+	Threads int
+	// Poll is the idle polling cadence (0 = 50ms).
+	Poll time.Duration
+	// Client overrides the HTTP client (nil = 5-minute timeout, ample
+	// for a slow range's /shard/done upload).
+	Client *http.Client
+	// Log receives one-line diagnostics (nil = silent).
+	Log io.Writer
+}
+
+// Worker state. Construct with NewWorker; drive with Run.
+type Worker struct {
+	base string
+	opts WorkerOptions
+	hc   *http.Client
+	pool *runner.Pool
+
+	id    string
+	cache *runcache.Store // shared results cache via the coordinator
+	warm  *runcache.Store // shared warm store via the coordinator
+
+	mu      sync.Mutex
+	routers map[string]*fidelity.Router
+
+	// leases/hosts are lifetime counters (Stats).
+	leases, hosts uint64
+
+	// Test hooks. abandonAfter > 0 makes Run exit without reporting
+	// right after acquiring that many leases — a worker dying
+	// mid-range, from the coordinator's point of view. reportDelay
+	// stalls completions to widen race windows.
+	abandonAfter int
+	reportDelay  time.Duration
+}
+
+// NewWorker builds a worker for the coordinator at base (e.g.
+// "http://127.0.0.1:8080"). The shared run cache and warm store are
+// reached through the coordinator's HTTP cache mounts.
+func NewWorker(base string, o WorkerOptions) *Worker {
+	if o.Poll <= 0 {
+		o.Poll = 50 * time.Millisecond
+	}
+	hc := o.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Worker{
+		base:    base,
+		opts:    o,
+		hc:      hc,
+		pool:    runner.New(o.Threads),
+		cache:   runcache.NewStore(runcache.NewHTTP(runcache.RemoteURL(base, runcache.RemoteResultsPath), hc)),
+		warm:    runcache.NewStore(runcache.NewHTTP(runcache.RemoteURL(base, runcache.RemoteWarmPath), hc)),
+		routers: make(map[string]*fidelity.Router),
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Log != nil {
+		fmt.Fprintf(w.opts.Log, "worker %s: "+format+"\n", append([]any{w.id}, args...)...)
+	}
+}
+
+// WorkerStats is a worker's lifetime accounting.
+type WorkerStats struct {
+	Leases  uint64
+	Hosts   uint64
+	Routers int
+}
+
+// Stats snapshots the worker's lifetime counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerStats{Leases: w.leases, Hosts: w.hosts, Routers: len(w.routers)}
+}
+
+// ID returns the coordinator-assigned worker id ("" before Run
+// registers). Safe to poll from another goroutine.
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := w.hc.Post(w.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode == http.StatusNoContent {
+		return errNoWork
+	}
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 1<<10))
+		return fmt.Errorf("%s: %s: %s", path, r.Status, bytes.TrimSpace(msg))
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+var errNoWork = fmt.Errorf("no work")
+
+// Run registers and polls for leases until ctx is cancelled, executing
+// each range and reporting its partial. Transient coordinator errors
+// back off and retry; only ctx cancellation (or the abandon test hook)
+// ends the loop.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	taken := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease Lease
+		err := w.post(NextPath, map[string]string{"worker_id": w.id}, &lease)
+		switch {
+		case err == errNoWork:
+			if !sleepCtx(ctx, w.opts.Poll) {
+				return ctx.Err()
+			}
+			continue
+		case err != nil:
+			w.logf("poll: %v", err)
+			if !sleepCtx(ctx, w.opts.Poll*4) {
+				return ctx.Err()
+			}
+			continue
+		}
+		taken++
+		if w.abandonAfter > 0 && taken > w.abandonAfter {
+			// Simulated death: the lease is held, never executed, never
+			// reported. The coordinator's lease timeout reassigns it.
+			w.logf("abandoning lease %s/%d (test hook)", lease.Job, lease.RangeID)
+			return nil
+		}
+		w.mu.Lock()
+		w.leases++
+		w.mu.Unlock()
+		partial := w.execute(lease)
+		if w.reportDelay > 0 {
+			sleepCtx(ctx, w.reportDelay)
+		}
+		var ack struct {
+			Accepted bool `json:"accepted"`
+		}
+		if err := w.post(DonePath, partial, &ack); err != nil {
+			w.logf("report %s/%d: %v", lease.Job, lease.RangeID, err)
+		} else if !ack.Accepted {
+			// The range was reassigned and completed elsewhere first.
+			// Correct and expected after a long stall; nothing to undo
+			// because the coordinator counted the other completion.
+			w.logf("lease %s/%d completed elsewhere (duplicate rejected)", lease.Job, lease.RangeID)
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	for {
+		var resp struct {
+			WorkerID string `json:"worker_id"`
+		}
+		err := w.post(RegisterPath, map[string]string{"name": w.opts.Name}, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.mu.Unlock()
+			return nil
+		}
+		w.logf("register: %v", err)
+		if !sleepCtx(ctx, time.Second) {
+			return ctx.Err()
+		}
+	}
+}
+
+// execute runs one leased range through the cluster stack and packages
+// the partial. Errors become Err on the partial — the coordinator
+// fails the query; a worker never dies from a bad spec.
+func (w *Worker) execute(lease Lease) RangePartial {
+	p := RangePartial{Job: lease.Job, RangeID: lease.RangeID, Worker: w.id, Lo: lease.Lo, Hi: lease.Hi}
+	cfg := lease.Spec.ClusterConfig()
+	cfg.Pool = w.pool
+	cfg.Log = w.opts.Log
+	if !lease.Spec.NoCache {
+		cfg.Cache = w.cache
+	}
+	if lease.Spec.NeedsRouter() {
+		router, err := w.routerFor(lease.Spec, cfg)
+		if err != nil {
+			p.Err = err.Error()
+			return p
+		}
+		cfg.Exec = router
+	}
+	st, err := cluster.RunRange(cfg, lease.Lo, lease.Hi, func(pt cluster.Point) error {
+		p.Points = append(p.Points, pt)
+		p.Util.Add(pt.Utilization)
+		p.Drop.Add(pt.DropRate)
+		return nil
+	})
+	if err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	p.Stats = st
+	w.mu.Lock()
+	w.hosts += uint64(lease.Hi - lease.Lo)
+	w.mu.Unlock()
+	return p
+}
+
+// routerFor returns the resident router for the query's fidelity
+// signature, building and caching it on first use. Keeping routers
+// resident is the warm-query fast path: the second identical query
+// reuses the calibration (anchor runs already memoized), so its
+// AnchorRuns report zero.
+func (w *Worker) routerFor(spec QueryRequest, cfg cluster.Config) (*fidelity.Router, error) {
+	sig := spec.FidelitySignature()
+	w.mu.Lock()
+	r, ok := w.routers[sig]
+	w.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	fcfg := fidelity.Config{
+		Tol:         spec.Tol,
+		AuditRate:   spec.AuditRate,
+		EarlyStop:   spec.EarlyStop,
+		AnchorSeeds: cluster.SeedPool(cfg),
+		Log:         w.opts.Log,
+	}
+	if spec.Fidelity != "" {
+		mode, err := fidelity.ParseMode(spec.Fidelity)
+		if err != nil {
+			return nil, err
+		}
+		fcfg.Mode = mode
+	}
+	if !spec.NoCache {
+		fcfg.Cache = w.cache
+	}
+	if spec.Warm != "" && spec.Warm != string(fidelity.WarmOff) {
+		warm, err := fidelity.ParseWarmMode(spec.Warm)
+		if err != nil {
+			return nil, err
+		}
+		fcfg.Warm = warm
+		fcfg.WarmStore = w.warm
+	}
+	r, err := fidelity.New(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	// Lost race: keep the first router so calibration state is shared.
+	if prior, ok := w.routers[sig]; ok {
+		r = prior
+	} else {
+		w.routers[sig] = r
+	}
+	w.mu.Unlock()
+	return r, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

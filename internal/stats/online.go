@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"encoding/json"
+	"math"
+)
 
 // Online aggregation for fleet-scale streams: cluster runs feed each
 // host's results through these accumulators instead of materializing
@@ -83,6 +86,34 @@ func (m *Moments) Max() float64 {
 		return 0
 	}
 	return m.max
+}
+
+// momentsJSON is the wire form of Moments: the exact accumulator state,
+// so a shard worker's partial merges on the coordinator as if the
+// observations had been Added there.
+type momentsJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON serializes the accumulator state for cross-process
+// partial aggregation (serve shard workers stream Moments partials back
+// to their coordinator).
+func (m Moments) MarshalJSON() ([]byte, error) {
+	return json.Marshal(momentsJSON{N: m.n, Mean: m.mean, M2: m.m2, Min: m.min, Max: m.max})
+}
+
+// UnmarshalJSON restores an accumulator serialized by MarshalJSON.
+func (m *Moments) UnmarshalJSON(data []byte) error {
+	var w momentsJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*m = Moments{n: w.N, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max}
+	return nil
 }
 
 // Reservoir is a fixed-capacity uniform sample of a stream (Vitter's

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -259,5 +260,60 @@ func TestMomentsMergeEmptySides(t *testing.T) {
 	y.Merge(e2)
 	if y.N() != 3 || y.Mean() != 4 {
 		t.Errorf("x.Merge(empty) changed x: n=%d mean=%v", y.N(), y.Mean())
+	}
+}
+
+// TestMomentsJSONRoundTrip pins the wire form shard workers stream to
+// their coordinator: a decoded accumulator must be bit-identical state,
+// so merging a round-tripped partial gives the same result as merging
+// the original.
+func TestMomentsJSONRoundTrip(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{3.5, -1.25, 0, 7.75, 2.5} {
+		m.Add(x)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Moments
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip changed state: %+v != %+v", back, m)
+	}
+	// A merged pair built from round-tripped halves is bit-identical to
+	// one built from the originals — the property the coordinator's
+	// range-ordered partial merge relies on.
+	var a, b Moments
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			a.Add(float64(i) * 0.5)
+		} else {
+			b.Add(float64(i) * 0.25)
+		}
+	}
+	wire := func(m Moments) Moments {
+		d, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Moments
+		if err := json.Unmarshal(d, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	direct, viaWire := a, wire(a)
+	direct.Merge(b)
+	viaWire.Merge(wire(b))
+	if direct != viaWire {
+		t.Fatalf("merge over the wire diverged: %+v != %+v", viaWire, direct)
+	}
+	// Empty accumulators survive the trip too.
+	var empty Moments
+	if got := wire(empty); got != empty {
+		t.Fatalf("empty round trip changed state: %+v", got)
 	}
 }
