@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-fleet bench-compare bench-warm bench-serve vet check check-tests figs cluster fuzz cover trace-demo clean
+.PHONY: all build test bench bench-json bench-fleet bench-compare bench-warm bench-serve bench-cold vet check check-tests figs cluster fuzz cover trace-demo clean
 
 all: build test
 
@@ -18,8 +18,8 @@ test-short:
 
 # check is the CI gate (.github/workflows/ci.yml runs exactly this):
 # the test gate (check-tests) plus the bench-regression gates
-# (bench-compare, bench-warm, and bench-serve).
-check: check-tests bench-compare bench-warm bench-serve
+# (bench-compare, bench-warm, bench-serve, and bench-cold).
+check: check-tests bench-compare bench-warm bench-serve bench-cold
 
 # check-tests: vet, the race-enabled test suite, a focused race pass
 # over the worker pool and singleflight layers (their concurrency tests
@@ -49,7 +49,7 @@ check-tests:
 # count in the new report fails at any tolerance.
 bench-compare:
 	mkdir -p results
-	$(GO) run ./cmd/hicbench -out results/bench_smoke.json -fleet-hosts 400 -fleet-baseline-hosts 16 -no-warm
+	$(GO) run ./cmd/hicbench -out results/bench_smoke.json -fleet-hosts 400 -fleet-baseline-hosts 16 -no-warm -no-cold
 	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_smoke.json
 
 # bench-warm is the cross-run warm-start gate: a cold-then-warm fleet
@@ -74,6 +74,20 @@ bench-serve:
 	mkdir -p results
 	$(GO) run ./cmd/hicbench -out results/bench_serve.json -serve-only -serve-hosts 400
 	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_serve.json
+
+# bench-cold is the cold-path acceleration gate: the never-seen auto
+# fleet at smoke scale with knee search and calibration transfer off
+# then on (rates skip against the committed 10k baseline — host counts
+# differ), plus the sharded determinism check. Two gates are
+# tolerance-free at any scale: no audited point in the accelerated pass
+# may exceed tolerance (the accelerations must not buy speed with
+# error), and the 1-worker and 2-worker coordinator runs must
+# hash-match the in-process run (located knees and borrowed
+# calibrations may not depend on shard order).
+bench-cold:
+	mkdir -p results
+	$(GO) run ./cmd/hicbench -out results/bench_cold.json -cold-only -cold-hosts 500
+	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_cold.json
 
 trace-demo:
 	mkdir -p results

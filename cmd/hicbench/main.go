@@ -619,6 +619,12 @@ type report struct {
 	Observatory observatoryBench `json:"observatory"`
 	Fleet       fleetBench       `json:"fleet"`
 	Fidelity    fidelityBench    `json:"fidelity"`
+	// ColdPath is the cold-path acceleration pair: the never-seen
+	// auto-routed fleet with knee search and calibration transfer off
+	// (the pre-acceleration baseline) then on, plus the sharded
+	// determinism check (1-worker and 2-worker coordinator runs must
+	// hash-match the in-process run).
+	ColdPath coldPathBench `json:"cold_path"`
 	// WarmStart is the cross-run warm-start pair: the auto-routed fleet
 	// cold (calibrating, donating checkpoints) then warm (fresh router,
 	// same persistent store) plus one warm-resumed point's exact-class
@@ -644,6 +650,9 @@ func main() {
 	fidelityTol := flag.Float64("fidelity-tol", 0.10, "auto-routing tolerance for the fidelity fleet bench")
 	auditRate := flag.Float64("audit-rate", 0.05, "fraction of fluid-routed hosts shadow-run under DES in the fidelity fleet bench")
 	noFidelity := flag.Bool("no-fidelity", false, "skip the fidelity (auto-routed fleet) section")
+	coldHosts := flag.Int("cold-hosts", 10000, "fleet size for the cold_path (knee search + calibration transfer) section (0 skips it)")
+	noCold := flag.Bool("no-cold", false, "skip the cold_path (cold-path acceleration) section")
+	coldOnly := flag.Bool("cold-only", false, "run only the cold_path section, skipping everything else")
 	warmAuditRate := flag.Float64("warm-audit-rate", 0.05, "fraction of warm-startable points re-run cold under DES in the warm-start fleet bench")
 	noWarm := flag.Bool("no-warm", false, "skip the warm_start (cold-then-warm fleet) section")
 	warmOnly := flag.Bool("warm-only", false, "run only the warm_start section, skipping everything else")
@@ -671,7 +680,7 @@ func main() {
 	} else if srv != nil {
 		defer srv.Close()
 		srv.AddSource(runner.Shared())
-		orun = srv.StartRun("bench", 8, "engine", "packet_path", "fig6", "observatory", "fleet", "fidelity", "warm_start", "serve")
+		orun = srv.StartRun("bench", 9, "engine", "packet_path", "fig6", "observatory", "fleet", "fidelity", "cold_path", "warm_start", "serve")
 		defer orun.Finish()
 	}
 
@@ -679,7 +688,7 @@ func main() {
 	rep.GoVersion = runtime.Version()
 	rep.GOARCH = runtime.GOARCH
 
-	if !*fleetOnly && !*warmOnly && !*serveOnly {
+	if !*fleetOnly && !*warmOnly && !*serveOnly && !*coldOnly {
 		// Each workload processes ~1 event per op (the churn fires one event
 		// and schedules one replacement plus a timer arm/cancel pair).
 		orun.SetPhase("engine")
@@ -732,7 +741,7 @@ func main() {
 		orun.Advance(1)
 	}
 
-	if *fleetHosts > 0 && !*warmOnly && !*serveOnly {
+	if *fleetHosts > 0 && !*warmOnly && !*serveOnly && !*coldOnly {
 		orun.SetPhase("fleet")
 		fleet, err := runFleet(*fleetHosts, *fleetBaseline)
 		if err != nil {
@@ -754,7 +763,24 @@ func main() {
 		}
 	}
 
-	if *fleetHosts > 0 && !*noWarm && !*serveOnly {
+	if *coldHosts > 0 && !*noCold && !*fleetOnly && !*warmOnly && !*serveOnly {
+		orun.SetPhase("cold_path")
+		// Reuse the fidelity section's pass as the baseline when it ran
+		// the identical configuration at the same scale.
+		var fid *fidelityBench
+		if rep.Fidelity.Hosts > 0 {
+			fid = &rep.Fidelity
+		}
+		cold, err := runColdPath(*coldHosts, *fidelityTol, *auditRate, fid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hicbench: cold-path bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.ColdPath = cold
+		orun.Advance(1)
+	}
+
+	if *fleetHosts > 0 && !*noWarm && !*serveOnly && !*coldOnly {
 		orun.SetPhase("warm_start")
 		warm, err := runWarmStart(*fleetHosts, *fidelityTol, *auditRate, *warmAuditRate)
 		if err != nil {
@@ -765,7 +791,7 @@ func main() {
 		orun.Advance(1)
 	}
 
-	if *serveHosts > 0 && !*noServe && !*fleetOnly && !*warmOnly {
+	if *serveHosts > 0 && !*noServe && !*fleetOnly && !*warmOnly && !*coldOnly {
 		orun.SetPhase("serve")
 		sb, err := runServe(*serveHosts, *fidelityTol)
 		if err != nil {
@@ -790,10 +816,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hicbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s %.2fx, auto %.1f hosts/s %.2fx, warm %.1f hosts/s %.2fx, serve scaling %.2fx warm %.2fx)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s (engine speedup %.2fx, fig6 %.1fM events/s, fleet %.1f hosts/s %.2fx, auto %.1f hosts/s %.2fx, cold %.1f hosts/s %.2fx, warm %.1f hosts/s %.2fx, serve scaling %.2fx warm %.2fx)\n",
 		*out, rep.Engine.SpeedupRatio, rep.Fig6.EventsPerSec/1e6,
 		rep.Fleet.HostsPerSec, rep.Fleet.SpeedupRatio,
 		rep.Fidelity.HostsPerSec, rep.Fidelity.SpeedupVsDES,
+		rep.ColdPath.ColdHostsPerSec, rep.ColdPath.Speedup,
 		rep.WarmStart.WarmHostsPerSec, rep.WarmStart.WarmSpeedup,
 		rep.Serve.ScalingRatio, rep.Serve.WarmSpeedup)
 }

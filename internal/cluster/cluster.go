@@ -339,6 +339,82 @@ func RunStream(cfg Config, emit func(Point) error) (Stats, error) {
 	return RunRange(cfg, 0, cfg.Hosts, emit)
 }
 
+// rosterScanCap bounds the SignatureReps host scan: the catalog has
+// ~50 distinct signatures (5 SKUs × 10 workloads), so distinctness
+// saturates within a few hundred draws and scanning further buys
+// nothing. Param generation only — no simulation.
+const rosterScanCap = 65536
+
+// SignatureReps returns one representative host index per distinct
+// fidelity signature in the fleet, in first-occurrence order — the
+// work-list the serve coordinator shards into prefetch leases and the
+// roster calibration transfer clusters over.
+func SignatureReps(cfg Config) []int {
+	n := cfg.Hosts
+	if n > rosterScanCap {
+		n = rosterScanCap
+	}
+	seen := make(map[string]bool)
+	var reps []int
+	for h := 0; h < n; h++ {
+		p, _ := HostScenario(cfg, h)
+		if k := fidelity.SignatureKey(p); !seen[k] {
+			seen[k] = true
+			reps = append(reps, h)
+		}
+	}
+	return reps
+}
+
+// InstallRoster installs the fleet's signature roster on a
+// transfer-enabled router so cross-signature calibration transfer has a
+// shard-order-independent hub/spoke assignment to work from. No-op (and
+// cheap to call per range) otherwise; re-installing the same fleet's
+// roster is detected and skipped inside SetRoster.
+func InstallRoster(cfg Config, r *fidelity.Router) {
+	if r == nil || !r.TransferEnabled() {
+		return
+	}
+	idx := SignatureReps(cfg)
+	ps := make([]core.Params, len(idx))
+	for i, h := range idx {
+		ps[i], _ = HostScenario(cfg, h)
+	}
+	r.SetRoster(ps)
+}
+
+// RouterDelta converts a router counter delta (after minus before) into
+// the execution-accounting fields of Stats. RunRange and serve's
+// prefetch leases share it so router work folds identically into fleet
+// accounting wherever it ran. Max-style fields (audit maxima) carry the
+// after-side value: counters only grow, so the lifetime max is correct
+// for any window that includes the excursion.
+func RouterDelta(before, after fidelity.Counters) Stats {
+	var s Stats
+	s.Simulated = (after.DESRouted - before.DESRouted) + (after.AnchorRuns - before.AnchorRuns)
+	s.FluidRouted = after.FluidRouted - before.FluidRouted
+	s.EarlyStopped = after.EarlyStopped - before.EarlyStopped
+	s.AnchorRuns = after.AnchorRuns - before.AnchorRuns
+	s.Audited = after.Audited - before.Audited
+	s.AuditOverTol = after.AuditOverTol - before.AuditOverTol
+	s.AuditMaxErr = after.AuditMaxErr
+	s.AnchorTransferred = after.AnchorTransferred - before.AnchorTransferred
+	s.AnchorRefined = after.AnchorRefined - before.AnchorRefined
+	s.KneeProbes = after.KneeProbes - before.KneeProbes
+	s.KneeBypassed = after.KneeBypassed - before.KneeBypassed
+	// Points served from a coinciding anchor's memoized result were
+	// not re-simulated — account them with the dedup collapses.
+	s.Collapsed = after.AnchorReused - before.AnchorReused
+	s.AnchorLoaded = after.AnchorLoaded - before.AnchorLoaded
+	s.AnchorPersisted = after.AnchorPersisted - before.AnchorPersisted
+	s.WarmStarted = after.WarmStarted - before.WarmStarted
+	s.WarmCheckpoints = after.WarmCheckpoints - before.WarmCheckpoints
+	s.WarmAudited = after.WarmAudited - before.WarmAudited
+	s.WarmAuditOverTol = after.WarmAuditOverTol - before.WarmAuditOverTol
+	s.WarmAuditMaxErr = after.WarmAuditMaxErr
+	return s
+}
+
 // RunRange is RunStream restricted to hosts [lo, hi) of the fleet: the
 // same catalog draws, execution strategies, and ordered emission, over
 // a contiguous index range. Because hosts are generated random-access,
@@ -409,6 +485,7 @@ func RunRange(cfg Config, lo, hi int, emit func(Point) error) (Stats, error) {
 		if r, ok := exec.(*fidelity.Router); ok {
 			router = r
 			routerBefore = r.Counters()
+			InstallRoster(cfg, r)
 		}
 	}
 
@@ -548,25 +625,16 @@ func RunRange(cfg Config, lo, hi int, emit func(Point) error) (Stats, error) {
 	s := agg.stats()
 	s.Simulated = simulated.Load()
 	if router != nil {
-		d := router.Counters()
-		s.Simulated += (d.DESRouted - routerBefore.DESRouted) +
-			(d.AnchorRuns - routerBefore.AnchorRuns)
-		s.FluidRouted = d.FluidRouted - routerBefore.FluidRouted
-		s.EarlyStopped = d.EarlyStopped - routerBefore.EarlyStopped
-		s.AnchorRuns = d.AnchorRuns - routerBefore.AnchorRuns
-		s.Audited = d.Audited - routerBefore.Audited
-		s.AuditOverTol = d.AuditOverTol - routerBefore.AuditOverTol
-		s.AuditMaxErr = d.AuditMaxErr
-		// Points served from a coinciding anchor's memoized result were
-		// not re-simulated — account them with the dedup collapses.
-		s.Collapsed += d.AnchorReused - routerBefore.AnchorReused
-		s.AnchorLoaded = d.AnchorLoaded - routerBefore.AnchorLoaded
-		s.AnchorPersisted = d.AnchorPersisted - routerBefore.AnchorPersisted
-		s.WarmStarted = d.WarmStarted - routerBefore.WarmStarted
-		s.WarmCheckpoints = d.WarmCheckpoints - routerBefore.WarmCheckpoints
-		s.WarmAudited = d.WarmAudited - routerBefore.WarmAudited
-		s.WarmAuditOverTol = d.WarmAuditOverTol - routerBefore.WarmAuditOverTol
-		s.WarmAuditMaxErr = d.WarmAuditMaxErr
+		d := RouterDelta(routerBefore, router.Counters())
+		s.Simulated += d.Simulated
+		s.Collapsed += d.Collapsed
+		s.FluidRouted, s.EarlyStopped, s.AnchorRuns = d.FluidRouted, d.EarlyStopped, d.AnchorRuns
+		s.Audited, s.AuditOverTol, s.AuditMaxErr = d.Audited, d.AuditOverTol, d.AuditMaxErr
+		s.AnchorTransferred, s.AnchorRefined = d.AnchorTransferred, d.AnchorRefined
+		s.KneeProbes, s.KneeBypassed = d.KneeProbes, d.KneeBypassed
+		s.AnchorLoaded, s.AnchorPersisted = d.AnchorLoaded, d.AnchorPersisted
+		s.WarmStarted, s.WarmCheckpoints = d.WarmStarted, d.WarmCheckpoints
+		s.WarmAudited, s.WarmAuditOverTol, s.WarmAuditMaxErr = d.WarmAudited, d.WarmAuditOverTol, d.WarmAuditMaxErr
 	}
 	if flight != nil {
 		s.Collapsed += flight.Collapses()
@@ -627,6 +695,18 @@ type Stats struct {
 	Audited      uint64
 	AuditOverTol uint64
 	AuditMaxErr  float64
+
+	// Cold-path acceleration accounting (see fidelity.Counters):
+	// AnchorTransferred anchor tiers were borrowed from a calibrated
+	// neighbor signature instead of simulated, AnchorRefined were re-run
+	// by a borrowing signature because the transfer residual was too
+	// high, KneeProbes bisection probes located regime boundaries, and
+	// KneeBypassed knee-band hosts were fluid-routed because the located
+	// knee cleared them.
+	AnchorTransferred uint64
+	AnchorRefined     uint64
+	KneeProbes        uint64
+	KneeBypassed      uint64
 
 	// Cross-run warm-start accounting (non-zero only with -warm):
 	// AnchorLoaded anchors/noise tiers were served from the persistent

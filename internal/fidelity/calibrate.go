@@ -47,6 +47,16 @@ type sigCalib struct {
 	noise   map[int]float64
 	des     map[anchorCoord]core.Results
 
+	// xfers memoizes borrowed calibration curves by donor signature
+	// key, knees memoizes located regime boundaries by the same key
+	// ("" = own-grid calibration): both are deterministic functions of
+	// (signature, donor, router config), so keying by donor keeps a
+	// resident signature consistent when a later query's roster assigns
+	// it a different donor. Neither is persisted — the DES runs behind
+	// them are (as ordinary anchors), so rebuilding is cache-hits only.
+	xfers map[string]*xferCurve
+	knees map[string]*kneeState
+
 	loaded     bool
 	ckpts      []persistedCkpt
 	ckptNew    []persistedCkpt
@@ -85,6 +95,8 @@ func (r *Router) sigFor(p core.Params) *sigCalib {
 			anchors:    make(map[int]*anchorPoint),
 			noise:      make(map[int]float64),
 			des:        make(map[anchorCoord]core.Results),
+			xfers:      make(map[string]*xferCurve),
+			knees:      make(map[string]*kneeState),
 			ckptCoords: make(map[anchorCoord]bool),
 		}
 		r.sigs[key] = s
@@ -285,11 +297,25 @@ func (r *Router) memoizedAnchor(p core.Params) (core.Results, bool) {
 	return core.Results{}, false
 }
 
-// calibrate computes the calibrated prediction for p and its error
-// bound. ok=false means the point cannot be calibrated (tier outside
-// the anchor hull, untrustworthy gains, too few anchors to validate)
-// and must run under DES.
-func (r *Router) calibrate(p core.Params, pred fluid.Prediction) (adj core.Results, errBound float64, ok bool, err error) {
+// calibrate computes the calibrated prediction for p, its error bound,
+// and the cache salt identifying the calibration that produced it.
+// ok=false means the point cannot be calibrated (tier outside the
+// anchor hull, untrustworthy gains, too few anchors to validate) and
+// must run under DES.
+func (r *Router) calibrate(p core.Params, pred fluid.Prediction) (adj core.Results, errBound float64, calV string, ok bool, err error) {
+	s := r.sigFor(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.loadSig(s, p)
+	return r.calibrateLocked(s, p, pred)
+}
+
+// calibrateLocked is calibrate with s.mu already held — the form the
+// knee search uses to evaluate the serving curve at probe tiers. When
+// the roster assigns this signature a transfer donor, the borrowed
+// curve takes precedence; a failed transfer (uncalibratable donor)
+// falls through to the signature's own anchor grid.
+func (r *Router) calibrateLocked(s *sigCalib, p core.Params, pred fluid.Prediction) (adj core.Results, errBound float64, calV string, ok bool, err error) {
 	x := p.AntagonistCores
 	ants := r.cfg.AnchorAnts
 	exact := false
@@ -300,47 +326,52 @@ func (r *Router) calibrate(p core.Params, pred fluid.Prediction) (adj core.Resul
 		}
 	}
 	if !exact && (x < ants[0] || x > ants[len(ants)-1]) {
-		return core.Results{}, 0, false, nil
+		return core.Results{}, 0, "", false, nil
 	}
 
-	s := r.sigFor(p)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r.loadSig(s, p)
+	if asn := r.assignFor(p); asn != nil {
+		adj, bound, v, xok, xerr := r.calibrateTransfer(s, p, pred, asn)
+		if xerr != nil {
+			return core.Results{}, 0, "", false, xerr
+		}
+		if xok {
+			return adj, bound, v, true, nil
+		}
+	}
 
 	var gain, dropOff float64
 	if exact {
 		a, aerr := r.ensureAnchor(s, p, x)
 		if aerr != nil {
-			return core.Results{}, 0, false, aerr
+			return core.Results{}, 0, "", false, aerr
 		}
 		if !a.ok {
-			return core.Results{}, 0, false, nil
+			return core.Results{}, 0, "", false, nil
 		}
 		noise, nerr := r.ensureNoise(s, p, r.noiseTier(x))
 		if nerr != nil {
-			return core.Results{}, 0, false, nerr
+			return core.Results{}, 0, "", false, nerr
 		}
 		gain, dropOff = a.gain, a.dropOff
 		errBound = noise + errFloor
 	} else {
 		if len(ants) < 3 {
-			return core.Results{}, 0, false, nil
+			return core.Results{}, 0, "", false, nil
 		}
 		pts := make([]*anchorPoint, len(ants))
 		for i, a := range ants {
 			ap, aerr := r.ensureAnchor(s, p, a)
 			if aerr != nil {
-				return core.Results{}, 0, false, aerr
+				return core.Results{}, 0, "", false, aerr
 			}
 			if !ap.ok {
-				return core.Results{}, 0, false, nil
+				return core.Results{}, 0, "", false, nil
 			}
 			pts[i] = ap
 		}
 		noise, nerr := r.ensureNoise(s, p, r.noiseTier(x))
 		if nerr != nil {
-			return core.Results{}, 0, false, nerr
+			return core.Results{}, 0, "", false, nerr
 		}
 		gain = interp(ants, pts, x, func(a *anchorPoint) float64 { return a.gain })
 		dropOff = interp(ants, pts, x, func(a *anchorPoint) float64 { return a.dropOff })
@@ -376,7 +407,7 @@ func (r *Router) calibrate(p core.Params, pred fluid.Prediction) (adj core.Resul
 		errBound = math.Max(xvalMargin*resid, noise) + errFloor
 	}
 
-	return applyCalibration(pred, gain, dropOff), errBound, true, nil
+	return applyCalibration(pred, gain, dropOff), errBound, r.ownCalVersion(), true, nil
 }
 
 // interp evaluates the piecewise-linear anchor curve at x.

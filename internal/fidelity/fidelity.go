@@ -153,6 +153,26 @@ type Config struct {
 	// WarmGuard overrides the re-convergence window a warm start
 	// replays (0 = core.DefaultWarmGuard: warmup/4, floored at 1 ms).
 	WarmGuard sim.Duration
+	// KneeSearch enables per-signature knee localization in ModeAuto:
+	// instead of forcing DES for every point inside a knee band, an
+	// O(log n) bisection along the antagonist-tier axis locates the
+	// actual regime boundary; band points outside a KneeRadius
+	// neighborhood of the located knee are served from calibrated
+	// fluid under a widened, probe-measured error bound (see knee.go).
+	KneeSearch bool
+	// KneeRadius is the half-width, in antagonist tiers, of the
+	// forced-DES neighborhood around a located knee (0 = 1).
+	KneeRadius int
+	// Transfer enables cross-signature calibration transfer: a
+	// signature with no calibration of its own borrows anchor gains
+	// and drop offsets from the nearest calibrated hub in
+	// SKU/workload space with an inflated error bound, skipping or
+	// reducing its own anchor DES (see transfer.go). Inert until
+	// SetRoster installs the sweep's signature roster.
+	Transfer bool
+	// TransferRadius caps the signature-space distance a spoke may
+	// borrow across (0 = 2.5; sigDistance defines the metric).
+	TransferRadius float64
 	// Log, when non-nil, receives one-line routing diagnostics.
 	Log io.Writer
 	// Sink, when non-nil, receives structured routing and audit events;
@@ -180,6 +200,19 @@ type Counters struct {
 	// directly from a coinciding anchor's memoized result.
 	AnchorRuns   uint64
 	AnchorReused uint64
+	// AnchorTransferred counts anchor tiers served by borrowing a
+	// calibrated neighbor's gains instead of running DES;
+	// AnchorRefined counts tiers a borrowing signature re-ran itself
+	// because the measured transfer residual was too high.
+	AnchorTransferred uint64
+	AnchorRefined     uint64
+	// KneeProbes counts bisection probe DES runs the knee search
+	// requested at tiers not already materialized as anchors;
+	// KneeBypassed counts fluid routings of knee-band points that the
+	// located knee cleared (they would have been knee-forced to DES
+	// without the search).
+	KneeProbes   uint64
+	KneeBypassed uint64
 	// Audited counts fluid-vs-DES audit comparisons performed;
 	// AuditMaxErr is the largest observed error and AuditOverTol how
 	// many audited points exceeded Tol.
@@ -220,17 +253,28 @@ type Router struct {
 	// on both paths at once.
 	flight *runcache.Flight
 
-	mu   sync.Mutex
-	sigs map[string]*sigCalib
+	mu     sync.Mutex
+	sigs   map[string]*sigCalib
+	roster *roster
 
-	fluidRouted  atomic.Uint64
-	desRouted    atomic.Uint64
-	kneeForced   atomic.Uint64
-	anchorRuns   atomic.Uint64
-	anchorReused atomic.Uint64
-	audited      atomic.Uint64
-	auditOverTol atomic.Uint64
-	auditMaxErr  atomicFloatMax
+	// kneeProbeFn, when non-nil, substitutes for the DES probe runs the
+	// knee search performs — a test seam for injecting synthetic regime
+	// responses (non-monotone, knee-free) without simulating. Probe
+	// residual measurement is skipped under the hook.
+	kneeProbeFn func(core.Params) (core.Results, error)
+
+	fluidRouted       atomic.Uint64
+	desRouted         atomic.Uint64
+	kneeForced        atomic.Uint64
+	anchorRuns        atomic.Uint64
+	anchorReused      atomic.Uint64
+	anchorTransferred atomic.Uint64
+	anchorRefined     atomic.Uint64
+	kneeProbes        atomic.Uint64
+	kneeBypassed      atomic.Uint64
+	audited           atomic.Uint64
+	auditOverTol      atomic.Uint64
+	auditMaxErr       atomicFloatMax
 
 	anchorLoaded     atomic.Uint64
 	anchorPersisted  atomic.Uint64
@@ -267,6 +311,12 @@ func New(cfg Config) (*Router, error) {
 	if cfg.WarmAuditRate < 0 || cfg.WarmAuditRate > 1 {
 		return nil, fmt.Errorf("fidelity: WarmAuditRate %v outside [0, 1]", cfg.WarmAuditRate)
 	}
+	if cfg.KneeRadius < 0 {
+		return nil, fmt.Errorf("fidelity: KneeRadius %d negative", cfg.KneeRadius)
+	}
+	if cfg.TransferRadius < 0 {
+		return nil, fmt.Errorf("fidelity: TransferRadius %v negative", cfg.TransferRadius)
+	}
 	if len(cfg.AnchorSeeds) == 0 {
 		cfg.AnchorSeeds = []uint64{1, 2}
 	}
@@ -302,14 +352,18 @@ func New(cfg Config) (*Router, error) {
 // Counters snapshots the accounting so far.
 func (r *Router) Counters() Counters {
 	c := Counters{
-		FluidRouted:  r.fluidRouted.Load(),
-		DESRouted:    r.desRouted.Load(),
-		KneeForced:   r.kneeForced.Load(),
-		AnchorRuns:   r.anchorRuns.Load(),
-		AnchorReused: r.anchorReused.Load(),
-		Audited:      r.audited.Load(),
-		AuditOverTol: r.auditOverTol.Load(),
-		AuditMaxErr:  r.auditMaxErr.Load(),
+		FluidRouted:       r.fluidRouted.Load(),
+		DESRouted:         r.desRouted.Load(),
+		KneeForced:        r.kneeForced.Load(),
+		AnchorRuns:        r.anchorRuns.Load(),
+		AnchorReused:      r.anchorReused.Load(),
+		AnchorTransferred: r.anchorTransferred.Load(),
+		AnchorRefined:     r.anchorRefined.Load(),
+		KneeProbes:        r.kneeProbes.Load(),
+		KneeBypassed:      r.kneeBypassed.Load(),
+		Audited:           r.audited.Load(),
+		AuditOverTol:      r.auditOverTol.Load(),
+		AuditMaxErr:       r.auditMaxErr.Load(),
 
 		AnchorLoaded:     r.anchorLoaded.Load(),
 		AnchorPersisted:  r.anchorPersisted.Load(),
@@ -338,6 +392,10 @@ func (r *Router) MetricsInto(emit func(name, typ string, v float64)) {
 	emit("hic_fidelity_knee_forced_total", "counter", float64(c.KneeForced))
 	emit("hic_fidelity_anchor_runs_total", "counter", float64(c.AnchorRuns))
 	emit("hic_fidelity_anchor_reused_total", "counter", float64(c.AnchorReused))
+	emit("hic_fidelity_anchor_transferred_total", "counter", float64(c.AnchorTransferred))
+	emit("hic_fidelity_anchor_refined_total", "counter", float64(c.AnchorRefined))
+	emit("hic_fidelity_knee_probes_total", "counter", float64(c.KneeProbes))
+	emit("hic_fidelity_knee_bypassed_total", "counter", float64(c.KneeBypassed))
 	emit("hic_fidelity_audited_total", "counter", float64(c.Audited))
 	emit("hic_fidelity_audit_over_tol_total", "counter", float64(c.AuditOverTol))
 	emit("hic_fidelity_audit_max_err", "gauge", c.AuditMaxErr)
@@ -553,12 +611,15 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 	// noise measurement) is served that run's DES result outright: the
 	// exact answer is (or is about to be) in hand, so fluid-routing it
 	// would trade accuracy for nothing. Coincidence is structural —
-	// anchor grid × anchor seeds, via anchorCoincident — not "is the
-	// memo populated yet", so the same point routes the same way
-	// whether its signature's calibration already happened (earlier in
-	// this run, or resident from a previous query in a serving
-	// process) or is materialized right here.
-	if r.anchorCoincident(p) {
+	// anchor grid × anchor seeds, via anchorCoincident, narrowed by
+	// coincidentEligible to the tiers a transferring signature actually
+	// runs itself — not "is the memo populated yet", so the same point
+	// routes the same way whether its signature's calibration already
+	// happened (earlier in this run, or resident from a previous query
+	// in a serving process) or is materialized right here.
+	if elig, cerr := r.coincidentEligible(p); cerr != nil {
+		return "", nil, fmt.Errorf("fidelity: calibrating %s: %w", sigLabel(p), cerr)
+	} else if elig {
 		des, cerr := r.ensureCoincidentDES(p)
 		if cerr != nil {
 			return "", nil, fmt.Errorf("fidelity: calibrating %s: %w", sigLabel(p), cerr)
@@ -575,10 +636,15 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 		}, nil
 	}
 	if why, near := nearKnee(pred); near {
+		if version, run, handled, kerr := r.kneePlan(p, pred, why); kerr != nil {
+			return "", nil, kerr
+		} else if handled {
+			return version, run, nil
+		}
 		r.kneeForced.Add(1)
 		return r.desPlanAuto(p, why)
 	}
-	adj, errBound, ok, err := r.calibrate(p, pred)
+	adj, errBound, calV, ok, err := r.calibrate(p, pred)
 	if err != nil {
 		return "", nil, fmt.Errorf("fidelity: calibrating %s: %w", sigLabel(p), err)
 	}
@@ -588,7 +654,14 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 	if errBound > routeMargin*r.tol {
 		return r.desPlanAuto(p, fmt.Sprintf("errBound %.3f > %.2f*tol %.3f", errBound, routeMargin, r.tol))
 	}
+	return r.fluidPlan(p, adj, calV)
+}
 
+// fluidPlan serves a point that passed every routing gate from the
+// calibrated fluid prediction adj, cache-salted with the calibration
+// version calV — except for the deterministic audit sample, which runs
+// (and caches) authoritative DES and only compares the prediction.
+func (r *Router) fluidPlan(p core.Params, adj core.Results, calV string) (string, func(*runner.Arena) (core.Results, error), error) {
 	canonical := p.Canonical()
 	if r.audit(canonical) {
 		// Audited points run (and cache) authoritative full-window DES
@@ -626,11 +699,17 @@ func (r *Router) autoPlan(p core.Params) (string, func(*runner.Arena) (core.Resu
 	}
 
 	r.emitRoute(p, "fluid", "")
-	version := fmt.Sprintf("%s+cal(%v@%s)", core.FluidVersion, r.cfg.AnchorAnts, seedsLabel(r.cfg.AnchorSeeds))
-	return version, func(*runner.Arena) (core.Results, error) {
+	return calV, func(*runner.Arena) (core.Results, error) {
 		r.fluidRouted.Add(1)
 		return adj, nil
 	}, nil
+}
+
+// ownCalVersion is the cache salt for results calibrated from the
+// signature's own anchor grid (transfer.go salts borrowed curves by
+// donor and refined-tier set instead).
+func (r *Router) ownCalVersion() string {
+	return fmt.Sprintf("%s+cal(%v@%s)", core.FluidVersion, r.cfg.AnchorAnts, seedsLabel(r.cfg.AnchorSeeds))
 }
 
 // observedError is the audit metric: the larger of the relative

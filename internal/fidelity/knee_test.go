@@ -1,0 +1,187 @@
+package fidelity
+
+import (
+	"testing"
+
+	"hic/internal/core"
+	"hic/internal/sim"
+)
+
+// kneeParams is a fluid-supported point for knee-search tests (seed
+// outside the anchor seeds so nothing coincides by accident).
+func kneeParams(ant int) core.Params {
+	p := core.DefaultParams(12)
+	p.Seed = 7
+	p.AntagonistCores = ant
+	p.Warmup, p.Measure = 2*sim.Millisecond, 3*sim.Millisecond
+	return p
+}
+
+// satAbove installs a synthetic regime response on r: tiers >= k probe
+// saturated (drops above kneeSatDrop), lower tiers smooth. It returns a
+// pointer to the recorded probe-tier sequence.
+func satAbove(r *Router, k int) *[]int {
+	probed := &[]int{}
+	r.kneeProbeFn = func(pt core.Params) (core.Results, error) {
+		*probed = append(*probed, pt.AntagonistCores)
+		res := core.Results{AppThroughputGbps: 1e6} // never a throughput shortfall
+		if pt.AntagonistCores >= k {
+			res.DropRatePct = 10 * kneeSatDrop
+		}
+		return res, nil
+	}
+	return probed
+}
+
+// TestLocateKneeBisection checks the bisection finds the exact first
+// saturated tier for every knee position inside the hull, within the
+// O(log n) probe budget.
+func TestLocateKneeBisection(t *testing.T) {
+	for k := 1; k <= 15; k++ {
+		r := mustRouter(t, Config{Mode: ModeAuto, KneeSearch: true})
+		probed := satAbove(r, k)
+		ks, err := r.kneeFor(kneeParams(3))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if ks.fallback || !ks.hasKnee || ks.k != k {
+			t.Errorf("k=%d: got fallback=%t hasKnee=%t k=%d", k, ks.fallback, ks.hasKnee, ks.k)
+		}
+		// 2 endpoint probes + ceil(log2(15)) = 4 bisection probes.
+		if len(*probed) > 6 {
+			t.Errorf("k=%d: %d probes, want <= 6 (%v)", k, len(*probed), *probed)
+		}
+	}
+}
+
+// TestLocateKneeOutsideGrid: a hull that is single-regime — smooth
+// throughout, or saturated from tier zero (the knee sits below the
+// scanned grid) — locates no knee and must not fall back.
+func TestLocateKneeOutsideGrid(t *testing.T) {
+	for name, k := range map[string]int{"saturated everywhere": 0, "smooth everywhere": 99} {
+		r := mustRouter(t, Config{Mode: ModeAuto, KneeSearch: true})
+		probed := satAbove(r, k)
+		ks, err := r.kneeFor(kneeParams(5))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ks.fallback || ks.hasKnee {
+			t.Errorf("%s: got fallback=%t hasKnee=%t, want single-regime", name, ks.fallback, ks.hasKnee)
+		}
+		if len(*probed) != 2 {
+			t.Errorf("%s: %d probes, want exactly the 2 hull endpoints (%v)", name, len(*probed), *probed)
+		}
+	}
+}
+
+// TestLocateKneeNonMonotone: saturation decreasing with antagonist
+// pressure violates the bisection invariant; the search must abandon
+// the signature (full knee band stays on DES) instead of reporting a
+// bogus boundary.
+func TestLocateKneeNonMonotone(t *testing.T) {
+	r := mustRouter(t, Config{Mode: ModeAuto, KneeSearch: true})
+	r.kneeProbeFn = func(pt core.Params) (core.Results, error) {
+		res := core.Results{AppThroughputGbps: 1e6}
+		if pt.AntagonistCores < 8 { // saturated low, smooth high
+			res.DropRatePct = 10 * kneeSatDrop
+		}
+		return res, nil
+	}
+	ks, err := r.kneeFor(kneeParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ks.fallback {
+		t.Errorf("non-monotone response: got %+v, want fallback", ks)
+	}
+}
+
+// TestKneeDeterministicAcrossArrivalOrder: the probe sequence and the
+// located knee are pure functions of the router config and signature —
+// whichever point of the signature arrives first (different tiers,
+// different seeds, as across shard boundaries), every router locates
+// the identical knee with the identical probes, and the bisection runs
+// exactly once per signature.
+func TestKneeDeterministicAcrossArrivalOrder(t *testing.T) {
+	arrivals := [][]core.Params{
+		{kneeParams(2), kneeParams(14), kneeParams(9)},
+		{kneeParams(14), kneeParams(9), kneeParams(2)},
+	}
+	first := kneeParams(9)
+	first.Seed = 11
+	arrivals = append(arrivals, append([]core.Params{first}, arrivals[0]...))
+
+	var wantProbes []int
+	wantK := -1
+	for i, order := range arrivals {
+		r := mustRouter(t, Config{Mode: ModeAuto, KneeSearch: true})
+		probed := satAbove(r, 10)
+		for _, p := range order {
+			ks, err := r.kneeFor(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ks.hasKnee {
+				t.Fatalf("order %d: no knee located", i)
+			}
+			if wantK < 0 {
+				wantK, wantProbes = ks.k, append([]int(nil), *probed...)
+			}
+			if ks.k != wantK {
+				t.Errorf("order %d: knee at %d, want %d", i, ks.k, wantK)
+			}
+		}
+		if got := *probed; len(got) != len(wantProbes) {
+			t.Errorf("order %d: probe sequence %v, want %v (bisection must run once, identically)", i, got, wantProbes)
+		} else {
+			for j := range got {
+				if got[j] != wantProbes[j] {
+					t.Errorf("order %d: probe sequence %v, want %v", i, got, wantProbes)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSetRosterOrderIndependent: the hub/spoke assignment calibration
+// transfer clusters over must not depend on the order representatives
+// are presented in — shard workers each derive the roster from their
+// own scan and must agree.
+func TestSetRosterOrderIndependent(t *testing.T) {
+	mk := func(threads, senders int, offered float64) core.Params {
+		p := core.DefaultParams(threads)
+		p.Senders = senders
+		p.OfferedGbps = offered
+		p.Warmup, p.Measure = 2*sim.Millisecond, 3*sim.Millisecond
+		return p
+	}
+	reps := []core.Params{
+		mk(4, 16, 0), mk(4, 24, 0), mk(8, 16, 0),
+		mk(8, 16, 25), mk(16, 40, 0), mk(16, 40, 60),
+	}
+	assign := func(order []core.Params) map[string]string {
+		r := mustRouter(t, Config{Mode: ModeAuto, Transfer: true})
+		r.SetRoster(order)
+		out := make(map[string]string)
+		for _, p := range reps {
+			donor := ""
+			if asn := r.assignFor(p); asn != nil {
+				donor = asn.donorKey
+			}
+			out[SignatureKey(p)] = donor
+		}
+		return out
+	}
+	forward := assign(reps)
+	reversed := make([]core.Params, len(reps))
+	for i, p := range reps {
+		reversed[len(reps)-1-i] = p
+	}
+	backward := assign(reversed)
+	for k, d := range forward {
+		if backward[k] != d {
+			t.Errorf("assignment for %s depends on roster order: %q vs %q", k, d, backward[k])
+		}
+	}
+}

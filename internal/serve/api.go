@@ -59,6 +59,20 @@ type QueryRequest struct {
 	// NoCache bypasses the shared run cache for this query.
 	NoCache bool `json:"no_cache,omitempty"`
 
+	// Cold-path accelerations (auto mode). All three are on by default,
+	// matching the CLIs, so the knobs are spelled as disables to keep
+	// the zero-value-is-default contract: NoKneeSearch keeps the full
+	// knee bands DES-forced, NoTransfer calibrates every signature from
+	// its own anchor grid, and NoPrefetch skips the coordinator's
+	// signature prefetch leases (workers then calibrate lazily on first
+	// touch inside range execution). KneeRadius and TransferRadius
+	// override the router defaults when positive.
+	NoKneeSearch   bool    `json:"no_knee_search,omitempty"`
+	NoTransfer     bool    `json:"no_transfer,omitempty"`
+	NoPrefetch     bool    `json:"no_prefetch,omitempty"`
+	KneeRadius     int     `json:"knee_radius,omitempty"`
+	TransferRadius float64 `json:"transfer_radius,omitempty"`
+
 	// RangeHosts overrides the shard granularity (0 = auto: the fleet
 	// split about eight ranges per registered worker, like the runner's
 	// chunk frontier).
@@ -111,8 +125,16 @@ func (q QueryRequest) ClusterConfig() cluster.Config {
 // exactly when reusing it is sound. The fleet seed is included because
 // anchor seeds derive from it (cluster.SeedPool).
 func (q QueryRequest) FidelitySignature() string {
-	return fmt.Sprintf("m=%s tol=%g audit=%g es=%t warm=%s seed=%d",
-		q.Fidelity, q.Tol, q.AuditRate, q.EarlyStop, q.Warm, q.Seed)
+	return fmt.Sprintf("m=%s tol=%g audit=%g es=%t warm=%s seed=%d ks=%t kr=%d xfer=%t xr=%g",
+		q.Fidelity, q.Tol, q.AuditRate, q.EarlyStop, q.Warm, q.Seed,
+		!q.NoKneeSearch, q.KneeRadius, !q.NoTransfer, q.TransferRadius)
+}
+
+// Prefetchable reports whether the coordinator should dispense
+// signature prefetch leases before this query's ranges: auto-mode
+// fidelity (the only mode that calibrates) with prefetch not disabled.
+func (q QueryRequest) Prefetchable() bool {
+	return q.Fidelity == string(fidelity.ModeAuto) && !q.NoPrefetch
 }
 
 // NeedsRouter reports whether the query routes through a fidelity
@@ -122,14 +144,27 @@ func (q QueryRequest) NeedsRouter() bool {
 		q.EarlyStop || (q.Warm != "" && q.Warm != string(fidelity.WarmOff))
 }
 
+// LeasePrefetch marks a prefetch lease: instead of executing hosts
+// [Lo, Hi), the worker calibrates the distinct fidelity signatures of
+// the representative hosts in Reps (anchor grid or transfer curve, both
+// noise tiers, located knee) so the shared run cache and warm store are
+// hot before range execution starts. Everything a prefetch computes is
+// content-addressed, so N workers prefetching disjoint rep chunks
+// calibrate the fleet in parallel without duplicating DES.
+const LeasePrefetch = "prefetch"
+
 // Lease is one dispensed unit of work: hosts [Lo, Hi) of the job's
-// fleet. The full spec rides along so workers are stateless between
-// leases — any worker can run any range of any job.
+// fleet, or (Kind == LeasePrefetch) a chunk of signature representatives
+// to calibrate ahead of the ranges. The full spec rides along so workers
+// are stateless between leases — any worker can run any lease of any
+// job.
 type Lease struct {
 	Job     string       `json:"job"`
 	RangeID int          `json:"range_id"`
 	Lo      int          `json:"lo"`
 	Hi      int          `json:"hi"`
+	Kind    string       `json:"kind,omitempty"`
+	Reps    []int        `json:"reps,omitempty"`
 	Spec    QueryRequest `json:"spec"`
 }
 
@@ -148,6 +183,11 @@ type RangePartial struct {
 	Stats   cluster.Stats   `json:"stats"`
 	Util    stats.Moments   `json:"util"`
 	Drop    stats.Moments   `json:"drop"`
+	// Prefetch marks this as a prefetch lease's completion: Stats carry
+	// the calibration work (anchor runs, transfers, knee probes) and
+	// Points stay empty. RangeID indexes the job's prefetch leases, a
+	// separate id space from its ranges.
+	Prefetch bool `json:"prefetch,omitempty"`
 	// Err, when non-empty, reports the range failed; the coordinator
 	// fails the whole query (simulation errors are never partial).
 	Err string `json:"err,omitempty"`
@@ -173,6 +213,10 @@ type QueryResult struct {
 	Workers    int    `json:"workers"`
 	Reassigned uint64 `json:"reassigned"`
 	Duplicates uint64 `json:"duplicates"`
+	// Prefetched is how many distinct fidelity signatures the
+	// coordinator dispensed as prefetch leases before range execution
+	// (0 = prefetch skipped or not applicable).
+	Prefetched int `json:"prefetched,omitempty"`
 	// MergeSkew is the largest absolute difference between the
 	// point-folded aggregates (authoritative — these are what Stats
 	// reports) and the range-order merge of the workers' moment

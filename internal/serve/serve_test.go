@@ -284,6 +284,9 @@ func TestResidentStateMakesSecondQueryWarm(t *testing.T) {
 	if cold.Stats.AnchorRuns == 0 {
 		t.Error("cold auto query calibrated nothing")
 	}
+	if cold.Prefetched == 0 {
+		t.Error("cold auto query dispensed no prefetch leases (signature extraction broke)")
+	}
 	warm, _ := h.query(q)
 	if warm.AggregateHash != cold.AggregateHash {
 		t.Errorf("warm hash %s != cold %s (residency must not change results)",

@@ -116,6 +116,21 @@ type job struct {
 	duplicates uint64
 	failed     string
 	signal     chan struct{}
+
+	// Prefetch phase: reps are the fleet's signature-representative host
+	// indices, prefetch the leases chunking them ([lo, hi) index into
+	// reps), prefetchPending the undispensed lease ids, and
+	// prefetchLeft the not-yet-completed count — the soft barrier: this
+	// job's ranges are not dispensed until it reaches zero (expired
+	// prefetch leases are reclaimed like range leases, so a dead worker
+	// delays the barrier by one lease timeout, never wedges it).
+	// prefetchStats accumulates completed prefetch leases' calibration
+	// accounting for the final merge.
+	reps            []int
+	prefetch        []shardRange
+	prefetchPending []int
+	prefetchLeft    int
+	prefetchStats   cluster.Stats
 }
 
 func (j *job) poke() {
@@ -125,10 +140,11 @@ func (j *job) poke() {
 	}
 }
 
-// reclaimExpired requeues every leased, unfinished range whose deadline
-// passed. Called under the server lock from both the lease path (a
-// polling worker picks the range right back up) and the query handler's
-// ticker (so an expiry is detected even with no worker polling).
+// reclaimExpired requeues every leased, unfinished range or prefetch
+// lease whose deadline passed. Called under the server lock from both
+// the lease path (a polling worker picks the range right back up) and
+// the query handler's ticker (so an expiry is detected even with no
+// worker polling).
 func (j *job) reclaimExpired(now time.Time) {
 	for id := range j.ranges {
 		r := &j.ranges[id]
@@ -138,6 +154,39 @@ func (j *job) reclaimExpired(now time.Time) {
 			j.reassigned++
 		}
 	}
+	for id := range j.prefetch {
+		r := &j.prefetch[id]
+		if r.done == nil && r.worker != "" && now.After(r.deadline) {
+			r.worker = ""
+			j.prefetchPending = append(j.prefetchPending, id)
+			j.reassigned++
+		}
+	}
+}
+
+// splitPrefetch chunks the signature representatives into about two
+// prefetch leases per worker — wide enough to amortize lease round
+// trips, narrow enough that every worker calibrates in parallel.
+func splitPrefetch(reps, workers int) []shardRange {
+	if reps == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := reps / (workers * 2)
+	if chunk < 1 {
+		chunk = 1
+	}
+	ranges := make([]shardRange, 0, (reps+chunk-1)/chunk)
+	for lo := 0; lo < reps; lo += chunk {
+		hi := lo + chunk
+		if hi > reps {
+			hi = reps
+		}
+		ranges = append(ranges, shardRange{lo: lo, hi: hi})
+	}
+	return ranges
 }
 
 // splitRanges carves [0, hosts) into contiguous ranges of rangeHosts
@@ -218,7 +267,21 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		j.reclaimExpired(now)
-		if len(j.pending) == 0 {
+		// Prefetch leases first; ranges of this job wait behind the
+		// prefetch barrier so range execution starts against a hot cache
+		// instead of racing the calibration it depends on. (Other jobs'
+		// ranges still dispense — the barrier is per job.)
+		if len(j.prefetchPending) > 0 {
+			rid := j.prefetchPending[0]
+			j.prefetchPending = j.prefetchPending[1:]
+			rg := &j.prefetch[rid]
+			rg.worker = req.WorkerID
+			rg.deadline = now.Add(s.opts.LeaseTimeout)
+			writeJSON(w, Lease{Job: j.id, RangeID: rid, Kind: LeasePrefetch,
+				Lo: rg.lo, Hi: rg.hi, Reps: j.reps[rg.lo:rg.hi], Spec: j.spec})
+			return
+		}
+		if j.prefetchLeft > 0 || len(j.pending) == 0 {
 			continue
 		}
 		rid := j.pending[0]
@@ -249,6 +312,32 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 	accepted := false
 	s.mu.Lock()
 	j := s.jobs[p.Job]
+	if j != nil && p.Prefetch {
+		if p.RangeID >= 0 && p.RangeID < len(j.prefetch) {
+			rg := &j.prefetch[p.RangeID]
+			switch {
+			case rg.done != nil:
+				j.duplicates++
+			default:
+				// Prefetch failures are non-fatal: range execution
+				// calibrates lazily on first touch, so the query loses
+				// parallelism, not correctness.
+				if p.Err != "" {
+					s.logf("query %s: prefetch lease %d on %s failed (non-fatal): %s",
+						j.id, p.RangeID, p.Worker, p.Err)
+				}
+				pc := p
+				rg.done = &pc
+				rg.worker = p.Worker
+				sumStats(&j.prefetchStats, p.Stats)
+				j.prefetchLeft--
+				accepted = true
+			}
+		}
+		s.mu.Unlock()
+		writeJSON(w, map[string]bool{"accepted": accepted})
+		return
+	}
 	if j != nil && p.RangeID >= 0 && p.RangeID < len(j.ranges) {
 		rg := &j.ranges[p.RangeID]
 		switch {
@@ -348,6 +437,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i := range j.ranges {
 		j.pending = append(j.pending, i)
 	}
+	if q.Prefetchable() {
+		// Param generation only (no simulation): one representative host
+		// per distinct fidelity signature, chunked into prefetch leases.
+		j.reps = cluster.SignatureReps(q.ClusterConfig())
+		j.prefetch = splitPrefetch(len(j.reps), len(s.workers))
+		for i := range j.prefetch {
+			j.prefetchPending = append(j.prefetchPending, i)
+		}
+		j.prefetchLeft = len(j.prefetch)
+	}
 	s.jobs[j.id] = j
 	nworkers := len(s.workers)
 	s.mu.Unlock()
@@ -356,7 +455,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
 	}()
-	s.logf("query %s: %d hosts in %d ranges across %d workers", j.id, q.Hosts, len(j.ranges), nworkers)
+	s.logf("query %s: %d hosts in %d ranges across %d workers (%d signatures in %d prefetch leases)",
+		j.id, q.Hosts, len(j.ranges), nworkers, len(j.reps), len(j.prefetch))
 
 	var orun *obs.Run
 	if s.opts.Obs != nil {
@@ -476,11 +576,20 @@ func (s *Server) finishQuery(j *job, q QueryRequest, folded []cluster.Point,
 	hasher *cluster.PointHasher, utilMerged, dropMerged stats.Moments,
 	sum cluster.Stats, workersSeen map[string]bool, start time.Time) QueryResult {
 
+	// Calibration performed under prefetch leases is part of the query's
+	// execution accounting even though no range contains it.
+	s.mu.Lock()
+	sumStats(&sum, j.prefetchStats)
+	prefetched := len(j.reps)
+	s.mu.Unlock()
+
 	merged := cluster.Summarize(folded)
 	// Execution accounting lives only in the partials.
 	merged.Simulated, merged.Collapsed, merged.CacheSkipped = sum.Simulated, sum.Collapsed, sum.CacheSkipped
 	merged.FluidRouted, merged.EarlyStopped, merged.AnchorRuns = sum.FluidRouted, sum.EarlyStopped, sum.AnchorRuns
 	merged.Audited, merged.AuditOverTol, merged.AuditMaxErr = sum.Audited, sum.AuditOverTol, sum.AuditMaxErr
+	merged.AnchorTransferred, merged.AnchorRefined = sum.AnchorTransferred, sum.AnchorRefined
+	merged.KneeProbes, merged.KneeBypassed = sum.KneeProbes, sum.KneeBypassed
 	merged.AnchorLoaded, merged.AnchorPersisted = sum.AnchorLoaded, sum.AnchorPersisted
 	merged.WarmStarted, merged.WarmCheckpoints = sum.WarmStarted, sum.WarmCheckpoints
 	merged.WarmAudited, merged.WarmAuditOverTol, merged.WarmAuditMaxErr = sum.WarmAudited, sum.WarmAuditOverTol, sum.WarmAuditMaxErr
@@ -500,6 +609,7 @@ func (s *Server) finishQuery(j *job, q QueryRequest, folded []cluster.Point,
 		Workers:       len(workersSeen),
 		Reassigned:    j.reassigned,
 		Duplicates:    j.duplicates,
+		Prefetched:    prefetched,
 		MergeSkew:     skew,
 		ElapsedMS:     float64(elapsed.Nanoseconds()) / 1e6,
 	}
@@ -523,6 +633,10 @@ func sumStats(dst *cluster.Stats, p cluster.Stats) {
 	dst.Audited += p.Audited
 	dst.AuditOverTol += p.AuditOverTol
 	dst.AuditMaxErr = math.Max(dst.AuditMaxErr, p.AuditMaxErr)
+	dst.AnchorTransferred += p.AnchorTransferred
+	dst.AnchorRefined += p.AnchorRefined
+	dst.KneeProbes += p.KneeProbes
+	dst.KneeBypassed += p.KneeBypassed
 	dst.AnchorLoaded += p.AnchorLoaded
 	dst.AnchorPersisted += p.AnchorPersisted
 	dst.WarmStarted += p.WarmStarted

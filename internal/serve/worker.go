@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -35,7 +37,11 @@ type WorkerOptions struct {
 	// shared machine, give each worker cores/workers so co-resident
 	// workers split the cores instead of oversubscribing them.
 	Threads int
-	// Poll is the idle polling cadence (0 = 50ms).
+	// Poll is the base idle polling cadence (0 = 50ms). Consecutive
+	// empty polls back off exponentially up to maxIdlePoll, and every
+	// idle sleep is jittered ±25% so a fleet of workers started
+	// together does not hit the coordinator in lockstep; the first poll
+	// after any lease returns to the base cadence.
 	Poll time.Duration
 	// Client overrides the HTTP client (nil = 5-minute timeout, ample
 	// for a slow range's /shard/done upload).
@@ -54,6 +60,7 @@ type Worker struct {
 	id    string
 	cache *runcache.Store // shared results cache via the coordinator
 	warm  *runcache.Store // shared warm store via the coordinator
+	rng   *rand.Rand      // poll jitter; used only by the Run goroutine
 
 	mu      sync.Mutex
 	routers map[string]*fidelity.Router
@@ -80,6 +87,10 @@ func NewWorker(base string, o WorkerOptions) *Worker {
 	if hc == nil {
 		hc = &http.Client{Timeout: 5 * time.Minute}
 	}
+	// Jitter is de-synchronization, not reproducibility: seed from the
+	// clock, salted by the name so same-instant siblings still diverge.
+	h := fnv.New64a()
+	h.Write([]byte(o.Name)) //nolint:errcheck // fnv never errors
 	return &Worker{
 		base:    base,
 		opts:    o,
@@ -88,7 +99,32 @@ func NewWorker(base string, o WorkerOptions) *Worker {
 		cache:   runcache.NewStore(runcache.NewHTTP(runcache.RemoteURL(base, runcache.RemoteResultsPath), hc)),
 		warm:    runcache.NewStore(runcache.NewHTTP(runcache.RemoteURL(base, runcache.RemoteWarmPath), hc)),
 		routers: make(map[string]*fidelity.Router),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(h.Sum64()))),
 	}
+}
+
+// maxIdlePoll caps the idle backoff: a worker that has been idle for a
+// while still notices a new query within a second.
+const maxIdlePoll = time.Second
+
+// nextIdle doubles the idle backoff from base up to maxIdlePoll.
+func nextIdle(cur, base time.Duration) time.Duration {
+	if cur < base {
+		return base
+	}
+	cur *= 2
+	if cur > maxIdlePoll {
+		cur = maxIdlePoll
+	}
+	return cur
+}
+
+// jitter spreads a sleep across [0.75d, 1.25d].
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d*3/4 + time.Duration(w.rng.Int63n(int64(d/2)+1))
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -153,6 +189,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		return err
 	}
 	taken := 0
+	idle := time.Duration(0)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -161,17 +198,20 @@ func (w *Worker) Run(ctx context.Context) error {
 		err := w.post(NextPath, map[string]string{"worker_id": w.id}, &lease)
 		switch {
 		case err == errNoWork:
-			if !sleepCtx(ctx, w.opts.Poll) {
+			idle = nextIdle(idle, w.opts.Poll)
+			if !sleepCtx(ctx, w.jitter(idle)) {
 				return ctx.Err()
 			}
 			continue
 		case err != nil:
 			w.logf("poll: %v", err)
-			if !sleepCtx(ctx, w.opts.Poll*4) {
+			idle = nextIdle(idle, w.opts.Poll*4)
+			if !sleepCtx(ctx, w.jitter(idle)) {
 				return ctx.Err()
 			}
 			continue
 		}
+		idle = 0
 		taken++
 		if w.abandonAfter > 0 && taken > w.abandonAfter {
 			// Simulated death: the lease is held, never executed, never
@@ -182,7 +222,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.mu.Lock()
 		w.leases++
 		w.mu.Unlock()
-		partial := w.execute(lease)
+		var partial RangePartial
+		if lease.Kind == LeasePrefetch {
+			partial = w.executePrefetch(lease)
+		} else {
+			partial = w.execute(lease)
+		}
 		if w.reportDelay > 0 {
 			sleepCtx(ctx, w.reportDelay)
 		}
@@ -255,6 +300,45 @@ func (w *Worker) execute(lease Lease) RangePartial {
 	return p
 }
 
+// executePrefetch calibrates one chunk of the fleet's distinct fidelity
+// signatures ahead of range execution: anchor grid or borrowed transfer
+// curve, both noise tiers, and the located knee, all landing in the
+// shared run cache and warm store. The partial carries only the
+// calibration accounting — no points. Errors are reported but the
+// coordinator treats them as non-fatal (ranges calibrate lazily).
+func (w *Worker) executePrefetch(lease Lease) RangePartial {
+	p := RangePartial{Job: lease.Job, RangeID: lease.RangeID, Worker: w.id,
+		Lo: lease.Lo, Hi: lease.Hi, Prefetch: true}
+	cfg := lease.Spec.ClusterConfig()
+	cfg.Pool = w.pool
+	cfg.Log = w.opts.Log
+	if !lease.Spec.NoCache {
+		cfg.Cache = w.cache
+	}
+	if !lease.Spec.NeedsRouter() {
+		return p
+	}
+	router, err := w.routerFor(lease.Spec, cfg)
+	if err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	cluster.InstallRoster(cfg, router)
+	before := router.Counters()
+	for _, rep := range lease.Reps {
+		params, _ := cluster.HostScenario(cfg, rep)
+		if perr := router.Prefetch(params); perr != nil {
+			p.Err = perr.Error()
+			break
+		}
+	}
+	p.Stats = cluster.RouterDelta(before, router.Counters())
+	w.logf("prefetch %s/%d: %d signatures, %d anchor runs (%d transferred, %d refined), %d knee probes",
+		lease.Job, lease.RangeID, len(lease.Reps), p.Stats.AnchorRuns,
+		p.Stats.AnchorTransferred, p.Stats.AnchorRefined, p.Stats.KneeProbes)
+	return p
+}
+
 // routerFor returns the resident router for the query's fidelity
 // signature, building and caching it on first use. Keeping routers
 // resident is the warm-query fast path: the second identical query
@@ -269,11 +353,15 @@ func (w *Worker) routerFor(spec QueryRequest, cfg cluster.Config) (*fidelity.Rou
 		return r, nil
 	}
 	fcfg := fidelity.Config{
-		Tol:         spec.Tol,
-		AuditRate:   spec.AuditRate,
-		EarlyStop:   spec.EarlyStop,
-		AnchorSeeds: cluster.SeedPool(cfg),
-		Log:         w.opts.Log,
+		Tol:            spec.Tol,
+		AuditRate:      spec.AuditRate,
+		EarlyStop:      spec.EarlyStop,
+		AnchorSeeds:    cluster.SeedPool(cfg),
+		Log:            w.opts.Log,
+		KneeSearch:     !spec.NoKneeSearch,
+		KneeRadius:     spec.KneeRadius,
+		Transfer:       !spec.NoTransfer,
+		TransferRadius: spec.TransferRadius,
 	}
 	if spec.Fidelity != "" {
 		mode, err := fidelity.ParseMode(spec.Fidelity)
