@@ -27,8 +27,9 @@ check: check-tests bench-compare bench-warm bench-serve bench-cold
 # collector takes concurrent Note/MetricsInto reads during fleet runs),
 # an explicit non-race pass over the zero-alloc gates
 # (TestEngineSteadyStateZeroAllocs, TestPacketPathZeroAllocs,
-# TestObservatoryDisabledZeroAlloc) so the allocation-free hot-path and
-# disabled-observatory properties are enforced by name under the plain
+# TestObservatoryDisabledZeroAlloc, TestServeTraceDisabledZeroAlloc) so
+# the allocation-free hot-path, disabled-observatory, and
+# disabled-query-trace properties are enforced by name under the plain
 # runtime, and a 1x smoke pass over the engine benchmarks so a compile
 # break in the hot-path benches fails CI.
 check-tests:
@@ -37,6 +38,7 @@ check-tests:
 	$(GO) test -race -count=2 ./internal/runner/ ./internal/runcache/ ./internal/observatory/
 	$(GO) test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/pkt/
 	$(GO) test -run 'TestObservatoryDisabledZeroAlloc' -count=1 ./internal/observatory/
+	$(GO) test -run 'TestServeTraceDisabledZeroAlloc' -count=1 ./internal/serve/
 	$(GO) test -run=NONE -bench=BenchmarkEngine -benchtime=1x ./internal/sim/
 
 # bench-compare is the bench-regression gate: a small smoke bench (400
@@ -64,12 +66,16 @@ bench-warm:
 	$(GO) run ./cmd/hicbench -compare-tol 0.75 -compare BENCH_hotpath.json results/bench_warm.json
 
 # bench-serve is the serving-layer gate: a coordinator plus two
-# in-process workers run a 400-host catalog query cold then warm and
-# the section is compared against the committed baseline. Two gates are
-# tolerance-free at any scale: the merged aggregate hash must equal the
-# single-process run's (sharding may never change bytes), and the warm
-# query must re-calibrate nothing (worker residency). Throughput and
-# scaling gate with the loose noise tolerance like every rate metric.
+# in-process workers run a 400-host catalog query cold, warm, and then
+# traced (end-to-end query tracing on), and the section is compared
+# against the committed baseline. Three gates are tolerance-free at any
+# scale: the merged aggregate hash — including the traced pass's — must
+# equal the single-process run's (neither sharding nor tracing may
+# change bytes), the warm query must re-calibrate nothing (worker
+# residency), and the coordinator's federated per-worker hic_worker_*
+# counters must sum to the merged queries' counters (fed_sum_match).
+# Throughput, scaling, and trace_overhead (traced wall over warm wall)
+# gate with the loose noise tolerance like every rate metric.
 bench-serve:
 	mkdir -p results
 	$(GO) run ./cmd/hicbench -out results/bench_serve.json -serve-only -serve-hosts 400

@@ -244,6 +244,10 @@ func compareReports(oldRep, newRep report, tol float64) cmpResult {
 				c.higherBetter("serve.cold_hosts_per_sec", oldRep.Serve.ColdHostsPerSec, newRep.Serve.ColdHostsPerSec, tol)
 				c.higherBetter("serve.scaling_ratio", oldRep.Serve.ScalingRatio, newRep.Serve.ScalingRatio, tol)
 				c.higherBetter("serve.warm_speedup", oldRep.Serve.WarmSpeedup, newRep.Serve.WarmSpeedup, tol)
+				// Tracing cost is noisy-class: the traced warm query's
+				// wall over the untraced warm query's (≈1.0 when the
+				// instrumented wire path is cheap).
+				c.lowerBetter("serve.trace_overhead", oldRep.Serve.TraceOverhead, newRep.Serve.TraceOverhead, tol)
 			}
 		} else {
 			c.notef("skip serve rates: host counts differ (%d vs %d)",
@@ -258,12 +262,19 @@ func compareReports(oldRep, newRep report, tol float64) cmpResult {
 	// are correctness, not noise — they fail at any -compare-tol.
 	if newRep.Serve.Hosts > 0 {
 		if !newRep.Serve.HashMatch {
-			c.failf("serve.hash_match = false (single %s, cold %s, warm %s): sharded merge is not byte-identical, fails unconditionally",
-				newRep.Serve.SingleHash, newRep.Serve.ColdHash, newRep.Serve.WarmHash)
+			c.failf("serve.hash_match = false (single %s, cold %s, warm %s, traced %s): sharded merge is not byte-identical, fails unconditionally",
+				newRep.Serve.SingleHash, newRep.Serve.ColdHash, newRep.Serve.WarmHash, newRep.Serve.TracedHash)
 		}
 		if newRep.Serve.WarmAnchorRuns > 0 {
 			c.failf("serve.warm_anchor_runs = %d: warm query re-calibrated (resident routers not reused), fails unconditionally",
 				newRep.Serve.WarmAnchorRuns)
+		}
+		// The traced pass ran (trace_spans set) but the coordinator's
+		// federated per-worker counters did not sum to the merged
+		// queries' counters: attribution is lost or double-counted.
+		// Correctness, not noise.
+		if newRep.Serve.TraceSpans > 0 && !newRep.Serve.FedSumMatch {
+			c.failf("serve.fed_sum_match = false: federated hic_worker_* counters do not sum to the merged queries' counters, fails unconditionally")
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 
 	"hic/internal/cluster"
 	"hic/internal/fidelity"
+	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/serve"
 )
@@ -25,12 +26,22 @@ import (
 //     residency) — a mismatch fails -compare unconditionally;
 //   - warm_anchor_runs/warm_simulated: the warm query re-calibrates
 //     and re-simulates nothing (residency) — a nonzero anchor count
-//     fails -compare unconditionally.
+//     fails -compare unconditionally;
+//   - fed_sum_match: the coordinator's federated per-worker
+//     hic_worker_* counters sum to the merged queries' counters — a
+//     mismatch means attribution lost or double-counted completions
+//     and fails -compare unconditionally.
 //
 // scaling_ratio (cold sharded hosts/sec over single-process) and
 // warm_speedup are noisy-class: on a single-core runner the sharded
 // cold pass only shows protocol overhead (ratio ≈ 1); with real cores
-// per worker it shows the fan-out win.
+// per worker it shows the fan-out win. A third pass re-runs the warm
+// query with end-to-end tracing on: its hash folds into hash_match
+// (tracing must not perturb bytes), trace_overhead (traced wall over
+// warm wall) is the noisy-class cost of the instrumented wire path,
+// and the phase_*_ms fields record where the traced query's wall went
+// (queue wait, prefetch barrier, range execution, merge) from the
+// coordinator's spans.
 type serveBench struct {
 	Hosts        int     `json:"hosts"`
 	FidelityMode string  `json:"fidelity_mode,omitempty"`
@@ -51,6 +62,16 @@ type serveBench struct {
 	WarmSpeedup     float64 `json:"warm_speedup"`
 	WarmAnchorRuns  uint64  `json:"warm_anchor_runs"`
 	WarmSimulated   uint64  `json:"warm_simulated"`
+
+	TracedHash        string  `json:"traced_hash,omitempty"`
+	TracedWallSeconds float64 `json:"traced_wall_seconds,omitempty"`
+	TraceSpans        int     `json:"trace_spans,omitempty"`
+	TraceOverhead     float64 `json:"trace_overhead,omitempty"`
+	PhaseQueueMS      float64 `json:"phase_queue_ms,omitempty"`
+	PhasePrefetchMS   float64 `json:"phase_prefetch_ms,omitempty"`
+	PhaseExecuteMS    float64 `json:"phase_execute_ms,omitempty"`
+	PhaseMergeMS      float64 `json:"phase_merge_ms,omitempty"`
+	FedSumMatch       bool    `json:"fed_sum_match"`
 
 	HashMatch    bool    `json:"hash_match"`
 	ScalingRatio float64 `json:"scaling_ratio"`
@@ -131,7 +152,12 @@ func runServe(hosts int, tol float64) (serveBench, error) {
 	if err != nil {
 		return sb, err
 	}
-	srv, err := serve.NewServer(serve.Options{Store: cstore, LeaseTimeout: 2 * time.Minute})
+	// The coordinator carries its obs control plane so the federated
+	// per-worker counters are scrapeable from /metrics on the same mux,
+	// exactly as hicserve wires it.
+	obsSrv := obs.NewServer(obs.Options{Warn: os.Stderr})
+	defer obsSrv.Close()
+	srv, err := serve.NewServer(serve.Options{Store: cstore, LeaseTimeout: 2 * time.Minute, Obs: obsSrv})
 	if err != nil {
 		return sb, err
 	}
@@ -163,6 +189,16 @@ func runServe(hosts int, tol float64) (serveBench, error) {
 		return sb, fmt.Errorf("warm query: %w", err)
 	}
 
+	// Third pass: the warm query again with end-to-end tracing on, so
+	// the overhead comparison is warm-vs-warm (same resident routers,
+	// same cache state) and isolates the instrumented wire path.
+	tspec := spec
+	tspec.Trace = true
+	traced, err := client.Query(ctx, tspec, nil)
+	if err != nil {
+		return sb, fmt.Errorf("traced query: %w", err)
+	}
+
 	sb.ColdHash = cold.AggregateHash
 	sb.ColdWallSeconds = cold.ElapsedMS / 1e3
 	sb.ColdHostsPerSec = cold.HostsPerSec
@@ -174,20 +210,67 @@ func runServe(hosts int, tol float64) (serveBench, error) {
 	}
 	sb.WarmAnchorRuns = warm.Stats.AnchorRuns
 	sb.WarmSimulated = warm.Stats.Simulated
-	sb.HashMatch = cold.AggregateHash == sb.SingleHash && warm.AggregateHash == sb.SingleHash
+	sb.TracedHash = traced.AggregateHash
+	sb.TracedWallSeconds = traced.ElapsedMS / 1e3
+	sb.TraceSpans = len(traced.Trace)
+	if sb.WarmWallSeconds > 0 {
+		sb.TraceOverhead = sb.TracedWallSeconds / sb.WarmWallSeconds
+	}
+	if p := traced.Phases; p != nil {
+		sb.PhaseQueueMS = p.QueueMS
+		sb.PhasePrefetchMS = p.PrefetchMS
+		sb.PhaseExecuteMS = p.ExecuteMS
+		sb.PhaseMergeMS = p.MergeMS
+	}
+	sb.HashMatch = cold.AggregateHash == sb.SingleHash &&
+		warm.AggregateHash == sb.SingleHash &&
+		traced.AggregateHash == sb.SingleHash
 	if sb.SingleHostsPerSec > 0 {
 		sb.ScalingRatio = sb.ColdHostsPerSec / sb.SingleHostsPerSec
 	}
 	sb.Ranges = cold.Ranges
-	sb.Reassigned = cold.Reassigned + warm.Reassigned
-	sb.Duplicates = cold.Duplicates + warm.Duplicates
+	sb.Reassigned = cold.Reassigned + warm.Reassigned + traced.Reassigned
+	sb.Duplicates = cold.Duplicates + warm.Duplicates + traced.Duplicates
 	sb.MergeSkew = cold.MergeSkew
 	if warm.MergeSkew > sb.MergeSkew {
 		sb.MergeSkew = warm.MergeSkew
 	}
 	if !sb.HashMatch {
-		fmt.Fprintf(os.Stderr, "hicbench: WARNING: serve hash mismatch: single %s cold %s warm %s\n",
-			sb.SingleHash, sb.ColdHash, sb.WarmHash)
+		fmt.Fprintf(os.Stderr, "hicbench: WARNING: serve hash mismatch: single %s cold %s warm %s traced %s\n",
+			sb.SingleHash, sb.ColdHash, sb.WarmHash, sb.TracedHash)
+	}
+
+	// Federation contract: the per-worker counters the coordinator
+	// serves on /metrics sum to the merged queries' counters (both fold
+	// the same accepted partials, so any drift is lost or
+	// double-counted attribution).
+	merged := []struct {
+		name string
+		want float64
+	}{
+		{"hic_worker_hosts_done_total", float64(cold.Stats.Hosts + warm.Stats.Hosts + traced.Stats.Hosts)},
+		{"hic_worker_simulated_total", float64(cold.Stats.Simulated + warm.Stats.Simulated + traced.Stats.Simulated)},
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return sb, fmt.Errorf("scraping coordinator metrics: %w", err)
+	}
+	doc, err := obs.ParseProm(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return sb, fmt.Errorf("parsing coordinator metrics: %w", err)
+	}
+	sb.FedSumMatch = true
+	for _, m := range merged {
+		var sum float64
+		for _, s := range doc.Find(m.name) {
+			sum += s.Value
+		}
+		if sum != m.want {
+			sb.FedSumMatch = false
+			fmt.Fprintf(os.Stderr, "hicbench: WARNING: federated sum(%s) = %g, want %g\n",
+				m.name, sum, m.want)
+		}
 	}
 	return sb, nil
 }

@@ -42,6 +42,7 @@ import (
 	"hic/internal/obs"
 	"hic/internal/runcache"
 	"hic/internal/serve"
+	"hic/internal/trace"
 )
 
 func fatalf(format string, args ...any) {
@@ -60,6 +61,7 @@ func main() {
 	warmDir := flag.String("warm-dir", fidelity.DefaultWarmDir, "warm-start store directory served to workers ('' = no warm store)")
 	cacheMaxMB := flag.Int("cache-max-mb", 0, "prune the run cache and warm store to this size at startup, oldest entries first (0 = unbounded)")
 	leaseTimeout := flag.Duration("lease-timeout", 30*time.Second, "how long a worker may hold a range lease before it is re-dispensed")
+	staleAfter := flag.Duration("stale-after", 0, "mark a worker stale (and WARN if it holds a lease) after this long without contact (0 = half the lease timeout)")
 	localWorkers := flag.Int("local-workers", 0, "also spawn this many in-process workers dialing the coordinator's own loopback")
 
 	// Worker flags (also size -local-workers pools).
@@ -87,6 +89,7 @@ func main() {
 	rangeHosts := flag.Int("range-hosts", 0, "query: hosts per shard range (0 = auto)")
 	csv := flag.Bool("csv", false, "query: stream per-host CSV to stdout instead of the result JSON")
 	timeoutSec := flag.Float64("timeout-sec", 0, "query: fail the query after this many seconds (0 = none)")
+	traceOut := flag.String("trace-out", "", "query: trace the query end to end and write a Chrome trace_event file here (load in Perfetto or chrome://tracing)")
 
 	verbose := flag.Bool("v", false, "verbose diagnostics on stderr")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -114,12 +117,13 @@ func main() {
 			RangeHosts:     *rangeHosts,
 			TimeoutSec:     *timeoutSec,
 			Points:         *csv,
-		}, *csv, *verbose)
+			Trace:          *traceOut != "",
+		}, *csv, *traceOut, *verbose)
 	case *join != "":
-		runWorker(*join, *name, *threads, *poll, *verbose)
+		runWorker(*join, *name, *threads, *poll, obsFlags, *verbose)
 	default:
 		runCoordinator(*addr, *cacheDir, *warmDir, *cacheMaxMB, *leaseTimeout,
-			*localWorkers, *threads, *poll, obsFlags, *verbose)
+			*staleAfter, *localWorkers, *threads, *poll, obsFlags, *verbose)
 	}
 }
 
@@ -136,7 +140,7 @@ func signalCtx() context.Context {
 }
 
 func runCoordinator(addr, cacheDir, warmDir string, cacheMaxMB int,
-	leaseTimeout time.Duration, localWorkers, threads int,
+	leaseTimeout, staleAfter time.Duration, localWorkers, threads int,
 	poll time.Duration, obsFlags *obs.Flags, verbose bool) {
 
 	store, err := runcache.Open(cacheDir)
@@ -195,6 +199,7 @@ func runCoordinator(addr, cacheDir, warmDir string, cacheMaxMB int,
 		Store:        store,
 		WarmStore:    warmStore,
 		LeaseTimeout: leaseTimeout,
+		StaleAfter:   staleAfter,
 		Obs:          obsSrv,
 		Log:          logw,
 	})
@@ -262,7 +267,9 @@ func splitThreads(total, n, i int) int {
 	return per
 }
 
-func runWorker(base, name string, threads int, poll time.Duration, verbose bool) {
+func runWorker(base, name string, threads int, poll time.Duration,
+	obsFlags *obs.Flags, verbose bool) {
+
 	var logw *os.File
 	if verbose {
 		logw = os.Stderr
@@ -273,6 +280,17 @@ func runWorker(base, name string, threads int, poll time.Duration, verbose bool)
 		Poll:    poll,
 		Log:     logw,
 	})
+	// A worker's own control plane (-listen) exposes its live
+	// lease/idle state, runner pool, and cache-client counters under
+	// hic_serve_worker_* — inspectable without a coordinator scrape.
+	obsSrv, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if obsSrv != nil {
+		obsSrv.AddSource(w)
+		defer obsSrv.Close()
+	}
 	fmt.Fprintf(os.Stderr, "hicserve: worker joining %s\n", base)
 	if err := w.Run(signalCtx()); err != nil && err != context.Canceled {
 		fatalf("worker: %v", err)
@@ -282,7 +300,7 @@ func runWorker(base, name string, threads int, poll time.Duration, verbose bool)
 		w.ID(), st.Leases, st.Hosts, st.Routers)
 }
 
-func runQuery(base string, q serve.QueryRequest, csv, verbose bool) {
+func runQuery(base string, q serve.QueryRequest, csv bool, traceOut string, verbose bool) {
 	out := bufio.NewWriter(os.Stdout)
 	if csv {
 		fmt.Fprint(out, cluster.CSVHeader())
@@ -313,8 +331,34 @@ func runQuery(base string, q serve.QueryRequest, csv, verbose bool) {
 	} else {
 		writeResult(out, res)
 	}
+	if traceOut != "" {
+		if err := writeTrace(traceOut, res); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "hicserve: trace %s: %d spans -> %s\n",
+			res.TraceID, len(res.Trace), traceOut)
+		if p := res.Phases; p != nil {
+			fmt.Fprintf(os.Stderr, "hicserve: phases: queue %.1f ms, prefetch %.1f ms, execute %.1f ms, merge %.1f ms\n",
+				p.QueueMS, p.PrefetchMS, p.ExecuteMS, p.MergeMS)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "hicserve: %d points from %d ranges on %d workers in %.0f ms (%.0f hosts/s), hash %s\n",
 		res.Points, res.Ranges, res.Workers, res.ElapsedMS, res.HostsPerSec, res.AggregateHash)
+}
+
+// writeTrace exports a traced query's spans as a Chrome trace_event
+// file: one track per worker plus the coordinator's lifecycle track.
+func writeTrace(path string, res *serve.QueryResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeWallSpans(f, "hicserve query "+res.TraceID,
+		serve.WallSpans(res.Trace)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeResult(out *bufio.Writer, res *serve.QueryResult) {

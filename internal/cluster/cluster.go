@@ -725,6 +725,45 @@ type Stats struct {
 	WarmAuditMaxErr  float64
 }
 
+// CounterSample is one named execution counter of a Stats, spelled as
+// a Prometheus series suffix ("simulated_total") so federating layers
+// (the serve coordinator's per-worker hic_worker_* fold) can consume
+// the enumeration without knowing the field list.
+type CounterSample struct {
+	Name  string
+	Value float64
+}
+
+// CounterSamples enumerates the summable execution-accounting counters
+// in a fixed order. Scatter statistics and the audit maxima are
+// deliberately absent: only values where sum-over-shards equals the
+// merged query's value belong here (the same invariant sumStats in
+// internal/serve preserves), so a consumer folding per-worker samples
+// can assert they add up to the merged totals.
+func (s Stats) CounterSamples() []CounterSample {
+	return []CounterSample{
+		{"hosts_done_total", float64(s.Hosts)},
+		{"simulated_total", float64(s.Simulated)},
+		{"collapsed_total", float64(s.Collapsed)},
+		{"cache_skipped_total", float64(s.CacheSkipped)},
+		{"fluid_routed_total", float64(s.FluidRouted)},
+		{"early_stopped_total", float64(s.EarlyStopped)},
+		{"anchor_runs_total", float64(s.AnchorRuns)},
+		{"audited_total", float64(s.Audited)},
+		{"audit_over_tol_total", float64(s.AuditOverTol)},
+		{"anchor_transferred_total", float64(s.AnchorTransferred)},
+		{"anchor_refined_total", float64(s.AnchorRefined)},
+		{"knee_probes_total", float64(s.KneeProbes)},
+		{"knee_bypassed_total", float64(s.KneeBypassed)},
+		{"anchor_loaded_total", float64(s.AnchorLoaded)},
+		{"anchor_persisted_total", float64(s.AnchorPersisted)},
+		{"warm_started_total", float64(s.WarmStarted)},
+		{"warm_checkpoints_total", float64(s.WarmCheckpoints)},
+		{"warm_audited_total", float64(s.WarmAudited)},
+		{"warm_audit_over_tol_total", float64(s.WarmAuditOverTol)},
+	}
+}
+
 // aggregator folds points into Stats one at a time — the online path
 // RunStream uses, and the buffered path Summarize wraps around it.
 type aggregator struct {

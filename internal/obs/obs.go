@@ -65,6 +65,22 @@ const (
 	// buffer fill, and DurMS the episode's *sim-time* duration in
 	// milliseconds (every other kind's DurMS is wall time).
 	KindIncident = "incident"
+
+	// Distributed-serve lifecycle kinds (internal/serve coordinator):
+	// Run is the tracked query run ("serve:qN"), Key the worker id,
+	// Point the lease's range id, and Route the lease kind ("range" or
+	// "prefetch"). KindLeaseGrant marks a dispensed lease,
+	// KindLeaseDone a completion folded (DurMS = lease hold time),
+	// KindLeaseExpired a deadline passing and the lease requeued.
+	KindLeaseGrant   = "lease_grant"
+	KindLeaseDone    = "lease_done"
+	KindLeaseExpired = "lease_expired"
+	// KindWorkerStale is raised (as a structured WARN) when a worker
+	// holding an active lease has not polled or reported for longer
+	// than the coordinator's staleness threshold — early notice,
+	// before the lease itself expires. Value is seconds since the
+	// worker was last seen.
+	KindWorkerStale = "worker_stale"
 )
 
 // Event is one executor lifecycle record. Fields are flat and typed so

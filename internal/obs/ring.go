@@ -57,21 +57,48 @@ func (r *Ring) Dropped() uint64 {
 
 // Snapshot copies the retained events in sequence order, oldest first.
 func (r *Ring) Snapshot() []Event {
+	return r.SnapshotSince(0)
+}
+
+// SnapshotSince copies the retained events with Seq > since, oldest
+// first. Seq is monotonic, so the last returned event's Seq is a
+// resumable cursor: a tailer that passes it back sees each event
+// exactly once (minus any that fell off the ring between polls, which
+// the gap between since and the first returned Seq reveals).
+func (r *Ring) SnapshotSince(since uint64) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, 0, len(r.buf))
+	oldest := r.seq - uint64(len(r.buf)) // seq of the oldest retained, minus one
+	skip := 0
+	if since > oldest {
+		skip = int(since - oldest)
+		if skip > len(r.buf) {
+			skip = len(r.buf)
+		}
+	}
+	out := make([]Event, 0, len(r.buf)-skip)
 	if len(r.buf) < r.cap {
-		return append(out, r.buf...)
+		return append(out, r.buf[skip:]...)
 	}
 	start := int(r.seq % uint64(r.cap)) // oldest retained slot
-	out = append(out, r.buf[start:]...)
-	return append(out, r.buf[:start]...)
+	if n := len(r.buf) - start; skip < n {
+		out = append(out, r.buf[start+skip:]...)
+		return append(out, r.buf[:start]...)
+	} else {
+		return append(out, r.buf[skip-n:start]...)
+	}
 }
 
 // WriteJSONL renders the retained events one JSON object per line,
 // oldest first, capped at limit events (0 = all retained).
 func (r *Ring) WriteJSONL(w io.Writer, limit int) error {
-	evs := r.Snapshot()
+	return r.WriteJSONLSince(w, 0, limit)
+}
+
+// WriteJSONLSince is WriteJSONL restricted to events with Seq > since —
+// the incremental-tailing form behind /events?since=N.
+func (r *Ring) WriteJSONLSince(w io.Writer, since uint64, limit int) error {
+	evs := r.SnapshotSince(since)
 	if limit > 0 && len(evs) > limit {
 		evs = evs[len(evs)-limit:]
 	}

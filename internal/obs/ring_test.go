@@ -143,3 +143,84 @@ func TestRingConcurrentAppend(t *testing.T) {
 		}
 	}
 }
+
+func ringSeqs(evs []Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, e := range evs {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+func TestRingSnapshotSince(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Point: i})
+	}
+	// Strictly-after semantics: since=N returns seq N+1 onward.
+	if got := ringSeqs(r.SnapshotSince(4)); fmt.Sprint(got) != "[5 6 7 8 9 10]" {
+		t.Errorf("SnapshotSince(4) seqs = %v", got)
+	}
+	// since at the newest seq: nothing new.
+	if got := r.SnapshotSince(10); len(got) != 0 {
+		t.Errorf("SnapshotSince(10) = %v, want empty", got)
+	}
+	// since beyond the newest (a stale cursor from a restarted sink
+	// would do this): still nothing, never a panic.
+	if got := r.SnapshotSince(99); len(got) != 0 {
+		t.Errorf("SnapshotSince(99) = %v, want empty", got)
+	}
+	// since=0 is the full snapshot.
+	if got := len(r.SnapshotSince(0)); got != 10 {
+		t.Errorf("SnapshotSince(0) length = %d, want 10", got)
+	}
+}
+
+func TestRingSnapshotSinceAfterWrap(t *testing.T) {
+	r := NewRing(16)
+	const n = 40 // oldest retained seq is 25
+	for i := 0; i < n; i++ {
+		r.Append(Event{Point: i})
+	}
+	// Cursor older than the ring: the whole retained window comes back;
+	// the gap between since and the first seq is the drop count.
+	evs := r.SnapshotSince(5)
+	if len(evs) != 16 || evs[0].Seq != 25 {
+		t.Fatalf("SnapshotSince(5) = %d events starting at seq %d, want 16 from 25",
+			len(evs), evs[0].Seq)
+	}
+	// Cursor inside the first chronological segment.
+	if got := ringSeqs(r.SnapshotSince(30)); fmt.Sprint(got) != "[31 32 33 34 35 36 37 38 39 40]" {
+		t.Errorf("SnapshotSince(30) seqs = %v", got)
+	}
+	// Cursor inside the wrapped tail segment.
+	if got := ringSeqs(r.SnapshotSince(38)); fmt.Sprint(got) != "[39 40]" {
+		t.Errorf("SnapshotSince(38) seqs = %v", got)
+	}
+	if got := r.SnapshotSince(40); len(got) != 0 {
+		t.Errorf("SnapshotSince(newest) = %v, want empty", got)
+	}
+}
+
+func TestRingWriteJSONLSince(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 8; i++ {
+		r.Append(Event{Kind: KindPointFinish, Point: i})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONLSince(&buf, 6, 0); err != nil {
+		t.Fatalf("WriteJSONLSince: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []uint64
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e.Seq)
+	}
+	if fmt.Sprint(got) != "[7 8]" {
+		t.Errorf("WriteJSONLSince(6) seqs = %v, want [7 8]", got)
+	}
+}

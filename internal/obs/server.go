@@ -159,7 +159,8 @@ func (s *Server) Emit(e Event) {
 		e.WallNs = s.now().UnixNano()
 	}
 	e = s.ring.Append(e)
-	warn := e.Kind == KindWarning || (e.Kind == KindAuditResult && e.OverTol)
+	warn := e.Kind == KindWarning || e.Kind == KindWorkerStale ||
+		(e.Kind == KindAuditResult && e.OverTol)
 	var logErr error
 	s.mu.Lock()
 	s.kinds[e.Kind]++
@@ -265,7 +266,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "hic control plane\n\n"+
 		"/metrics       Prometheus text exposition (live executor + fleet rollup)\n"+
 		"/progress      JSON run registry: per-phase completion, points/sec, ETA\n"+
-		"/events        structured event log (JSONL ring; ?n=N limits)\n"+
+		"/events        structured event log (JSONL ring; ?n=N limits, ?since=SEQ tails)\n"+
 		"/debug/pprof/  pprof profiles (profile, heap, goroutine, trace, ...)\n")
 }
 
@@ -292,8 +293,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			limit = n
 		}
 	}
+	// ?since=N tails incrementally: only events with seq > N, so a
+	// poller that passes back the last seq it saw reads each event once
+	// instead of re-reading the whole ring (or losing events past wrap).
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			since = n
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
-	s.ring.WriteJSONL(w, limit) //nolint:errcheck
+	s.ring.WriteJSONLSince(w, since, limit) //nolint:errcheck
 }
 
 // WriteMetrics renders the full exposition: control-plane self

@@ -339,3 +339,58 @@ func TestRegisterSharesMuxWithoutPanic(t *testing.T) {
 		t.Errorf("GET /progress not served by control plane:\n%s", got)
 	}
 }
+
+// TestEventsSinceCursor drives /events with the ?since= cursor: a
+// tailer passing back the last seq it saw reads each event exactly
+// once.
+func TestEventsSinceCursor(t *testing.T) {
+	s := NewServer(Options{Warn: io.Discard, EventCap: 64})
+	for i := 0; i < 6; i++ {
+		s.Emit(Event{Kind: KindPointFinish, Point: i})
+	}
+	get := func(path string) []string {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		body := strings.TrimSpace(rec.Body.String())
+		if body == "" {
+			return nil
+		}
+		return strings.Split(body, "\n")
+	}
+	if lines := get("/events"); len(lines) != 6 {
+		t.Fatalf("/events returned %d lines, want 6", len(lines))
+	}
+	tail := get("/events?since=4")
+	if len(tail) != 2 {
+		t.Fatalf("/events?since=4 returned %d lines, want 2:\n%s", len(tail), strings.Join(tail, "\n"))
+	}
+	if !strings.Contains(tail[0], `"seq":5`) || !strings.Contains(tail[1], `"seq":6`) {
+		t.Errorf("tail lines = %v, want seqs 5 and 6", tail)
+	}
+	if lines := get("/events?since=6"); len(lines) != 0 {
+		t.Errorf("/events?since=newest returned %d lines, want 0", len(lines))
+	}
+	// since composes with n: newest-2 of the after-cursor window.
+	if lines := get("/events?since=2&n=2"); len(lines) != 2 || !strings.Contains(lines[0], `"seq":5`) {
+		t.Errorf("/events?since=2&n=2 = %v, want seqs [5 6]", lines)
+	}
+}
+
+// TestWorkerStaleWarnsImmediately pins the serve-layer staleness event
+// into the immediate-WARN set alongside warnings and failed audits.
+func TestWorkerStaleWarnsImmediately(t *testing.T) {
+	var warn bytes.Buffer
+	s := NewServer(Options{Warn: &warn, EventCap: 64})
+	s.Emit(Event{Kind: KindWorkerStale, Run: "serve:q1", Key: "w2-b", Value: 3.5})
+	if !strings.Contains(warn.String(), "obs: WARN") || !strings.Contains(warn.String(), "worker_stale") {
+		t.Fatalf("worker_stale did not raise an immediate warning; warn output:\n%s", warn.String())
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hic_obs_warnings_total 1") {
+		t.Errorf("warnings counter did not advance:\n%s", buf.String())
+	}
+}

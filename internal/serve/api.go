@@ -80,6 +80,14 @@ type QueryRequest struct {
 	// Points streams every scatter point back on the query response
 	// (the aggregates and hash are computed either way).
 	Points bool `json:"points,omitempty"`
+	// Trace records the query's end-to-end lifecycle: the coordinator
+	// assigns a trace id, stamps every lease with it, collects spans
+	// (queue wait, prefetch barrier, each range lease per worker,
+	// merge) and returns them on the result for Chrome trace_event
+	// export. Tracing never changes results — merged hashes are
+	// byte-identical with it on or off — and is deliberately excluded
+	// from FidelitySignature (it does not affect routing).
+	Trace bool `json:"trace,omitempty"`
 	// TimeoutSec aborts the query if the fleet has not merged in time
 	// (0 = no deadline beyond the HTTP client's own).
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
@@ -166,6 +174,10 @@ type Lease struct {
 	Kind    string       `json:"kind,omitempty"`
 	Reps    []int        `json:"reps,omitempty"`
 	Spec    QueryRequest `json:"spec"`
+	// Trace is the owning query's trace id ("" = untraced). A worker
+	// holding a traced lease stamps its completion with the id and its
+	// execution window so the coordinator can attribute the span.
+	Trace string `json:"trace,omitempty"`
 }
 
 // RangePartial is a worker's product for one lease: the range's scatter
@@ -191,6 +203,36 @@ type RangePartial struct {
 	// Err, when non-empty, reports the range failed; the coordinator
 	// fails the whole query (simulation errors are never partial).
 	Err string `json:"err,omitempty"`
+	// Trace echoes the lease's trace id; ExecStartNs/ExecEndNs bound
+	// the worker's execution window (Unix nanoseconds, the worker's
+	// clock) so the coordinator can nest an "exec" span inside the
+	// lease envelope it observed. All three are zero when untraced.
+	Trace       string `json:"trace,omitempty"`
+	ExecStartNs int64  `json:"exec_start_ns,omitempty"`
+	ExecEndNs   int64  `json:"exec_end_ns,omitempty"`
+	// Deltas, always attached by current workers, carry the lease's
+	// worker-local execution-layer counter deltas (run-cache client
+	// traffic, pool task throughput, execution wall) — the federated
+	// half of the coordinator's per-worker hic_worker_* series; the
+	// cluster.Stats counters federate from Stats directly.
+	Deltas *WorkerDeltas `json:"deltas,omitempty"`
+}
+
+// WorkerDeltas is the worker-local counter movement across one lease:
+// what this lease cost the worker beyond the cluster.Stats accounting.
+// All fields are deltas (after minus before), so the coordinator can
+// sum them per worker without double-counting across leases.
+type WorkerDeltas struct {
+	// CacheHits/CacheMisses/CacheCollapses are the shared results
+	// cache's client-side movement (the HTTP-backed runcache store).
+	CacheHits      uint64 `json:"cache_hits,omitempty"`
+	CacheMisses    uint64 `json:"cache_misses,omitempty"`
+	CacheCollapses uint64 `json:"cache_collapses,omitempty"`
+	// PoolTasks is how many runner-pool tasks completed during the
+	// lease.
+	PoolTasks uint64 `json:"pool_tasks,omitempty"`
+	// ExecMS is the lease's execution wall time on the worker.
+	ExecMS float64 `json:"exec_ms,omitempty"`
 }
 
 // QueryResult is the merged answer: fleet aggregates byte-identical to
@@ -229,6 +271,15 @@ type QueryResult struct {
 	// this query.
 	ElapsedMS   float64 `json:"elapsed_ms"`
 	HostsPerSec float64 `json:"hosts_per_sec"`
+	// TraceID, Trace, and Phases are present only on traced queries
+	// (QueryRequest.Trace): the assigned trace id, the collected
+	// lifecycle spans (coordinator lease envelopes + worker execution
+	// windows, sorted by start time), and the wall-clock phase
+	// breakdown derived from them. Feed Trace through serve.WallSpans
+	// into trace.WriteChromeWallSpans for Perfetto.
+	TraceID string      `json:"trace_id,omitempty"`
+	Trace   []TraceSpan `json:"trace,omitempty"`
+	Phases  *PhaseWall  `json:"phases,omitempty"`
 }
 
 // Wire kinds on the NDJSON query response stream.
@@ -270,4 +321,54 @@ const (
 	NextPath     = "/api/v1/shard/next"
 	DonePath     = "/api/v1/shard/done"
 	StatusPath   = "/api/v1/status"
+	WorkersPath  = "/api/v1/workers"
 )
+
+// WorkerInfo is one worker's entry in the fleet health registry
+// (GET WorkersPath): liveness, the lease it holds, its lifetime lease
+// accounting, and the federated counters the coordinator has folded
+// from its completions (the same values /metrics exposes as
+// hic_worker_* series).
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// RegisteredAgoSec/LastSeenAgoSec age the worker's registration and
+	// most recent contact (register, poll, or completion) in seconds.
+	RegisteredAgoSec float64 `json:"registered_ago_sec"`
+	LastSeenAgoSec   float64 `json:"last_seen_ago_sec"`
+	// Stale means the worker has not been seen for longer than the
+	// coordinator's staleness threshold (Options.StaleAfter). A stale
+	// worker holding a lease has already been WARNed about on the obs
+	// event stream.
+	Stale bool `json:"stale,omitempty"`
+	// BackoffMS is the worker's self-reported idle poll backoff at its
+	// last poll (0 = actively working or polling at base cadence).
+	BackoffMS float64 `json:"backoff_ms,omitempty"`
+	// Active is the lease the worker currently holds (nil = idle).
+	Active *ActiveLease `json:"active,omitempty"`
+	// RangesDone/PrefetchesDone count accepted completions;
+	// Expirations counts leases this worker held past their deadline
+	// (requeued elsewhere); Duplicates counts its completions rejected
+	// because a reassigned copy finished first.
+	RangesDone     uint64 `json:"ranges_done"`
+	PrefetchesDone uint64 `json:"prefetches_done"`
+	Expirations    uint64 `json:"expirations,omitempty"`
+	Duplicates     uint64 `json:"duplicates,omitempty"`
+	// Counters is the federated per-worker accounting: cluster.Stats
+	// counters plus worker-local deltas, summed over this worker's
+	// accepted completions. Keys are the hic_worker_* series suffixes
+	// ("simulated_total", "cache_hits_total", ...), so the registry
+	// and /metrics agree by construction — fidelity anchor accounting
+	// (anchor_runs_total, anchor_transferred_total, ...) included.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// ActiveLease describes the lease a worker holds right now.
+type ActiveLease struct {
+	Job     string  `json:"job"`
+	RangeID int     `json:"range_id"`
+	Kind    string  `json:"kind"` // "range" or "prefetch"
+	Lo      int     `json:"lo"`
+	Hi      int     `json:"hi"`
+	HeldMS  float64 `json:"held_ms"`
+}

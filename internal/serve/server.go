@@ -33,9 +33,17 @@ type Options struct {
 	LeaseTimeout time.Duration
 	// Obs, when non-nil, is the control plane sharing the coordinator's
 	// mux: queries register as tracked runs (range completions advance
-	// /progress) and its endpoints are co-registered by Handler via
-	// obs.(*Server).Register, host handlers winning conflicts.
+	// /progress), its endpoints are co-registered by Handler via
+	// obs.(*Server).Register (host handlers winning conflicts), the
+	// coordinator registers itself as a metric source (the federated
+	// hic_worker_* series), and lease lifecycle events
+	// (grant/done/expired, worker staleness WARNs) land on its event
+	// stream.
 	Obs *obs.Server
+	// StaleAfter is how long a worker may go unseen before the registry
+	// marks it stale — and, if it holds a lease, before the coordinator
+	// WARNs (0 = LeaseTimeout/2, one reclaim cycle of early notice).
+	StaleAfter time.Duration
 	// Log receives one-line diagnostics (nil = silent).
 	Log io.Writer
 }
@@ -47,13 +55,16 @@ type Server struct {
 
 	mu       sync.Mutex
 	nextID   uint64
-	workers  map[string]string // worker id -> name
+	workers  map[string]*workerState
 	jobs     map[string]*job
 	queries  uint64
 	rangesOK uint64
 }
 
-// NewServer validates options and builds a coordinator.
+// NewServer validates options and builds a coordinator. With an obs
+// control plane configured, the coordinator registers itself as a
+// metric source so one /metrics scrape shows the whole fleet's
+// federated hic_worker_* series.
 func NewServer(o Options) (*Server, error) {
 	if o.Store == nil {
 		return nil, fmt.Errorf("serve: Options.Store is required")
@@ -61,11 +72,15 @@ func NewServer(o Options) (*Server, error) {
 	if o.LeaseTimeout <= 0 {
 		o.LeaseTimeout = 30 * time.Second
 	}
-	return &Server{
+	s := &Server{
 		opts:    o,
-		workers: make(map[string]string),
+		workers: make(map[string]*workerState),
 		jobs:    make(map[string]*job),
-	}, nil
+	}
+	if o.Obs != nil {
+		o.Obs.AddSource(s)
+	}
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -84,6 +99,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(NextPath, s.handleNext)
 	mux.HandleFunc(DonePath, s.handleDone)
 	mux.HandleFunc(StatusPath, s.handleStatus)
+	mux.HandleFunc(WorkersPath, s.handleWorkers)
 	mux.Handle(runcache.RemoteResultsPath+"/",
 		http.StripPrefix(runcache.RemoteResultsPath, runcache.BackendHandler(s.opts.Store.Backend())))
 	if s.opts.WarmStore != nil {
@@ -100,6 +116,7 @@ func (s *Server) Handler() http.Handler {
 type shardRange struct {
 	lo, hi   int
 	worker   string // current lease holder ("" = pending)
+	granted  time.Time
 	deadline time.Time
 	done     *RangePartial
 }
@@ -131,6 +148,11 @@ type job struct {
 	prefetchPending []int
 	prefetchLeft    int
 	prefetchStats   cluster.Stats
+
+	// trace collects the query's lifecycle spans (nil = untraced; every
+	// queryTrace method no-ops on nil, so the disabled path costs a nil
+	// check).
+	trace *queryTrace
 }
 
 func (j *job) poke() {
@@ -141,27 +163,47 @@ func (j *job) poke() {
 }
 
 // reclaimExpired requeues every leased, unfinished range or prefetch
-// lease whose deadline passed. Called under the server lock from both
-// the lease path (a polling worker picks the range right back up) and
-// the query handler's ticker (so an expiry is detected even with no
-// worker polling).
-func (j *job) reclaimExpired(now time.Time) {
+// lease whose deadline passed, attributes each expiry to the worker
+// that held it, and returns the lease_expired events describing them
+// (emit after unlocking). Called under the server lock from both the
+// lease path (a polling worker picks the range right back up) and the
+// query handler's ticker (so an expiry is detected even with no worker
+// polling).
+func (s *Server) reclaimExpired(j *job, now time.Time) []obs.Event {
+	var evs []obs.Event
+	expire := func(r *shardRange, id int, kind string) {
+		if ws := s.workers[r.worker]; ws != nil {
+			ws.expirations++
+			if a := ws.active; a != nil && a.job == j.id && a.rangeID == id && a.kind == kind {
+				ws.active = nil
+			}
+		}
+		if s.opts.Obs != nil {
+			evs = append(evs, obs.Event{
+				Kind: obs.KindLeaseExpired, Run: "serve:" + j.id,
+				Point: id, Key: r.worker, Route: kind,
+				Why:   "lease deadline passed; requeued for reassignment",
+				DurMS: float64(now.Sub(r.granted).Nanoseconds()) / 1e6,
+			})
+		}
+		r.worker = ""
+		j.reassigned++
+	}
 	for id := range j.ranges {
 		r := &j.ranges[id]
 		if r.done == nil && r.worker != "" && now.After(r.deadline) {
-			r.worker = ""
+			expire(r, id, "range")
 			j.pending = append(j.pending, id)
-			j.reassigned++
 		}
 	}
 	for id := range j.prefetch {
 		r := &j.prefetch[id]
 		if r.done == nil && r.worker != "" && now.After(r.deadline) {
-			r.worker = ""
+			expire(r, id, LeasePrefetch)
 			j.prefetchPending = append(j.prefetchPending, id)
-			j.reassigned++
 		}
 	}
+	return evs
 }
 
 // splitPrefetch chunks the signature representatives into about two
@@ -224,13 +266,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	now := time.Now()
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("w%d", s.nextID)
 	if req.Name != "" {
 		id = fmt.Sprintf("w%d-%s", s.nextID, req.Name)
 	}
-	s.workers[id] = req.Name
+	s.workers[id] = &workerState{id: id, name: req.Name, registered: now, lastSeen: now}
 	s.mu.Unlock()
 	s.logf("worker %s registered", id)
 	writeJSON(w, map[string]string{"worker_id": id})
@@ -243,17 +286,40 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	}
 	var req struct {
 		WorkerID string `json:"worker_id"`
+		// BackoffMS is the worker's current idle poll backoff, for the
+		// health registry (0 = working or polling at base cadence).
+		BackoffMS float64 `json:"backoff_ms,omitempty"`
 	}
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	now := time.Now()
+	var evs []obs.Event
+	defer func() { s.emitEvents(evs) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.workers[req.WorkerID]; !ok {
+	ws, ok := s.workers[req.WorkerID]
+	if !ok {
 		http.Error(w, "unknown worker (register first)", http.StatusForbidden)
 		return
+	}
+	ws.seen(now)
+	ws.backoffMS = req.BackoffMS
+	// grant records the lease on the registry and the trace, and queues
+	// its lease_grant event.
+	grant := func(j *job, rg *shardRange, rid int, kind string) {
+		rg.worker = req.WorkerID
+		rg.granted = now
+		rg.deadline = now.Add(s.opts.LeaseTimeout)
+		ws.active = &heldLease{job: j.id, rangeID: rid, kind: kind,
+			lo: rg.lo, hi: rg.hi, since: now}
+		ws.backoffMS = 0
+		j.trace.grant(kind, now)
+		if s.opts.Obs != nil {
+			evs = append(evs, obs.Event{Kind: obs.KindLeaseGrant, Run: "serve:" + j.id,
+				Point: rid, Key: req.WorkerID, Route: kind})
+		}
 	}
 	// Oldest job first so queries complete in arrival order.
 	ids := make([]string, 0, len(s.jobs))
@@ -266,7 +332,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		if j.failed != "" {
 			continue
 		}
-		j.reclaimExpired(now)
+		evs = append(evs, s.reclaimExpired(j, now)...)
 		// Prefetch leases first; ranges of this job wait behind the
 		// prefetch barrier so range execution starts against a hot cache
 		// instead of racing the calibration it depends on. (Other jobs'
@@ -275,10 +341,10 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			rid := j.prefetchPending[0]
 			j.prefetchPending = j.prefetchPending[1:]
 			rg := &j.prefetch[rid]
-			rg.worker = req.WorkerID
-			rg.deadline = now.Add(s.opts.LeaseTimeout)
+			grant(j, rg, rid, LeasePrefetch)
 			writeJSON(w, Lease{Job: j.id, RangeID: rid, Kind: LeasePrefetch,
-				Lo: rg.lo, Hi: rg.hi, Reps: j.reps[rg.lo:rg.hi], Spec: j.spec})
+				Lo: rg.lo, Hi: rg.hi, Reps: j.reps[rg.lo:rg.hi], Spec: j.spec,
+				Trace: j.traceID()})
 			return
 		}
 		if j.prefetchLeft > 0 || len(j.pending) == 0 {
@@ -287,12 +353,21 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		rid := j.pending[0]
 		j.pending = j.pending[1:]
 		rg := &j.ranges[rid]
-		rg.worker = req.WorkerID
-		rg.deadline = now.Add(s.opts.LeaseTimeout)
-		writeJSON(w, Lease{Job: j.id, RangeID: rid, Lo: rg.lo, Hi: rg.hi, Spec: j.spec})
+		grant(j, rg, rid, "range")
+		writeJSON(w, Lease{Job: j.id, RangeID: rid, Lo: rg.lo, Hi: rg.hi, Spec: j.spec,
+			Trace: j.traceID()})
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// traceID returns the job id as the wire trace id when the query is
+// traced, "" otherwise (the id doubles as the workers' enable flag).
+func (j *job) traceID() string {
+	if j.trace == nil {
+		return ""
+	}
+	return j.id
 }
 
 // maxPartialBytes bounds one range completion's body. Points are ~100
@@ -310,6 +385,26 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	accepted := false
+	now := time.Now()
+	var evs []obs.Event
+	defer func() { s.emitEvents(evs) }()
+	// completionEvent queues the lease_done event for an accepted
+	// completion; duplicate marks the reassignment race's losing side.
+	completionEvent := func(j *job, rg *shardRange, kind string) {
+		if s.opts.Obs == nil {
+			return
+		}
+		evs = append(evs, obs.Event{Kind: obs.KindLeaseDone, Run: "serve:" + j.id,
+			Point: p.RangeID, Key: p.Worker, Route: kind,
+			DurMS: float64(now.Sub(rg.granted).Nanoseconds()) / 1e6})
+	}
+	duplicate := func(j *job) {
+		j.duplicates++
+		if ws := s.workers[p.Worker]; ws != nil {
+			ws.seen(now)
+			ws.duplicates++
+		}
+	}
 	s.mu.Lock()
 	j := s.jobs[p.Job]
 	if j != nil && p.Prefetch {
@@ -317,7 +412,7 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 			rg := &j.prefetch[p.RangeID]
 			switch {
 			case rg.done != nil:
-				j.duplicates++
+				duplicate(j)
 			default:
 				// Prefetch failures are non-fatal: range execution
 				// calibrates lazily on first touch, so the query loses
@@ -331,6 +426,12 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 				rg.worker = p.Worker
 				sumStats(&j.prefetchStats, p.Stats)
 				j.prefetchLeft--
+				s.foldCompletion(&p, now)
+				s.recordLeaseSpans(j, rg, &p, now)
+				if j.prefetchLeft == 0 {
+					j.trace.barrier(now)
+				}
+				completionEvent(j, rg, LeasePrefetch)
 				accepted = true
 			}
 		}
@@ -344,10 +445,13 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 		case rg.done != nil:
 			// First completion won; this is the reassignment race's
 			// losing side. Reject so no range is double-counted.
-			j.duplicates++
+			duplicate(j)
 		case p.Err != "":
 			if j.failed == "" {
 				j.failed = fmt.Sprintf("range [%d, %d) on %s: %s", p.Lo, p.Hi, p.Worker, p.Err)
+			}
+			if ws := s.workers[p.Worker]; ws != nil {
+				ws.seen(now)
 			}
 			accepted = true
 			j.poke()
@@ -355,6 +459,10 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 			pc := p
 			rg.done = &pc
 			rg.worker = p.Worker
+			s.foldCompletion(&p, now)
+			s.recordLeaseSpans(j, rg, &p, now)
+			j.trace.rangeDone(now)
+			completionEvent(j, rg, "range")
 			accepted = true
 			s.rangesOK++
 			j.poke()
@@ -362,6 +470,45 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, map[string]bool{"accepted": accepted})
+}
+
+// recordLeaseSpans adds the lease's spans to a traced query: the
+// coordinator-observed envelope (grant to completion) on the worker's
+// track, with the worker-reported execution window nested inside it
+// (clamped to the envelope — worker clocks are not the coordinator's;
+// on one box or NTP-disciplined hosts the clamp is a no-op). Called
+// under the server lock; no-ops when the query is untraced.
+func (s *Server) recordLeaseSpans(j *job, rg *shardRange, p *RangePartial, now time.Time) {
+	if j.trace == nil {
+		return
+	}
+	track := "worker " + p.Worker
+	name := fmt.Sprintf("range %d [%d,%d)", p.RangeID, p.Lo, p.Hi)
+	args := map[string]float64{"points": float64(len(p.Points))}
+	if p.Prefetch {
+		name = fmt.Sprintf("prefetch %d", p.RangeID)
+		args = map[string]float64{"signatures": float64(p.Hi - p.Lo)}
+	}
+	for _, c := range p.Stats.CounterSamples() {
+		switch c.Name {
+		case "simulated_total", "collapsed_total", "fluid_routed_total",
+			"anchor_runs_total", "anchor_transferred_total", "knee_probes_total":
+			if c.Value != 0 {
+				args[c.Name] = c.Value
+			}
+		}
+	}
+	j.trace.span(name, track, rg.granted, now, args)
+	if p.ExecStartNs > 0 && p.ExecEndNs >= p.ExecStartNs {
+		start, end := time.Unix(0, p.ExecStartNs), time.Unix(0, p.ExecEndNs)
+		if start.Before(rg.granted) {
+			start = rg.granted
+		}
+		if end.After(now) {
+			end = now
+		}
+		j.trace.span("exec", track, start, end, nil)
+	}
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -433,6 +580,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		spec:   q,
 		ranges: splitRanges(q.Hosts, q.RangeHosts, len(s.workers)),
 		signal: make(chan struct{}, 1),
+	}
+	if q.Trace {
+		j.trace = newQueryTrace(start)
 	}
 	for i := range j.ranges {
 		j.pending = append(j.pending, i)
@@ -506,10 +656,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case <-j.signal:
 		case <-ticker.C:
 			// Liveness with no polling workers: expire leases so the
-			// next poll reassigns, and notice worker-reported failures.
+			// next poll reassigns, notice worker-reported failures, and
+			// WARN about stale workers before their leases expire.
+			now := time.Now()
 			s.mu.Lock()
-			j.reclaimExpired(time.Now())
+			evs := s.reclaimExpired(j, now)
+			evs = append(evs, s.checkStale(now)...)
 			s.mu.Unlock()
+			s.emitEvents(evs)
 		case <-deadline:
 			fail(fmt.Sprintf("query timed out after %gs with %d/%d ranges merged",
 				q.TimeoutSec, doneRanges, len(j.ranges)))
@@ -535,6 +689,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if failed != "" {
 			fail(failed)
 			return
+		}
+		if len(ready) > 0 {
+			j.trace.fold(time.Now())
 		}
 		for _, p := range ready {
 			for _, pt := range p.Points {
@@ -616,6 +773,10 @@ func (s *Server) finishQuery(j *job, q QueryRequest, folded []cluster.Point,
 	s.mu.Unlock()
 	if elapsed > 0 {
 		res.HostsPerSec = float64(q.Hosts) / elapsed.Seconds()
+	}
+	if j.trace != nil {
+		res.TraceID = j.id
+		res.Trace, res.Phases = j.trace.finish(time.Now())
 	}
 	return res
 }

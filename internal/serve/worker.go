@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hic/internal/cluster"
@@ -67,6 +68,15 @@ type Worker struct {
 
 	// leases/hosts are lifetime counters (Stats).
 	leases, hosts uint64
+
+	// Live state for the worker's own obs plane (MetricsInto), held in
+	// atomics so a -listen /metrics scrape never contends with the Run
+	// loop: executing is 1 while a lease runs, idleBackoffNs the
+	// current idle poll backoff (0 when working), lastLeaseNs when the
+	// most recent lease was acquired (Unix ns, 0 before the first).
+	executing     atomic.Int64
+	idleBackoffNs atomic.Int64
+	lastLeaseNs   atomic.Int64
 
 	// Test hooks. abandonAfter > 0 makes Run exit without reporting
 	// right after acquiring that many leases — a worker dying
@@ -155,6 +165,27 @@ func (w *Worker) ID() string {
 	return w.id
 }
 
+// MetricsInto implements the control plane's MetricSource interface so
+// a worker started with -listen is inspectable without a coordinator
+// scrape: its own lease/idle state under hic_serve_worker_*, plus the
+// private runner pool (hic_pool_*) and the shared-results cache
+// client (hic_runcache_*). All reads are atomics or short mutex holds
+// — /metrics is served while leases execute.
+func (w *Worker) MetricsInto(emit func(name, typ string, v float64)) {
+	st := w.Stats()
+	emit("hic_serve_worker_leases_total", "counter", float64(st.Leases))
+	emit("hic_serve_worker_hosts_total", "counter", float64(st.Hosts))
+	emit("hic_serve_worker_routers", "gauge", float64(st.Routers))
+	emit("hic_serve_worker_executing", "gauge", float64(w.executing.Load()))
+	emit("hic_serve_worker_idle_backoff_ms", "gauge", float64(w.idleBackoffNs.Load())/1e6)
+	if t := w.lastLeaseNs.Load(); t > 0 {
+		emit("hic_serve_worker_since_last_lease_seconds", "gauge",
+			time.Since(time.Unix(0, t)).Seconds())
+	}
+	w.pool.MetricsInto(emit)
+	w.cache.MetricsInto(emit)
+}
+
 func (w *Worker) post(path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -195,10 +226,16 @@ func (w *Worker) Run(ctx context.Context) error {
 			return err
 		}
 		var lease Lease
-		err := w.post(NextPath, map[string]string{"worker_id": w.id}, &lease)
+		// The poll reports the current idle backoff so the coordinator's
+		// health registry shows how deep in backoff an idle worker sits.
+		err := w.post(NextPath, map[string]any{
+			"worker_id":  w.id,
+			"backoff_ms": float64(idle.Nanoseconds()) / 1e6,
+		}, &lease)
 		switch {
 		case err == errNoWork:
 			idle = nextIdle(idle, w.opts.Poll)
+			w.idleBackoffNs.Store(int64(idle))
 			if !sleepCtx(ctx, w.jitter(idle)) {
 				return ctx.Err()
 			}
@@ -206,12 +243,14 @@ func (w *Worker) Run(ctx context.Context) error {
 		case err != nil:
 			w.logf("poll: %v", err)
 			idle = nextIdle(idle, w.opts.Poll*4)
+			w.idleBackoffNs.Store(int64(idle))
 			if !sleepCtx(ctx, w.jitter(idle)) {
 				return ctx.Err()
 			}
 			continue
 		}
 		idle = 0
+		w.idleBackoffNs.Store(0)
 		taken++
 		if w.abandonAfter > 0 && taken > w.abandonAfter {
 			// Simulated death: the lease is held, never executed, never
@@ -222,11 +261,33 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.mu.Lock()
 		w.leases++
 		w.mu.Unlock()
+		w.lastLeaseNs.Store(time.Now().UnixNano())
+		w.executing.Store(1)
+		// Bracket execution with the worker-local counter reads that
+		// become the lease's federated deltas (and, when the lease is
+		// traced, its execution window).
+		cacheBefore, poolBefore := w.cache.Stats(), w.pool.Stats()
+		execStart := time.Now()
 		var partial RangePartial
 		if lease.Kind == LeasePrefetch {
 			partial = w.executePrefetch(lease)
 		} else {
 			partial = w.execute(lease)
+		}
+		execEnd := time.Now()
+		w.executing.Store(0)
+		cacheAfter, poolAfter := w.cache.Stats(), w.pool.Stats()
+		partial.Deltas = &WorkerDeltas{
+			CacheHits:      cacheAfter.Hits - cacheBefore.Hits,
+			CacheMisses:    cacheAfter.Misses - cacheBefore.Misses,
+			CacheCollapses: cacheAfter.Collapses - cacheBefore.Collapses,
+			PoolTasks:      poolAfter.TasksDone - poolBefore.TasksDone,
+			ExecMS:         float64(execEnd.Sub(execStart).Nanoseconds()) / 1e6,
+		}
+		if lease.Trace != "" {
+			partial.Trace = lease.Trace
+			partial.ExecStartNs = execStart.UnixNano()
+			partial.ExecEndNs = execEnd.UnixNano()
 		}
 		if w.reportDelay > 0 {
 			sleepCtx(ctx, w.reportDelay)

@@ -1,0 +1,131 @@
+// Wall-clock span export: the distributed-serve counterpart to the
+// sim-time series recorder. A sharded query's lifecycle (queue wait,
+// prefetch barrier, per-worker range leases, merge) is a set of
+// WallSpans collected by the coordinator; WriteChromeWallSpans renders
+// them in Chrome trace_event JSON — the same format telemetry's
+// sim-time exporter emits — so Perfetto shows the query as one process
+// with one track per span track name (the coordinator plus each
+// worker).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WallSpan is one wall-clock slice on a named track. Times are Unix
+// nanoseconds; the writer normalizes them so the earliest span starts
+// at ts=0 (absolute wall epochs overflow the float64 microseconds the
+// trace_event format carries).
+type WallSpan struct {
+	// Name is the slice label ("queue", "range 3 [120,180)", ...).
+	Name string `json:"name"`
+	// Track groups spans onto one Perfetto track ("coordinator",
+	// "worker w1-a", ...); tracks render in first-appearance order.
+	Track string `json:"track"`
+	// StartNs and EndNs bound the slice in Unix nanoseconds.
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+	// Args annotate the slice (points merged, anchor runs, ...).
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// wallEvent is one trace_event record. A subset of telemetry's
+// chromeEvent (this package stays a leaf: stdlib only), with the same
+// field order so the two exporters' outputs read alike.
+type wallEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since the trace origin
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeWallSpans renders wall-clock spans as Chrome trace_event
+// JSON (the format chrome://tracing and Perfetto load): one process
+// named process, one thread per distinct Track (tid assigned in
+// first-appearance order, named via thread_name metadata), and each
+// span a complete "X" slice. Timestamps are microseconds relative to
+// the earliest span start, so traces are byte-stable across reruns of
+// identical relative timing. Output is deterministic for a given span
+// slice (json.Marshal sorts Args keys).
+func WriteChromeWallSpans(w io.Writer, process string, spans []WallSpan) error {
+	events := []wallEvent{{
+		Name: "process_name", Ph: "M", Pid: 1, Cat: "__metadata",
+		Args: map[string]any{"name": process},
+	}}
+
+	tids := make(map[string]int)
+	var origin int64
+	for i, sp := range spans {
+		if _, ok := tids[sp.Track]; !ok {
+			tids[sp.Track] = len(tids) + 1
+			events = append(events, wallEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[sp.Track], Cat: "__metadata",
+				Args: map[string]any{"name": sp.Track},
+			})
+		}
+		if i == 0 || sp.StartNs < origin {
+			origin = sp.StartNs
+		}
+	}
+
+	for _, sp := range spans {
+		if sp.EndNs < sp.StartNs {
+			return fmt.Errorf("trace: span %q on %q ends before it starts", sp.Name, sp.Track)
+		}
+		var args map[string]any
+		if len(sp.Args) > 0 {
+			args = make(map[string]any, len(sp.Args))
+			for k, v := range sp.Args {
+				args[k] = v
+			}
+		}
+		events = append(events, wallEvent{
+			Name: sp.Name, Cat: "serve", Ph: "X",
+			Ts:  float64(sp.StartNs-origin) / 1e3,
+			Dur: float64(sp.EndNs-sp.StartNs) / 1e3,
+			Pid: 1, Tid: tids[sp.Track], Args: args,
+		})
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// SortWallSpans orders spans by start time, then track, then name —
+// the canonical order the serve coordinator emits, stable so equal
+// traces render (and hash) identically.
+func SortWallSpans(spans []WallSpan) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		if spans[i].Track != spans[j].Track {
+			return spans[i].Track < spans[j].Track
+		}
+		return spans[i].Name < spans[j].Name
+	})
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func wallFixture() []WallSpan {
+	return []WallSpan{
+		{Name: "queue", Track: "coordinator", StartNs: 1_000_000_000, EndNs: 1_000_500_000},
+		{Name: "range 0 [0,8)", Track: "worker w1", StartNs: 1_000_500_000, EndNs: 1_002_000_000,
+			Args: map[string]float64{"points": 8, "simulated": 8}},
+		{Name: "range 1 [8,16)", Track: "worker w2", StartNs: 1_000_600_000, EndNs: 1_002_100_000},
+		{Name: "merge", Track: "coordinator", StartNs: 1_002_000_000, EndNs: 1_002_200_000},
+	}
+}
+
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeWallSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeWallSpans(&buf, "hicserve query q1", wallFixture()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	// One process_name + one thread_name per distinct track, then one
+	// "X" slice per span.
+	tracks := map[string]int{} // track name -> tid
+	var slices int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			if got := ev.Args["name"]; got != "hicserve query q1" {
+				t.Errorf("process name = %v", got)
+			}
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			tracks[ev.Args["name"].(string)] = ev.Tid
+		case ev.Ph == "X":
+			slices++
+			if ev.Ts < 0 || ev.Dur <= 0 {
+				t.Errorf("slice %q: ts=%g dur=%g", ev.Name, ev.Ts, ev.Dur)
+			}
+		}
+	}
+	if slices != 4 {
+		t.Errorf("slices = %d, want 4", slices)
+	}
+	// One track per distinct span Track, tids in first-appearance order.
+	want := map[string]int{"coordinator": 1, "worker w1": 2, "worker w2": 3}
+	for name, tid := range want {
+		if tracks[name] != tid {
+			t.Errorf("track %q tid = %d, want %d (tracks %v)", name, tracks[name], tid, tracks)
+		}
+	}
+
+	// Timestamps are normalized: the earliest span starts at 0.
+	minTs := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && (minTs < 0 || ev.Ts < minTs) {
+			minTs = ev.Ts
+		}
+	}
+	if minTs != 0 {
+		t.Errorf("earliest slice ts = %g, want 0", minTs)
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := WriteChromeWallSpans(&again, "hicserve query q1", wallFixture()); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("output is not deterministic across identical inputs")
+	}
+}
+
+func TestWriteChromeWallSpansRejectsBackwards(t *testing.T) {
+	err := WriteChromeWallSpans(&bytes.Buffer{}, "p", []WallSpan{
+		{Name: "bad", Track: "t", StartNs: 10, EndNs: 5},
+	})
+	if err == nil || !strings.Contains(err.Error(), "ends before it starts") {
+		t.Fatalf("err = %v, want span-order error", err)
+	}
+}
+
+func TestSortWallSpans(t *testing.T) {
+	spans := []WallSpan{
+		{Name: "b", Track: "t2", StartNs: 5},
+		{Name: "a", Track: "t1", StartNs: 5},
+		{Name: "c", Track: "t1", StartNs: 1},
+	}
+	SortWallSpans(spans)
+	if spans[0].Name != "c" || spans[1].Name != "a" || spans[2].Name != "b" {
+		t.Fatalf("order = %v", spans)
+	}
+}
